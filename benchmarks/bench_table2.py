@@ -1,0 +1,65 @@
+"""Table 2 regeneration: low-Vdd gate profiles and sizing footprint.
+
+Each benchmark measures the profile-extraction cost on one circuit and
+records the low-voltage counts/ratios per algorithm plus Gscale's sizing
+numbers -- the columns of the paper's Table 2 -- in ``extra_info``.
+
+Run: ``pytest benchmarks/bench_table2.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import benchmark_names
+from repro.bench.paper_data import PAPER_TABLE2
+from repro.flow.tables import format_table2, suite_averages
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_table2_row(benchmark, results_cache, name):
+    """One circuit's profile row (all three algorithms)."""
+    def run():
+        return results_cache(name)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS[name] = row
+    paper = PAPER_TABLE2[name]
+    gscale = row.reports["gscale"]
+    benchmark.extra_info.update({
+        "circuit": name,
+        "gates": row.gates,
+        "paper_gates": paper.gates,
+        "cvs_ratio": round(row.reports["cvs"].low_ratio, 2),
+        "dscale_ratio": round(row.reports["dscale"].low_ratio, 2),
+        "gscale_ratio": round(gscale.low_ratio, 2),
+        "paper_gscale_ratio": paper.gscale_ratio,
+        "sized": gscale.n_resized,
+        "area_increase": round(gscale.area_increase_ratio, 3),
+    })
+
+    # Table 2's structural claims, per circuit.
+    assert 0.0 <= row.reports["cvs"].low_ratio <= 1.0
+    assert gscale.low_ratio >= row.reports["cvs"].low_ratio - 1e-9
+    assert gscale.area_increase_ratio <= 0.10 + 1e-9
+
+
+def test_table2_summary(benchmark, results_cache):
+    names = benchmark_names()
+
+    def run():
+        return [results_cache(name) for name in names]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    averages = suite_averages(results)
+    print()
+    print(format_table2(results))
+    benchmark.extra_info.update(
+        {k: round(v, 3) for k, v in averages.items()}
+    )
+    # The paper's headline profile shape: Gscale's cluster covers far
+    # more of the circuit than CVS's, at ~1% area cost (<= budget).
+    assert averages["gscale_ratio"] > averages["cvs_ratio"]
+    assert averages["area_increase"] <= 0.10

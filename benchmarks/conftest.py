@@ -1,0 +1,67 @@
+"""Shared benchmark fixtures.
+
+The default benchmark circuit list spans every circuit family at sizes
+that keep a full ``pytest benchmarks/ --benchmark-only`` run to a few
+minutes.  Set ``REPRO_FULL_SUITE=1`` to benchmark all 39 MCNC names
+(this is what ``examples/reproduce_tables.py`` also runs).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.mcnc import MCNC_NAMES
+from repro.flow.experiment import prepare_circuit, run_circuit
+from repro.library.compass import build_compass_library
+from repro.mapping.match import MatchTable
+
+SUBSET = [
+    "z4ml", "pm1", "x2", "i1", "mux", "b9", "sct", "lal", "f51m",
+    "my_adder", "C432", "apex7", "term1", "i2", "C499", "rot",
+]
+
+
+def benchmark_names() -> list[str]:
+    if os.environ.get("REPRO_FULL_SUITE"):
+        return list(MCNC_NAMES)
+    return SUBSET
+
+
+@pytest.fixture(scope="session")
+def library():
+    return build_compass_library()
+
+
+@pytest.fixture(scope="session")
+def match_table(library):
+    return MatchTable(library)
+
+
+@pytest.fixture(scope="session")
+def prepared_cache(library, match_table):
+    """Prepared (optimized + mapped + constrained) circuits, by name."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = prepare_circuit(name, library,
+                                          match_table=match_table)
+        return cache[name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def results_cache(library, match_table):
+    """Full three-algorithm results per circuit, computed once."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = run_circuit(name, library,
+                                      match_table=match_table)
+        return cache[name]
+
+    return get

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Explore the (Vhigh, Vlow) design space the paper fixed at (5, 4.3).
+
+The paper chose 4.3 V "in accordance with our internal design project".
+This example asks the question their conclusion leaves open: what does
+the saving-versus-penalty curve look like as the low rail drops?  A
+lower Vlow saves quadratically more per demoted gate but slows each
+demoted gate by the alpha-power law, shrinking how much of the circuit
+fits under the timing constraint -- so total saving is NOT monotone in
+the rail gap, and the sweep locates the sweet spot per circuit.
+
+Also demonstrates the DC-leakage model that motivates level restoration
+in the first place (section 1 of the paper).
+"""
+
+from repro import build_compass_library, scale_voltage
+from repro.flow.experiment import prepare_circuit
+from repro.library.characterize import dc_leakage_power, delay_scale
+from repro.mapping.match import MatchTable
+
+CIRCUITS = ["b9", "C432", "rot"]
+LOW_RAILS = [4.6, 4.3, 4.0, 3.7, 3.3, 2.9]
+
+
+def main() -> None:
+    print("=== why level restoration is mandatory (sec. 1) ===")
+    for vlow in (4.3, 3.7, 3.3):
+        leak = dc_leakage_power(5.0, vlow)
+        print(f"  unconverted low({vlow} V) -> high(5 V) crossing: "
+              f"{leak:5.1f} uW static DC leakage per gate input")
+
+    print("\n=== the saving-vs-penalty trade-off ===")
+    print(f"{'Vlow':>5} {'delay x':>8} {'ceiling %':>10}", end="")
+    for name in CIRCUITS:
+        print(f" {name + ' %':>10}", end="")
+    print()
+
+    for vlow in LOW_RAILS:
+        library = build_compass_library(vdd_low=vlow)
+        match_table = MatchTable(library)
+        penalty = delay_scale(vlow, 5.0)
+        ceiling = 100.0 * (1 - (vlow / 5.0) ** 2)
+        print(f"{vlow:5.1f} {penalty:8.3f} {ceiling:10.2f}", end="")
+        for name in CIRCUITS:
+            prepared = prepare_circuit(name, library,
+                                       match_table=match_table)
+            _, report = scale_voltage(
+                prepared.fresh_copy(), library, prepared.tspec,
+                method="gscale", activity=prepared.activity,
+            )
+            print(f" {report.improvement_pct:10.2f}", end="")
+        print()
+
+    print("\nreading: the quadratic ceiling keeps growing, but past the "
+          "point where the\nalpha-power delay penalty exceeds the timing "
+          "slack, fewer gates qualify and\nthe realized saving falls off "
+          "-- the paper's 4.3 V sits on the safe shoulder.")
+
+
+if __name__ == "__main__":
+    main()

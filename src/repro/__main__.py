@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run CIRCUIT [--method M] [--slack F] [--vlow V]
+    Full flow on one benchmark (or a BLIF file path); prints the report.
+tables [--subset] [--out PATH]
+    Regenerate the paper's Table 1 / Table 2 and write EXPERIMENTS-style
+    output.
+circuits
+    List the 39 benchmark names with family and paper gate counts.
+library [--vlow V]
+    Print the synthetic COMPASS library inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _cmd_run(args) -> int:
+    from repro.flow.experiment import run_circuit
+    from repro.library.compass import build_compass_library
+    from repro.netlist.blif import read_blif
+
+    library = build_compass_library(vdd_low=args.vlow)
+    source = args.circuit
+    if os.path.exists(source):
+        source = read_blif(source)
+    methods = (
+        ("cvs", "dscale", "gscale") if args.method == "all"
+        else (args.method,)
+    )
+    result = run_circuit(source, library, methods=methods,
+                         slack_factor=args.slack)
+    print(f"{result.name}: {result.gates} gates, "
+          f"{result.org_power_uw:.2f} uW original, "
+          f"tspec {result.tspec_ns:.2f} ns")
+    for method, report in result.reports.items():
+        print(f"  {method:>7}: {report.improvement_pct:6.2f}% saved  "
+              f"low {report.n_low}/{report.n_gates}  "
+              f"converters {report.n_converters}  "
+              f"resized {report.n_resized}  "
+              f"[{report.runtime_s:.2f}s]")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.bench.mcnc import MCNC_NAMES
+    from repro.flow.experiment import run_suite
+    from repro.flow.tables import format_table1, format_table2, \
+        write_experiments_md
+
+    names = list(MCNC_NAMES)
+    if args.subset:
+        names = names[::3]
+    results = run_suite(names, verbose=True)
+    print()
+    print(format_table1(results))
+    print()
+    print(format_table2(results))
+    if args.out:
+        write_experiments_md(results, args.out,
+                             preamble=f"CLI run over {len(names)} circuits.")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_circuits(_args) -> int:
+    from repro.bench.mcnc import CIRCUITS
+    from repro.bench.paper_data import PAPER_TABLE2
+
+    for name, spec in CIRCUITS.items():
+        paper = PAPER_TABLE2[name]
+        print(f"{name:>10}  {spec.family:<22} paper: {paper.gates:5d} gates")
+    return 0
+
+
+def _cmd_library(args) -> int:
+    from repro.library.compass import build_compass_library
+
+    library = build_compass_library(vdd_low=args.vlow)
+    print(library)
+    for base in library.bases():
+        variants = library.variants(base)
+        sizes = "/".join(f"d{c.size}" for c in variants)
+        first = variants[0]
+        print(f"  {base:>8} [{sizes}]  area {first.area:.1f}  "
+              f"cin {first.input_caps[0]:.0f} fF  "
+              f"drive {first.drive_res:.4f} ns/fF")
+    for lc in library.level_converters():
+        print(f"  {lc.name:>8} [converter]  area {lc.area:.1f}  "
+              f"delay {lc.intrinsics[0]:.2f} ns  "
+              f"energy {lc.internal_energy:.0f} fJ")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC'99 dual-Vdd gate-level voltage scaling",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="full flow on one circuit")
+    run_parser.add_argument("circuit",
+                            help="benchmark name or BLIF file path")
+    run_parser.add_argument("--method", default="all",
+                            choices=["all", "cvs", "dscale", "gscale"])
+    run_parser.add_argument("--slack", type=float, default=1.2,
+                            help="timing relaxation factor (paper: 1.2)")
+    run_parser.add_argument("--vlow", type=float, default=4.3,
+                            help="low supply voltage (paper: 4.3)")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    tables_parser = commands.add_parser("tables",
+                                        help="regenerate Tables 1 and 2")
+    tables_parser.add_argument("--subset", action="store_true")
+    tables_parser.add_argument("--out", default="")
+    tables_parser.set_defaults(handler=_cmd_tables)
+
+    circuits_parser = commands.add_parser("circuits",
+                                          help="list benchmark circuits")
+    circuits_parser.set_defaults(handler=_cmd_circuits)
+
+    library_parser = commands.add_parser("library",
+                                         help="show the cell library")
+    library_parser.add_argument("--vlow", type=float, default=4.3)
+    library_parser.set_defaults(handler=_cmd_library)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

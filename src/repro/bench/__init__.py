@@ -1,0 +1,22 @@
+"""Benchmark circuits: synthetic equivalents of the 39 MCNC circuits.
+
+The original MCNC netlists are not redistributable in this environment,
+so :mod:`repro.bench.generators` provides deterministic parametric
+generators for each circuit *family* (adders, SEC encoders, priority
+logic, ALUs, rotators, DES rounds, PLA-style control, ...) and
+:mod:`repro.bench.mcnc` maps every MCNC name the paper uses to a
+configured instance of the right family, sized to approximate the
+paper's mapped gate counts.  :mod:`repro.bench.paper_data` embeds the
+paper's Table 1 and Table 2 for comparison reporting.
+"""
+
+from repro.bench.mcnc import CIRCUITS, load_circuit
+from repro.bench.paper_data import PAPER_TABLE1, PAPER_TABLE2, PAPER_AVERAGES
+
+__all__ = [
+    "CIRCUITS",
+    "load_circuit",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_AVERAGES",
+]

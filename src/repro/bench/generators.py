@@ -1,0 +1,537 @@
+"""Deterministic parametric circuit generators.
+
+Every generator returns an un-mapped :class:`~repro.netlist.network.Network`
+built from truth-table nodes; the experiment flow then optimizes and
+maps it exactly as the paper's flow consumed MCNC BLIF files.  All
+randomness is seeded, so every call with the same arguments yields the
+same circuit.
+
+The families mirror what the MCNC names actually are: ISCAS85's C499 /
+C1355 are 32-bit single-error-correcting circuits, C432 is a 27-channel
+priority interrupt controller, ``des`` is the DES round function,
+``rot`` a barrel rotator, ``my_adder`` a ripple adder, the ``alu*`` /
+``dalu`` names are ALUs, and the i/x/k2/term1/apex families are
+two-level control logic -- reproduced here as seeded PLA-style networks
+with shared product terms.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.netlist.functions import TruthTable
+from repro.netlist.network import Network
+
+_XOR2 = TruthTable.xor(2)
+_XOR3 = TruthTable.xor(3)
+_MAJ3 = TruthTable.majority()
+_AND2 = TruthTable.and_(2)
+_OR2 = TruthTable.or_(2)
+_INV = TruthTable.inverter()
+_MUX = TruthTable.mux()  # (sel, a, b): sel ? b : a
+
+
+class _Chip:
+    """Small helper for building networks with fresh names."""
+
+    def __init__(self, name: str):
+        self.net = Network(name)
+        self._counter = 0
+
+    def new(self, prefix: str, fanins: list[str], table: TruthTable) -> str:
+        self._counter += 1
+        name = f"{prefix}_{self._counter}"
+        self.net.add_node(name, fanins, table)
+        return name
+
+    def inputs(self, prefix: str, count: int) -> list[str]:
+        names = [f"{prefix}{k}" for k in range(count)]
+        for name in names:
+            self.net.add_input(name)
+        return names
+
+    def output(self, name: str, driver: str) -> None:
+        if driver != name:
+            self.net.add_node(name, [driver], TruthTable.identity())
+        self.net.set_output(name)
+
+    def xor(self, a: str, b: str) -> str:
+        return self.new("x", [a, b], _XOR2)
+
+    def and2(self, a: str, b: str) -> str:
+        return self.new("a", [a, b], _AND2)
+
+    def or2(self, a: str, b: str) -> str:
+        return self.new("o", [a, b], _OR2)
+
+    def inv(self, a: str) -> str:
+        return self.new("n", [a], _INV)
+
+    def mux(self, sel: str, a: str, b: str) -> str:
+        return self.new("m", [sel, a, b], _MUX)
+
+    def tree(self, signals: list[str], table2: TruthTable) -> str:
+        """Balanced binary tree reduction (XOR/AND/OR trees)."""
+        level = list(signals)
+        while len(level) > 1:
+            nxt = []
+            for k in range(0, len(level) - 1, 2):
+                nxt.append(self.new("t", [level[k], level[k + 1]], table2))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+
+def ripple_adder(width: int = 16, name: str = "adder") -> Network:
+    """Ripple-carry adder: ``a + b + cin`` -> ``sum, cout``."""
+    chip = _Chip(name)
+    a = chip.inputs("a", width)
+    b = chip.inputs("b", width)
+    chip.net.add_input("cin")
+    carry = "cin"
+    for k in range(width):
+        s = chip.new("s", [a[k], b[k], carry], _XOR3)
+        chip.output(f"sum{k}", s)
+        carry = chip.new("c", [a[k], b[k], carry], _MAJ3)
+    chip.output("cout", carry)
+    return chip.net
+
+
+def carry_select_adder(width: int = 16, block: int = 4,
+                       name: str = "csel") -> Network:
+    """Carry-select adder: duplicated blocks muxed by the block carry."""
+    chip = _Chip(name)
+    a = chip.inputs("a", width)
+    b = chip.inputs("b", width)
+    chip.net.add_input("cin")
+
+    def block_add(lo: int, hi: int, carry_in: str) -> tuple[list[str], str]:
+        sums = []
+        carry = carry_in
+        for k in range(lo, hi):
+            sums.append(chip.new("s", [a[k], b[k], carry], _XOR3))
+            carry = chip.new("c", [a[k], b[k], carry], _MAJ3)
+        return sums, carry
+
+    zero = chip.net.add_node("const0x", ["cin"],
+                             TruthTable.from_cubes(1, [])).name
+    one = chip.inv(zero)
+    carry = "cin"
+    for lo in range(0, width, block):
+        hi = min(lo + block, width)
+        if lo == 0:
+            sums, carry = block_add(lo, hi, carry)
+        else:
+            sums0, c0 = block_add(lo, hi, zero)
+            sums1, c1 = block_add(lo, hi, one)
+            sums = [chip.mux(carry, s0, s1) for s0, s1 in zip(sums0, sums1)]
+            carry = chip.mux(carry, c0, c1)
+        for offset, s in enumerate(sums):
+            chip.output(f"sum{lo + offset}", s)
+    chip.output("cout", carry)
+    return chip.net
+
+
+def multiplier(width: int = 4, name: str = "mult") -> Network:
+    """Array multiplier built from partial products and carry-save rows."""
+    chip = _Chip(name)
+    a = chip.inputs("a", width)
+    b = chip.inputs("b", width)
+    rows: list[list[tuple[int, str]]] = []
+    for i in range(width):
+        row = [(i + j, chip.and2(a[j], b[i])) for j in range(width)]
+        rows.append(row)
+
+    columns: dict[int, list[str]] = {}
+    for row in rows:
+        for position, signal in row:
+            columns.setdefault(position, []).append(signal)
+
+    position = 0
+    while position in columns:
+        signals = columns[position]
+        while len(signals) > 1:
+            if len(signals) >= 3:
+                x, y, z = signals[:3]
+                del signals[:3]
+                signals.append(chip.new("ps", [x, y, z], _XOR3))
+                columns.setdefault(position + 1, []).append(
+                    chip.new("pc", [x, y, z], _MAJ3)
+                )
+            else:
+                x, y = signals[:2]
+                del signals[:2]
+                signals.append(chip.xor(x, y))
+                columns.setdefault(position + 1, []).append(chip.and2(x, y))
+        chip.output(f"p{position}", signals[0])
+        position += 1
+    return chip.net
+
+
+def comparator(width: int = 8, name: str = "cmp") -> Network:
+    """Equality and less-than comparison of two words."""
+    chip = _Chip(name)
+    a = chip.inputs("a", width)
+    b = chip.inputs("b", width)
+    eq_bits = [chip.inv(chip.xor(a[k], b[k])) for k in range(width)]
+    chip.output("eq", chip.tree(eq_bits, _AND2))
+    less = None
+    eq_prefix = None
+    for k in range(width - 1, -1, -1):
+        bit_less = chip.and2(chip.inv(a[k]), b[k])
+        if less is None:
+            less = bit_less
+            eq_prefix = eq_bits[k]
+        else:
+            less = chip.or2(less, chip.and2(eq_prefix, bit_less))
+            eq_prefix = chip.and2(eq_prefix, eq_bits[k])
+    chip.output("lt", less)
+    return chip.net
+
+
+def alu_unit(width: int = 8, name: str = "alu") -> Network:
+    """A width-bit ALU: add / and / or / xor selected by two op bits."""
+    chip = _Chip(name)
+    a = chip.inputs("a", width)
+    b = chip.inputs("b", width)
+    op = chip.inputs("op", 2)
+    chip.net.add_input("cin")
+    carry = "cin"
+    for k in range(width):
+        add = chip.new("s", [a[k], b[k], carry], _XOR3)
+        carry = chip.new("c", [a[k], b[k], carry], _MAJ3)
+        logic_and = chip.and2(a[k], b[k])
+        logic_or = chip.or2(a[k], b[k])
+        logic_xor = chip.xor(a[k], b[k])
+        low = chip.mux(op[0], add, logic_and)
+        high = chip.mux(op[0], logic_or, logic_xor)
+        chip.output(f"f{k}", chip.mux(op[1], low, high))
+    chip.output("cout", carry)
+    return chip.net
+
+
+# ----------------------------------------------------------------------
+# Coding / parity (the C499 / C1355 family)
+# ----------------------------------------------------------------------
+
+def parity_tree(width: int = 16, name: str = "parity") -> Network:
+    chip = _Chip(name)
+    bits = chip.inputs("d", width)
+    chip.output("parity", chip.tree(bits, _XOR2))
+    return chip.net
+
+
+def _hamming_positions(data_bits: int) -> tuple[int, list[int]]:
+    """Number of check bits and the data positions they cover."""
+    check = 0
+    while (1 << check) < data_bits + check + 1:
+        check += 1
+    return check, list(range(1, data_bits + check + 1))
+
+
+def sec_encoder(data_bits: int = 16, name: str = "secenc") -> Network:
+    """Hamming single-error-correcting encoder: data -> check bits."""
+    chip = _Chip(name)
+    data = chip.inputs("d", data_bits)
+    check, positions = _hamming_positions(data_bits)
+    data_positions = [p for p in positions if p & (p - 1)]
+    for c in range(check):
+        covered = [
+            data[i]
+            for i, p in enumerate(data_positions)
+            if p >> c & 1
+        ]
+        chip.output(f"p{c}", chip.tree(covered, _XOR2))
+    return chip.net
+
+
+def sec_decoder(data_bits: int = 32, name: str = "secdec") -> Network:
+    """Hamming SEC decoder/corrector (the C499/C1355 circuit family).
+
+    Inputs: received data and check bits.  A syndrome is computed with
+    XOR trees, decoded with AND gates over syndrome literals, and each
+    data bit is conditionally flipped -- XOR-dominated reconvergent
+    logic, exactly the structure that leaves CVS with nothing to demote.
+    """
+    chip = _Chip(name)
+    data = chip.inputs("d", data_bits)
+    check, positions = _hamming_positions(data_bits)
+    parity = chip.inputs("p", check)
+    data_positions = [p for p in positions if p & (p - 1)]
+
+    syndrome = []
+    for c in range(check):
+        covered = [
+            data[i]
+            for i, p in enumerate(data_positions)
+            if p >> c & 1
+        ]
+        syndrome.append(chip.tree(covered + [parity[c]], _XOR2))
+    syndrome_inv = [chip.inv(s) for s in syndrome]
+
+    for i, p in enumerate(data_positions):
+        literals = [
+            syndrome[c] if p >> c & 1 else syndrome_inv[c]
+            for c in range(check)
+        ]
+        flip = chip.tree(literals, _AND2)
+        chip.output(f"q{i}", chip.xor(data[i], flip))
+    return chip.net
+
+
+# ----------------------------------------------------------------------
+# Control structures
+# ----------------------------------------------------------------------
+
+def priority_controller(channels: int = 27, name: str = "prio") -> Network:
+    """Priority interrupt controller (the C432 family).
+
+    Requests are masked, the highest-priority active channel wins
+    through a grant chain, and the winner's index is encoded -- long
+    unbalanced chains with reconvergence at the encoder.
+    """
+    chip = _Chip(name)
+    req = chip.inputs("req", channels)
+    mask = chip.inputs("mask", channels)
+    active = [chip.and2(req[k], chip.inv(mask[k])) for k in range(channels)]
+    grants = [active[0]]
+    blocked = active[0]
+    for k in range(1, channels):
+        grants.append(chip.and2(active[k], chip.inv(blocked)))
+        blocked = chip.or2(blocked, active[k])
+    for k, grant in enumerate(grants):
+        if k % 3 == 0:
+            chip.output(f"g{k}", grant)
+    bits = max(1, (channels - 1).bit_length())
+    for bit in range(bits):
+        contributors = [g for k, g in enumerate(grants) if k >> bit & 1]
+        chip.output(f"e{bit}", chip.tree(contributors, _OR2))
+    chip.output("any", blocked)
+    return chip.net
+
+
+def mux_select_tree(select_bits: int = 4, name: str = "muxtree") -> Network:
+    """2^s:1 multiplexer tree (the ``mux`` benchmark family)."""
+    chip = _Chip(name)
+    data = chip.inputs("d", 1 << select_bits)
+    select = chip.inputs("s", select_bits)
+    level = list(data)
+    for bit in range(select_bits):
+        level = [
+            chip.mux(select[bit], level[2 * k], level[2 * k + 1])
+            for k in range(len(level) // 2)
+        ]
+    chip.output("y", level[0])
+    return chip.net
+
+
+def barrel_rotator(width: int = 32, name: str = "rot") -> Network:
+    """Logarithmic barrel rotator (the ``rot`` family)."""
+    chip = _Chip(name)
+    data = chip.inputs("d", width)
+    stages = (width - 1).bit_length()
+    select = chip.inputs("s", stages)
+    level = list(data)
+    for stage in range(stages):
+        shift = 1 << stage
+        level = [
+            chip.mux(select[stage], level[k], level[(k + shift) % width])
+            for k in range(width)
+        ]
+    for k in range(width):
+        chip.output(f"y{k}", level[k])
+    return chip.net
+
+
+def decoder(select_bits: int = 4, name: str = "dec") -> Network:
+    """Full binary decoder with enable."""
+    chip = _Chip(name)
+    select = chip.inputs("s", select_bits)
+    chip.net.add_input("en")
+    inverted = [chip.inv(s) for s in select]
+    for value in range(1 << select_bits):
+        literals = [
+            select[k] if value >> k & 1 else inverted[k]
+            for k in range(select_bits)
+        ]
+        chip.output(f"y{value}", chip.tree(literals + ["en"], _AND2))
+    return chip.net
+
+
+def wide_and_or(n_inputs: int = 64, cube_width: int = 8,
+                n_cubes: int = 16, seed: int = 7,
+                name: str = "wide") -> Network:
+    """Wide balanced AND-OR logic (the ``i2``/``i3`` family).
+
+    Balanced trees make every path equally critical, which is exactly
+    why the paper reports 0% improvement on these circuits.
+    """
+    rng = random.Random(seed)
+    chip = _Chip(name)
+    inputs = chip.inputs("d", n_inputs)
+    cubes = []
+    for _ in range(n_cubes):
+        chosen = rng.sample(inputs, cube_width)
+        literals = [
+            s if rng.random() < 0.7 else chip.inv(s) for s in chosen
+        ]
+        cubes.append(chip.tree(literals, _AND2))
+    chip.output("y", chip.tree(cubes, _OR2))
+    return chip.net
+
+
+def pla_control(n_inputs: int, n_outputs: int, n_products: int,
+                cube_width: int = 4, products_per_output: int = 5,
+                seed: int = 1, name: str = "pla") -> Network:
+    """Seeded PLA-style two-level control logic with shared products.
+
+    Stands in for the MCNC control benchmarks (apex, x-, i-, k2, vda,
+    term1, ...): random product terms over literal subsets, each output
+    an OR of a random subset of products.  Shared products give the
+    reconvergent fanout these circuits are known for; uneven cube widths
+    give the unbalanced depth profile that leaves slack for scaling.
+    """
+    rng = random.Random(seed)
+    chip = _Chip(name)
+    inputs = chip.inputs("d", n_inputs)
+    inverted: dict[str, str] = {}
+
+    def literal(signal: str) -> str:
+        if rng.random() < 0.6:
+            return signal
+        if signal not in inverted:
+            inverted[signal] = chip.inv(signal)
+        return inverted[signal]
+
+    products = []
+    for _ in range(n_products):
+        width = rng.randint(2, cube_width)
+        chosen = rng.sample(inputs, min(width, n_inputs))
+        products.append(chip.tree([literal(s) for s in chosen], _AND2))
+
+    for k in range(n_outputs):
+        count = rng.randint(2, products_per_output)
+        chosen = rng.sample(products, min(count, len(products)))
+        chip.output(f"y{k}", chip.tree(chosen, _OR2))
+    return chip.net
+
+
+# ----------------------------------------------------------------------
+# DES round (the ``des`` benchmark family)
+# ----------------------------------------------------------------------
+
+def _sbox_tables(box: int) -> list[TruthTable]:
+    """Four seeded 6-input output functions of one DES-style S-box."""
+    rng = random.Random(0xDE5 + box)
+    tables = []
+    for _ in range(4):
+        tables.append(TruthTable(6, rng.getrandbits(64)))
+    return tables
+
+
+def des_round(name: str = "des") -> Network:
+    """One Feistel round of a DES-class cipher.
+
+    Expansion wiring, key mixing XORs, eight 6->4 S-boxes (seeded fixed
+    lookup functions), a bit permutation, and the Feistel XOR with the
+    left half -- the same expansion/substitution/permutation structure
+    as the MCNC ``des`` combinational benchmark.
+    """
+    chip = _Chip(name)
+    left = chip.inputs("l", 32)
+    right = chip.inputs("r", 32)
+    key = chip.inputs("k", 48)
+
+    expanded = []
+    for k in range(48):
+        expanded.append(right[(k * 32 // 48 + (k % 5)) % 32])
+    mixed = [chip.xor(expanded[k], key[k]) for k in range(48)]
+
+    sbox_out: list[str] = []
+    for box in range(8):
+        chunk = mixed[box * 6:(box + 1) * 6]
+        for table in _sbox_tables(box):
+            sbox_out.append(chip.new(f"sb{box}", chunk, table))
+
+    permuted = [sbox_out[(5 * k + 7) % 32] for k in range(32)]
+    for k in range(32):
+        chip.output(f"nl{k}", chip.xor(left[k], permuted[k]))
+        chip.output(f"nr{k}", right[k])
+    return chip.net
+
+
+# ----------------------------------------------------------------------
+# Composites
+# ----------------------------------------------------------------------
+
+def mixed_datapath(width: int = 16, n_control: int = 12,
+                   n_products: int = 30, seed: int = 3,
+                   name: str = "mixed") -> Network:
+    """Adder + comparator + control PLA sharing one set of operands.
+
+    Stands in for the large mixed ISCAS85/MCNC circuits (C2670, C5315,
+    C7552, i10, pair): datapath carry chains next to shallow control
+    logic, which is the slack profile that lets CVS find 30-50% of the
+    gates and Gscale most of the rest.
+    """
+    rng = random.Random(seed)
+    chip = _Chip(name)
+    a = chip.inputs("a", width)
+    b = chip.inputs("b", width)
+    chip.net.add_input("cin")
+
+    carry = "cin"
+    sums = []
+    for k in range(width):
+        sums.append(chip.new("s", [a[k], b[k], carry], _XOR3))
+        carry = chip.new("c", [a[k], b[k], carry], _MAJ3)
+    for k in range(width):
+        chip.output(f"sum{k}", sums[k])
+    chip.output("cout", carry)
+
+    eq_bits = [chip.inv(chip.xor(a[k], b[k])) for k in range(width)]
+    chip.output("eq", chip.tree(eq_bits, _AND2))
+
+    pool = a + b + sums
+    inverted: dict[str, str] = {}
+
+    def literal(signal: str) -> str:
+        if rng.random() < 0.6:
+            return signal
+        if signal not in inverted:
+            inverted[signal] = chip.inv(signal)
+        return inverted[signal]
+
+    products = []
+    for _ in range(n_products):
+        chosen = rng.sample(pool, rng.randint(2, 5))
+        products.append(chip.tree([literal(s) for s in chosen], _AND2))
+    for k in range(n_control):
+        chosen = rng.sample(products, rng.randint(2, 6))
+        chip.output(f"ctl{k}", chip.tree(chosen, _OR2))
+    return chip.net
+
+
+__all__ = [
+    "ripple_adder",
+    "carry_select_adder",
+    "multiplier",
+    "comparator",
+    "alu_unit",
+    "parity_tree",
+    "sec_encoder",
+    "sec_decoder",
+    "priority_controller",
+    "mux_select_tree",
+    "barrel_rotator",
+    "decoder",
+    "wide_and_or",
+    "pla_control",
+    "des_round",
+    "mixed_datapath",
+]

@@ -1,0 +1,137 @@
+"""The paper's published results (DAC'99, Tables 1 and 2).
+
+Embedded verbatim so the benchmark harness and EXPERIMENTS.md generator
+can print paper-vs-measured comparisons.  ``PAPER_TABLE1`` holds the
+power results (original power in uW, percentage improvements, CPU
+seconds on the authors' Ultra SPARC); ``PAPER_TABLE2`` the profiles
+(gate counts, low-voltage gate counts/ratios per algorithm, sizing
+counts, area increase ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperPower:
+    """One row of Table 1."""
+
+    org_power_uw: float
+    cvs_pct: float
+    dscale_pct: float
+    gscale_pct: float
+    cpu_s: float
+
+
+@dataclass(frozen=True)
+class PaperProfile:
+    """One row of Table 2."""
+
+    gates: int
+    cvs_low: int
+    cvs_ratio: float
+    dscale_low: int
+    dscale_ratio: float
+    gscale_low: int
+    gscale_ratio: float
+    sized: int
+    area_increase: float
+
+
+PAPER_TABLE1: dict[str, PaperPower] = {
+    "C1355": PaperPower(321.88, 0.00, 1.98, 21.41, 7.02),
+    "C2670": PaperPower(447.58, 14.62, 18.27, 22.56, 20.03),
+    "C3540": PaperPower(657.90, 2.12, 2.73, 13.63, 27.04),
+    "C432": PaperPower(108.66, 0.00, 4.20, 13.83, 1.01),
+    "C499": PaperPower(326.32, 0.00, 1.77, 15.78, 6.02),
+    "C5315": PaperPower(1089.07, 9.42, 12.25, 23.75, 84.08),
+    "C7552": PaperPower(1615.53, 9.08, 11.46, 18.96, 130.12),
+    "C880": PaperPower(228.49, 17.02, 17.94, 19.09, 4.01),
+    "alu2": PaperPower(144.87, 6.33, 8.15, 16.74, 3.01),
+    "alu4": PaperPower(245.74, 5.45, 6.95, 17.74, 13.03),
+    "apex6": PaperPower(346.72, 18.02, 20.15, 24.70, 22.03),
+    "apex7": PaperPower(127.61, 19.53, 21.33, 21.56, 2.01),
+    "b9": PaperPower(67.61, 12.63, 15.95, 19.72, 1.50),
+    "dalu": PaperPower(250.21, 18.63, 18.63, 21.76, 19.03),
+    "des": PaperPower(1615.72, 18.78, 20.72, 22.10, 347.26),
+    "f51m": PaperPower(69.74, 0.00, 1.80, 16.32, 1.00),
+    "i1": PaperPower(18.54, 13.57, 15.69, 19.10, 0.70),
+    "i10": PaperPower(997.01, 9.28, 11.18, 20.02, 185.14),
+    "i2": PaperPower(50.20, 0.00, 0.00, 0.00, 0.00),
+    "i3": PaperPower(109.61, 0.43, 0.43, 0.43, 1.70),
+    "i5": PaperPower(146.99, 6.36, 8.35, 13.08, 1.80),
+    "i6": PaperPower(222.70, 3.04, 3.04, 25.74, 15.02),
+    "k2": PaperPower(179.22, 9.22, 11.64, 24.00, 35.04),
+    "lal": PaperPower(41.48, 20.65, 23.54, 23.86, 1.02),
+    "mux": PaperPower(30.20, 0.00, 1.73, 17.03, 1.00),
+    "my_adder": PaperPower(132.19, 11.80, 12.03, 13.24, 1.01),
+    "pair": PaperPower(926.39, 19.93, 20.86, 21.67, 74.06),
+    "pcle": PaperPower(42.15, 19.58, 19.58, 19.58, 1.00),
+    "pm1": PaperPower(14.64, 8.76, 11.17, 23.37, 1.00),
+    "rot": PaperPower(388.74, 13.88, 18.22, 22.21, 18.02),
+    "sct": PaperPower(40.32, 7.21, 9.01, 21.21, 0.95),
+    "term1": PaperPower(83.40, 9.60, 12.12, 17.53, 1.00),
+    "too_large": PaperPower(117.71, 12.48, 15.91, 23.82, 3.01),
+    "vda": PaperPower(137.94, 14.04, 14.96, 15.62, 6.01),
+    "x1": PaperPower(150.51, 19.60, 21.06, 25.00, 4.01),
+    "x2": PaperPower(23.44, 6.51, 8.54, 22.74, 1.00),
+    "x3": PaperPower(382.57, 22.99, 23.84, 25.16, 20.02),
+    "x4": PaperPower(154.36, 20.04, 20.74, 22.42, 4.01),
+    "z4ml": PaperPower(30.94, 0.00, 3.71, 19.16, 0.54),
+}
+
+PAPER_TABLE2: dict[str, PaperProfile] = {
+    "C1355": PaperProfile(390, 0, 0.00, 27, 0.07, 286, 0.73, 58, 0.01),
+    "C2670": PaperProfile(583, 280, 0.48, 340, 0.58, 487, 0.84, 6, 0.00),
+    "C3540": PaperProfile(996, 68, 0.07, 95, 0.10, 532, 0.53, 9, 0.00),
+    "C432": PaperProfile(159, 0, 0.00, 29, 0.18, 70, 0.44, 9, 0.01),
+    "C499": PaperProfile(390, 0, 0.00, 35, 0.09, 214, 0.55, 56, 0.01),
+    "C5315": PaperProfile(1318, 503, 0.38, 620, 0.47, 1193, 0.91, 23, 0.00),
+    "C7552": PaperProfile(1957, 545, 0.28, 740, 0.38, 1281, 0.65, 82, 0.01),
+    "C880": PaperProfile(295, 163, 0.55, 187, 0.63, 188, 0.64, 7, 0.01),
+    "alu2": PaperProfile(291, 53, 0.18, 75, 0.26, 166, 0.57, 17, 0.01),
+    "alu4": PaperProfile(573, 104, 0.18, 139, 0.24, 404, 0.71, 31, 0.02),
+    "apex6": PaperProfile(664, 477, 0.72, 557, 0.84, 620, 0.93, 4, 0.00),
+    "apex7": PaperProfile(217, 151, 0.70, 178, 0.82, 172, 0.79, 2, 0.01),
+    "b9": PaperProfile(111, 56, 0.50, 77, 0.69, 86, 0.77, 6, 0.03),
+    "dalu": PaperProfile(706, 430, 0.61, 430, 0.61, 517, 0.73, 12, 0.00),
+    "des": PaperProfile(2795, 2047, 0.73, 2312, 0.83, 2384, 0.85, 115, 0.01),
+    "f51m": PaperProfile(81, 0, 0.00, 6, 0.07, 47, 0.58, 6, 0.02),
+    "i1": PaperProfile(35, 21, 0.60, 25, 0.71, 26, 0.74, 2, 0.02),
+    "i10": PaperProfile(2121, 740, 0.35, 1022, 0.48, 1638, 0.77, 14, 0.00),
+    "i2": PaperProfile(102, 0, 0.00, 0, 0.00, 0, 0.00, 0, 0.00),
+    "i3": PaperProfile(114, 6, 0.05, 6, 0.05, 6, 0.05, 0, 0.00),
+    "i5": PaperProfile(199, 48, 0.24, 76, 0.38, 99, 0.50, 1, 0.00),
+    "i6": PaperProfile(456, 48, 0.11, 48, 0.11, 448, 0.98, 13, 0.01),
+    "k2": PaperProfile(880, 240, 0.27, 344, 0.39, 807, 0.92, 15, 0.01),
+    "lal": PaperProfile(86, 61, 0.71, 74, 0.86, 80, 0.93, 6, 0.03),
+    "mux": PaperProfile(60, 0, 0.00, 4, 0.07, 33, 0.55, 4, 0.04),
+    "my_adder": PaperProfile(179, 76, 0.42, 78, 0.44, 84, 0.47, 3, 0.02),
+    "pair": PaperProfile(1351, 952, 0.70, 973, 0.72, 1042, 0.77, 14, 0.00),
+    "pcle": PaperProfile(68, 42, 0.62, 42, 0.62, 42, 0.62, 0, 0.00),
+    "pm1": PaperProfile(43, 16, 0.37, 23, 0.53, 39, 0.91, 4, 0.05),
+    "rot": PaperProfile(585, 289, 0.49, 396, 0.68, 488, 0.83, 2, 0.00),
+    "sct": PaperProfile(73, 19, 0.26, 25, 0.34, 59, 0.81, 11, 0.05),
+    "term1": PaperProfile(136, 52, 0.38, 74, 0.54, 99, 0.73, 13, 0.03),
+    "too_large": PaperProfile(253, 99, 0.39, 126, 0.50, 227, 0.90, 7, 0.00),
+    "vda": PaperProfile(485, 168, 0.35, 189, 0.39, 211, 0.44, 16, 0.01),
+    "x1": PaperProfile(260, 187, 0.72, 198, 0.76, 246, 0.95, 8, 0.01),
+    "x2": PaperProfile(39, 10, 0.26, 14, 0.36, 33, 0.85, 3, 0.02),
+    "x3": PaperProfile(625, 515, 0.82, 542, 0.87, 593, 0.95, 11, 0.00),
+    "x4": PaperProfile(270, 213, 0.79, 225, 0.83, 234, 0.87, 3, 0.00),
+    "z4ml": PaperProfile(41, 0, 0.00, 6, 0.15, 30, 0.73, 7, 0.06),
+}
+
+PAPER_AVERAGES = {
+    "cvs_pct": 10.27,
+    "dscale_pct": 12.09,
+    "gscale_pct": 19.12,
+    "cvs_ratio": 0.37,
+    "dscale_ratio": 0.45,
+    "gscale_ratio": 0.70,
+    "area_increase": 0.01,
+}
+
+__all__ = ["PaperPower", "PaperProfile", "PAPER_TABLE1", "PAPER_TABLE2",
+           "PAPER_AVERAGES"]

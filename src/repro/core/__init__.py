@@ -1,0 +1,37 @@
+"""The paper's contribution: dual-Vdd gate-level voltage scaling.
+
+* :mod:`repro.core.state`    -- shared network/levels/converters state.
+* :mod:`repro.core.cvs`      -- clustered voltage scaling baseline [8].
+* :mod:`repro.core.dscale`   -- MWIS-based scaling of all slack (sec. 2).
+* :mod:`repro.core.gscale`   -- separator-guided sizing + CVS (sec. 3).
+* :mod:`repro.core.restore`  -- converter materialization / export.
+* :mod:`repro.core.pipeline` -- the ``scale_voltage`` front door.
+"""
+
+from repro.core.state import ScalingOptions, ScalingState
+from repro.core.cvs import CvsResult, run_cvs
+from repro.core.dscale import DscaleResult, run_dscale
+from repro.core.gscale import GscaleResult, run_gscale
+from repro.core.restore import (
+    MaterializedDesign,
+    materialize_converters,
+    materialized_timing,
+)
+from repro.core.pipeline import METHODS, ScalingReport, scale_voltage
+
+__all__ = [
+    "ScalingOptions",
+    "ScalingState",
+    "CvsResult",
+    "run_cvs",
+    "DscaleResult",
+    "run_dscale",
+    "GscaleResult",
+    "run_gscale",
+    "MaterializedDesign",
+    "materialize_converters",
+    "materialized_timing",
+    "METHODS",
+    "ScalingReport",
+    "scale_voltage",
+]

@@ -1,0 +1,147 @@
+"""Clustered voltage scaling (CVS) -- the Usami-Horowitz baseline [8].
+
+A gate may be assigned Vlow only when *every* fanout is already at Vlow
+(or it only feeds primary outputs), so the low-voltage gates form one
+cluster contingent to the outputs and no level converter is needed
+inside the logic -- only, optionally, at the block boundary where a low
+gate drives a primary output.
+
+Implementation: one reverse-topological pass (the paper's breadth-first
+traversal from the outputs, O(n+e)).  Required times are built
+incrementally against *final* downstream decisions during the very same
+pass, and arrivals are taken from a snapshot at pass start; a node is
+demoted when its slowed-down, converter-adjusted output still meets its
+required time on every fanout edge.  The pass-start arrivals are safe
+because on any path the demoted node closest to the inputs is decided
+last, when its entire downstream suffix is final -- so the full path
+inequality it checks is exactly the final circuit's.
+
+The pass also reports the time-critical boundary (TCB): gates that are
+topologically eligible (all fanouts low / primary output) but whose
+demotion would violate timing -- the frontier Gscale pushes toward the
+inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.state import ScalingState
+from repro.timing.delay import OUTPUT
+
+
+@dataclass
+class CvsResult:
+    """Outcome of one CVS pass."""
+
+    demoted: list[str] = field(default_factory=list)
+    tcb: frozenset[str] = frozenset()
+
+
+def _hypothetical_low_check(state: ScalingState, name: str,
+                            arrival: dict[str, float],
+                            required: dict[str, float]) -> bool:
+    """Would demoting ``name`` (all fanouts low) still meet timing?
+
+    Exact given the snapshot arrivals: demotion changes only this gate's
+    stage delay (its load may change at the primary-output boundary when
+    a converter replaces the external load) and appends the converter's
+    delay on the output edge.
+    """
+    network = state.network
+    calc = state.calc
+    node = network.nodes[name]
+    low_cell = calc.low_variant_of(node.cell)
+    change = calc.demotion_net_change(name, state.options.lc_at_outputs)
+
+    out_arrival = 0.0
+    for pin, fanin in enumerate(node.fanins):
+        at_pin = arrival[fanin] + calc.edge_extra_delay(fanin, name)
+        out_arrival = max(
+            out_arrival, at_pin + low_cell.pin_delay(pin, change.load_after)
+        )
+
+    tolerance = state.options.timing_tolerance
+    deadline = required[name]
+    if name in network.outputs and (name, OUTPUT) in change.new_edges:
+        po_extra = calc.lc_cell.pin_delay(0, change.converter_load)
+        deadline = min(deadline, state.tspec - po_extra)
+    return out_arrival <= deadline + tolerance
+
+
+def run_cvs(state: ScalingState) -> CvsResult:
+    """Extend the low cluster as far as timing allows; returns TCB too.
+
+    Idempotent and incremental: called on a fresh state it is the
+    classic CVS; called after Gscale resizes gates it extends the
+    existing cluster (the paper's "new CVS operates with every TCB").
+    """
+    network = state.network
+    calc = state.calc
+    order = network.topological()
+
+    arrival: dict[str, float] = {}
+    for name in order:
+        node = network.nodes[name]
+        if node.is_input:
+            arrival[name] = 0.0
+            continue
+        cell = calc.variant(name)
+        load = calc.load(name)
+        arrival[name] = max(
+            arrival[fanin]
+            + calc.edge_extra_delay(fanin, name)
+            + cell.pin_delay(pin, load)
+            for pin, fanin in enumerate(node.fanins)
+        )
+
+    required: dict[str, float] = {}
+    demoted: list[str] = []
+    tcb: set[str] = set()
+    for name in reversed(order):
+        node = network.nodes[name]
+        req = math.inf
+        if name in network.outputs:
+            req = state.tspec - calc.edge_extra_delay(name, OUTPUT)
+        for reader in network.fanouts(name):
+            reader_node = network.nodes[reader]
+            reader_cell = calc.variant(reader)
+            reader_load = calc.load(reader)
+            extra = calc.edge_extra_delay(name, reader)
+            for pin, fanin in enumerate(reader_node.fanins):
+                if fanin != name:
+                    continue
+                req = min(
+                    req,
+                    required[reader]
+                    - reader_cell.pin_delay(pin, reader_load)
+                    - extra,
+                )
+        required[name] = req
+
+        if node.is_input or state.is_low(name):
+            continue
+        readers = network.fanouts(name)
+        if not readers and name not in network.outputs:
+            continue
+        eligible = all(state.is_low(reader) for reader in readers)
+        if not eligible:
+            continue
+        if _hypothetical_low_check(state, name, arrival, required):
+            state.demote(name)
+            demoted.append(name)
+            # The converter (if any) changed this node's delay model;
+            # refresh its required-time record for upstream decisions.
+            if name in network.outputs:
+                required[name] = min(
+                    required[name],
+                    state.tspec - calc.edge_extra_delay(name, OUTPUT),
+                )
+        else:
+            tcb.add(name)
+
+    return CvsResult(demoted=demoted, tcb=frozenset(tcb))
+
+
+__all__ = ["CvsResult", "run_cvs"]

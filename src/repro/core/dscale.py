@@ -1,0 +1,208 @@
+"""Dscale: voltage scaling on the non-critical parts of the whole circuit.
+
+The paper's first contribution (section 2).  After a CVS pass has
+harvested the slack next to the primary outputs, Dscale repeatedly:
+
+1. runs static timing analysis and collects every Vhigh gate with
+   positive slack (``getSlkSet``);
+2. keeps those whose *individual* demotion -- including the level
+   converters that must be spliced onto each new low-to-high edge --
+   still meets timing (``check_timing``), weighting each by the power it
+   would save (``weight_with_power_gain``);
+3. selects a maximum-weight independent set of the candidates'
+   transitive (reachability) graph, so no two simultaneously demoted
+   gates share a path and their delay penalties cannot accumulate;
+4. applies the demotions, inserts the converters, updates timing, and
+   repeats until no candidate survives.
+
+The per-candidate check here is *exact* for antichain application: a
+demotion only changes the gate's own stage delay plus its new converter
+edges, and two incomparable gates touch disjoint nets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cvs import CvsResult, run_cvs
+from repro.core.state import ScalingState
+from repro.graphalg.antichain import max_weight_antichain
+from repro.power.estimate import demotion_gain
+from repro.timing.delay import OUTPUT
+from repro.timing.sta import TimingAnalysis
+
+_WEIGHT_SCALE = 10_000
+"""Power gains (uW) are scaled to integers for exact flow arithmetic."""
+
+
+@dataclass
+class DscaleResult:
+    """Outcome of a Dscale run."""
+
+    cvs: CvsResult
+    rounds: int = 0
+    demoted: list[str] = field(default_factory=list)
+    converters_removed: int = 0
+
+
+def check_demotion(state: ScalingState, analysis: TimingAnalysis,
+                   name: str) -> bool:
+    """Exact feasibility of demoting ``name`` under the current state.
+
+    Verifies, for every fanout edge and the primary-output boundary,
+    that the slowed gate plus any new converter still meets the edge's
+    required time.
+    """
+    network = state.network
+    calc = state.calc
+    node = network.nodes[name]
+    low_cell = calc.low_variant_of(node.cell)
+    tolerance = state.options.timing_tolerance
+    change = calc.demotion_net_change(name, state.options.lc_at_outputs)
+    new_edges = set(change.new_edges)
+    converter_delay = 0.0
+    if change.needs_converter:
+        converter_delay = calc.lc_cell.pin_delay(0, change.converter_load)
+
+    out_arrival = 0.0
+    for pin, fanin in enumerate(node.fanins):
+        at_pin = analysis.arrival[fanin] + calc.edge_extra_delay(fanin, name)
+        out_arrival = max(
+            out_arrival, at_pin + low_cell.pin_delay(pin, change.load_after)
+        )
+
+    for reader in network.fanouts(name):
+        extra = converter_delay if (name, reader) in new_edges else 0.0
+        reader_node = network.nodes[reader]
+        reader_cell = calc.variant(reader)
+        reader_load = analysis.load[reader]
+        for pin, fanin in enumerate(reader_node.fanins):
+            if fanin != name:
+                continue
+            deadline = (
+                analysis.required[reader]
+                - reader_cell.pin_delay(pin, reader_load)
+            )
+            if out_arrival + extra > deadline + tolerance:
+                return False
+    if name in network.outputs:
+        extra = converter_delay if (name, OUTPUT) in new_edges else 0.0
+        if out_arrival + extra > state.tspec + tolerance:
+            return False
+    return True
+
+
+def candidate_order_pairs(state: ScalingState,
+                          candidates: list[str]) -> list[tuple[str, str]]:
+    """Transitive-reduction pairs of the candidates' reachability order.
+
+    Reachability runs through the *whole* network (two candidates on one
+    path are comparable even when every node between them is not a
+    candidate).  Bitset propagation in reverse topological order keeps
+    this near-linear; the reduction keeps the flow network sparse while
+    chains through intermediate candidates preserve comparability.
+    """
+    network = state.network
+    index = {name: k for k, name in enumerate(candidates)}
+    reach: dict[str, int] = {}
+    for name in reversed(network.topological()):
+        mask = 0
+        for reader in network.fanouts(name):
+            mask |= reach[reader]
+            bit = index.get(reader)
+            if bit is not None:
+                mask |= 1 << bit
+        reach[name] = mask
+
+    pairs: list[tuple[str, str]] = []
+    for name in candidates:
+        below = reach[name]
+        if not below:
+            continue
+        # Remove transitive pairs: anything reachable through another
+        # candidate that is itself below this node.
+        via = 0
+        remaining = below
+        while remaining:
+            low_bit = remaining & -remaining
+            via |= reach[candidates[low_bit.bit_length() - 1]]
+            remaining ^= low_bit
+        covering = below & ~via
+        while covering:
+            low_bit = covering & -covering
+            pairs.append((name, candidates[low_bit.bit_length() - 1]))
+            covering ^= low_bit
+    return pairs
+
+
+def cleanup_converters(state: ScalingState) -> int:
+    """Drop converters whose reader ended up at Vlow as well.
+
+    Removing a converter always saves power but shifts load between the
+    driver's net and the removed converter; each removal is verified
+    against a fresh timing analysis and rolled back if it would break
+    ``tspec`` (in practice removals also shorten the path).
+    """
+    removed = 0
+    for edge in sorted(state.lc_edges):
+        driver, reader = edge
+        if reader == OUTPUT or not state.is_low(reader):
+            continue
+        state.lc_edges.discard(edge)
+        if state.timing().meets_timing(state.options.timing_tolerance):
+            removed += 1
+        else:
+            state.lc_edges.add(edge)
+    return removed
+
+
+def run_dscale(state: ScalingState, max_rounds: int = 1000) -> DscaleResult:
+    """The full Dscale loop of the paper's section 2 pseudo-code."""
+    result = DscaleResult(cvs=run_cvs(state))
+
+    while result.rounds < max_rounds:
+        analysis = state.timing()
+        slack_set = [
+            name
+            for name in state.network.gates()
+            if not state.is_low(name)
+            and analysis.slack(name) > state.options.timing_tolerance
+        ]
+        weights: dict[str, int] = {}
+        candidates: list[str] = []
+        for name in slack_set:
+            if not check_demotion(state, analysis, name):
+                continue
+            gain = demotion_gain(
+                state.calc, state.activity, name,
+                clock_mhz=state.options.clock_mhz,
+                lc_at_outputs=state.options.lc_at_outputs,
+            )
+            if gain <= 0:
+                continue
+            candidates.append(name)
+            weights[name] = max(1, int(round(gain * _WEIGHT_SCALE)))
+        if not candidates:
+            break
+
+        pairs = candidate_order_pairs(state, candidates)
+        low_set, _ = max_weight_antichain(candidates, pairs, weights)
+        if not low_set:
+            break
+        for name in low_set:
+            state.demote(name)
+        result.demoted.extend(low_set)
+        result.rounds += 1
+
+    result.converters_removed = cleanup_converters(state)
+    state.validate()
+    return result
+
+
+__all__ = [
+    "DscaleResult",
+    "check_demotion",
+    "candidate_order_pairs",
+    "cleanup_converters",
+    "run_dscale",
+]

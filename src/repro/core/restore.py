@@ -1,0 +1,58 @@
+"""Level-restoration materialization and assignment export.
+
+The scaling algorithms keep converters *virtual* (a set of edges) so
+that what-if checks never mutate the netlist.  This module turns a
+finished :class:`~repro.core.state.ScalingState` into a concrete
+network with converter cells spliced in -- the form a downstream
+place-and-route flow would consume -- and checks that the materialized
+network is functionally identical and meets the same timing the virtual
+model promised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.state import ScalingState
+from repro.netlist.network import Network
+from repro.timing.delay import OUTPUT, DelayCalculator
+from repro.timing.sta import TimingAnalysis
+
+
+@dataclass(frozen=True)
+class MaterializedDesign:
+    """A physical dual-Vdd netlist plus its per-gate voltage map."""
+
+    network: Network
+    levels: dict[str, bool]
+    converters: list[str]
+
+
+def materialize_converters(state: ScalingState) -> MaterializedDesign:
+    """Splice converter cells onto every recorded low-to-high edge."""
+    network = state.network.copy(f"{state.network.name}_dualvdd")
+    levels = dict(state.levels)
+    lc_cell = state.calc.lc_cell
+    converters: list[str] = []
+
+    for driver, reader in sorted(state.lc_edges):
+        name = network.fresh_name(f"lc_{driver}_")
+        network.insert_buffer(driver, reader, name, lc_cell.function, lc_cell)
+        levels[name] = False  # converters live on the high rail
+        converters.append(name)
+    return MaterializedDesign(network=network, levels=levels,
+                              converters=converters)
+
+
+def materialized_timing(state: ScalingState,
+                        design: MaterializedDesign) -> TimingAnalysis:
+    """Timing of the physical network (no virtual converter edges)."""
+    calculator = DelayCalculator(
+        design.network, state.library, levels=design.levels,
+        lc_edges=set(), lc_kind=state.options.lc_kind,
+        po_load=state.options.po_load,
+    )
+    return TimingAnalysis(calculator, state.tspec)
+
+
+__all__ = ["MaterializedDesign", "materialize_converters", "materialized_timing"]

@@ -1,0 +1,243 @@
+"""Shared mutable state for the dual-Vdd scaling algorithms.
+
+A :class:`ScalingState` owns the mapped network plus the two side tables
+every algorithm reads and writes: per-gate voltage levels and the set of
+edges carrying level converters.  The timing calculator and the power
+estimator both observe these tables live, so a demotion is visible to
+the next query immediately -- no network surgery happens until
+:func:`repro.core.restore.materialize_converters` exports the result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.library.cells import Library
+from repro.netlist.network import Network
+from repro.netlist.validate import check_network
+from repro.power.activity import Activity, random_activities
+from repro.power.estimate import (
+    DEFAULT_CLOCK_MHZ,
+    PowerBreakdown,
+    estimate_power_calc,
+)
+from repro.timing.delay import DEFAULT_PO_LOAD, DelayCalculator, OUTPUT
+from repro.timing.sta import TimingAnalysis
+
+
+@dataclass(frozen=True)
+class ScalingOptions:
+    """Knobs shared by CVS / Dscale / Gscale (paper defaults).
+
+    ``lc_at_outputs=False`` treats level restoration of low-driven
+    primary outputs as the receiving block's responsibility ("no level
+    restoration except at the boundary of system blocks"), so the
+    converter's power and delay are not charged to this block.  Set it
+    to ``True`` to charge boundary converters here instead.
+
+    ``include_input_nets=False`` likewise excludes primary-input net
+    switching from the power figure: that energy is dissipated in the
+    upstream drivers.
+    """
+
+    lc_kind: str = "pg"
+    lc_at_outputs: bool = False
+    include_input_nets: bool = False
+    po_load: float = DEFAULT_PO_LOAD
+    clock_mhz: float = DEFAULT_CLOCK_MHZ
+    n_vectors: int = 512
+    activity_seed: int = 1999
+    timing_tolerance: float = 1e-9
+
+
+class ScalingState:
+    """Mapped network + voltage levels + converter placement."""
+
+    def __init__(self, network: Network, library: Library, tspec: float,
+                 activity: Activity | None = None,
+                 options: ScalingOptions | None = None):
+        if library.vdd_low is None:
+            raise ValueError("library must be enriched with low-Vdd cells")
+        check_network(network, require_mapped=True)
+        self.network = network
+        self.library = library
+        self.tspec = tspec
+        self.options = options or ScalingOptions()
+        self.levels: dict[str, bool] = {}
+        self.lc_edges: set[tuple[str, str]] = set()
+        self.calc = DelayCalculator(
+            network, library, levels=self.levels, lc_edges=self.lc_edges,
+            lc_kind=self.options.lc_kind, po_load=self.options.po_load,
+        )
+        if activity is None:
+            activity = random_activities(
+                network,
+                n_vectors=self.options.n_vectors,
+                seed=self.options.activity_seed,
+            )
+        self.activity = activity
+        self.initial_area = self.calc.total_area()
+        self.resized: dict[str, tuple[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_low(self, name: str) -> bool:
+        return bool(self.levels.get(name, False))
+
+    def low_nodes(self) -> list[str]:
+        return [name for name, low in self.levels.items() if low]
+
+    @property
+    def n_low(self) -> int:
+        return sum(1 for low in self.levels.values() if low)
+
+    @property
+    def n_gates(self) -> int:
+        return sum(1 for n in self.network.nodes.values() if not n.is_input)
+
+    @property
+    def low_ratio(self) -> float:
+        gates = self.n_gates
+        return self.n_low / gates if gates else 0.0
+
+    def timing(self) -> TimingAnalysis:
+        """A fresh full analysis under the current state."""
+        return TimingAnalysis(self.calc, self.tspec)
+
+    def power(self) -> PowerBreakdown:
+        return estimate_power_calc(
+            self.calc, self.activity, clock_mhz=self.options.clock_mhz,
+            include_input_nets=self.options.include_input_nets,
+        )
+
+    def area(self) -> float:
+        return self.calc.total_area()
+
+    @property
+    def area_increase_ratio(self) -> float:
+        """Total area growth, converters included."""
+        if self.initial_area <= 0:
+            return 0.0
+        return (self.area() - self.initial_area) / self.initial_area
+
+    @property
+    def sizing_area_delta(self) -> float:
+        """Net cell-area change from resizing alone (fF-free units).
+
+        This is what the paper's +10% budget and Table 2's AreaInc
+        column govern; converter area is tracked separately in
+        :meth:`area`.
+        """
+        delta = 0.0
+        for name, (old_name, new_name) in self.resized.items():
+            if old_name != new_name:
+                delta += (self.library.cell(new_name).area
+                          - self.library.cell(old_name).area)
+        return delta
+
+    @property
+    def sizing_area_increase_ratio(self) -> float:
+        if self.initial_area <= 0:
+            return 0.0
+        return self.sizing_area_delta / self.initial_area
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+
+    def new_lc_edges_for(self, name: str) -> list[tuple[str, str]]:
+        """Converter edges a demotion of ``name`` would have to add."""
+        edges = []
+        for reader in self.network.fanouts(name):
+            if not self.is_low(reader) and (name, reader) not in self.lc_edges:
+                edges.append((name, reader))
+        if (
+            self.options.lc_at_outputs
+            and name in self.network.outputs
+            and (name, OUTPUT) not in self.lc_edges
+        ):
+            edges.append((name, OUTPUT))
+        return edges
+
+    def demote(self, name: str) -> list[tuple[str, str]]:
+        """Assign ``name`` to Vlow and splice the required converters."""
+        node = self.network.nodes[name]
+        if node.is_input:
+            raise ValueError("primary inputs cannot be demoted")
+        if self.is_low(name):
+            raise ValueError(f"{name!r} is already at Vlow")
+        edges = self.new_lc_edges_for(name)
+        self.levels[name] = True
+        self.lc_edges.update(edges)
+        return edges
+
+    def promote(self, name: str) -> None:
+        """Undo a demotion (rollback support)."""
+        if not self.is_low(name):
+            raise ValueError(f"{name!r} is not at Vlow")
+        self.levels[name] = False
+        for edge in [e for e in self.lc_edges if e[0] == name]:
+            self.lc_edges.discard(edge)
+
+    def resize(self, name: str, cell) -> None:
+        """Swap a gate's bound cell (same base, other size)."""
+        node = self.network.nodes[name]
+        if cell.base != node.cell.base:
+            raise ValueError(
+                f"resize must stay within one base: {node.cell.base!r} "
+                f"vs {cell.base!r}"
+            )
+        self.resized.setdefault(name, (node.cell.name, cell.name))
+        self.resized[name] = (self.resized[name][0], cell.name)
+        node.cell = cell
+
+    @property
+    def n_resized(self) -> int:
+        return sum(1 for old, new in self.resized.values() if old != new)
+
+    # ------------------------------------------------------------------
+    # Legality
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise if the dual-Vdd legality invariant is broken.
+
+        Every low-to-high crossing (including low-driven primary outputs
+        when ``lc_at_outputs`` is set) must carry a converter, no
+        converter may sit on a legal edge's record without its driver
+        being low, and the network must still meet ``tspec``.
+        """
+        network = self.network
+        for name, low in self.levels.items():
+            if not low:
+                continue
+            for reader in network.fanouts(name):
+                if not self.is_low(reader) and (name, reader) not in self.lc_edges:
+                    raise AssertionError(
+                        f"unconverted low->high edge {name!r} -> {reader!r}"
+                    )
+            if (
+                self.options.lc_at_outputs
+                and name in network.outputs
+                and (name, OUTPUT) not in self.lc_edges
+            ):
+                raise AssertionError(
+                    f"unconverted low primary output {name!r}"
+                )
+        for driver, reader in self.lc_edges:
+            if not self.is_low(driver):
+                raise AssertionError(
+                    f"converter on edge from high driver {driver!r}"
+                )
+        analysis = self.timing()
+        if not analysis.meets_timing(self.options.timing_tolerance):
+            raise AssertionError(
+                f"timing violated: {analysis.worst_delay:.4f} ns > "
+                f"tspec {self.tspec:.4f} ns"
+            )
+
+
+__all__ = ["ScalingOptions", "ScalingState"]

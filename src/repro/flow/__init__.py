@@ -1,0 +1,36 @@
+"""Experiment driver: the paper's section 4 evaluation flow.
+
+* :mod:`repro.flow.experiment` -- per-circuit pipeline (optimize, map for
+  minimum delay, relax the constraint by 20%, recover area, then run
+  CVS / Dscale / Gscale) and suite runner.
+* :mod:`repro.flow.tables`     -- Table 1 / Table 2 assembly, paper
+  comparison, and EXPERIMENTS.md rendering.
+* :mod:`repro.flow.ablation`   -- parameter sweeps (maxIter, voltage
+  pair, area budget, converter cost) beyond the paper's tables.
+"""
+
+from repro.flow.experiment import (
+    CircuitResult,
+    PreparedCircuit,
+    prepare_circuit,
+    run_circuit,
+    run_suite,
+)
+from repro.flow.tables import (
+    format_table1,
+    format_table2,
+    suite_averages,
+    write_experiments_md,
+)
+
+__all__ = [
+    "CircuitResult",
+    "PreparedCircuit",
+    "prepare_circuit",
+    "run_circuit",
+    "run_suite",
+    "format_table1",
+    "format_table2",
+    "suite_averages",
+    "write_experiments_md",
+]

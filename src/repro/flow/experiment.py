@@ -1,0 +1,173 @@
+"""Per-circuit experiment pipeline (the paper's section 4 setup).
+
+For every circuit: technology-independent optimization (the
+``script.rugged`` stand-in), minimum-delay mapping (``map -n1 -AFG``
+with zero required time), measurement of the minimum delay, relaxation
+of the constraint by 20% (``slack_factor = 1.2``), an area-recovery
+remap under the relaxed constraint, and finally the three scaling
+algorithms -- each on its own copy of the mapped netlist, sharing one
+switching-activity measurement, exactly as the paper compares them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.mcnc import load_circuit
+from repro.core.pipeline import METHODS, ScalingReport, scale_voltage
+from repro.core.state import ScalingOptions
+from repro.library.cells import Library
+from repro.library.compass import build_compass_library
+from repro.mapping.match import MatchTable
+from repro.mapping.mapper import map_network, recover_area, speed_up_sizing
+from repro.netlist.network import Network
+from repro.opt.script import rugged
+from repro.power.activity import Activity, random_activities
+from repro.timing.delay import DelayCalculator
+from repro.timing.sta import TimingAnalysis
+
+DEFAULT_SLACK_FACTOR = 1.2
+"""The paper loosens the minimum delay by 20%."""
+
+
+@dataclass
+class PreparedCircuit:
+    """A mapped circuit ready for voltage scaling."""
+
+    name: str
+    network: Network
+    tspec: float
+    min_delay: float
+    activity: Activity
+
+    def fresh_copy(self) -> Network:
+        return self.network.copy()
+
+
+@dataclass
+class CircuitResult:
+    """All three algorithms' results on one circuit (one table row)."""
+
+    name: str
+    gates: int
+    org_power_uw: float
+    min_delay_ns: float
+    tspec_ns: float
+    reports: dict[str, ScalingReport] = field(default_factory=dict)
+
+    def improvement(self, method: str) -> float:
+        return self.reports[method].improvement_pct
+
+
+def prepare_circuit(source: str | Network, library: Library,
+                    slack_factor: float = DEFAULT_SLACK_FACTOR,
+                    match_table: MatchTable | None = None,
+                    options: ScalingOptions | None = None) -> PreparedCircuit:
+    """Generate/optimize/map one circuit and fix its timing constraint."""
+    if isinstance(source, str):
+        network = load_circuit(source)
+    else:
+        network = source
+    options = options or ScalingOptions()
+
+    rugged(network)
+    mapped = map_network(network, library, match_table=match_table)
+    mapped.name = network.name
+
+    # The covering DP estimates loads, so its raw output is not the true
+    # minimum-delay circuit: a fanout-style speed-up sizing pass makes
+    # Dmin honest first ("map -n1 -AFG" with zero required time), and
+    # the relaxation anchors on the achievable minimum (ratcheting down
+    # when recovery itself uncovers a faster point).
+    min_delay = speed_up_sizing(mapped, library, po_load=options.po_load)
+    achieved = min_delay
+    for _ in range(4):
+        budget = slack_factor * min_delay
+        recover_area(mapped, library, budget, po_load=options.po_load)
+        achieved = TimingAnalysis(
+            DelayCalculator(mapped, library, po_load=options.po_load),
+            budget,
+        ).worst_delay
+        if achieved >= min_delay - 1e-9:
+            break
+        min_delay = achieved
+    # The paper's constraint is "the delay of the mapped circuit" after
+    # the relaxed remap -- the algorithms start with zero slack on the
+    # remapped critical paths, and only structurally short paths offer
+    # room.  (On balanced circuits this is what zeroes out CVS.)
+    tspec = achieved
+
+    activity = random_activities(
+        mapped, n_vectors=options.n_vectors, seed=options.activity_seed
+    )
+    return PreparedCircuit(
+        name=network.name, network=mapped, tspec=tspec,
+        min_delay=min_delay, activity=activity,
+    )
+
+
+def run_circuit(source: str | Network, library: Library | None = None,
+                methods: tuple[str, ...] = METHODS,
+                slack_factor: float = DEFAULT_SLACK_FACTOR,
+                match_table: MatchTable | None = None,
+                options: ScalingOptions | None = None,
+                max_iter: int = 10,
+                area_budget: float = 0.10) -> CircuitResult:
+    """The full paper flow on one circuit; returns one table row."""
+    library = library or build_compass_library()
+    prepared = prepare_circuit(source, library, slack_factor=slack_factor,
+                               match_table=match_table, options=options)
+
+    result = CircuitResult(
+        name=prepared.name,
+        gates=sum(1 for n in prepared.network.nodes.values()
+                  if not n.is_input),
+        org_power_uw=0.0,
+        min_delay_ns=prepared.min_delay,
+        tspec_ns=prepared.tspec,
+    )
+    for method in methods:
+        working = prepared.fresh_copy()
+        _, report = scale_voltage(
+            working, library, prepared.tspec, method=method,
+            activity=prepared.activity, options=options,
+            max_iter=max_iter, area_budget=area_budget,
+        )
+        result.reports[method] = report
+        result.org_power_uw = report.power_before_uw
+    return result
+
+
+def run_suite(names: list[str], library: Library | None = None,
+              methods: tuple[str, ...] = METHODS,
+              slack_factor: float = DEFAULT_SLACK_FACTOR,
+              options: ScalingOptions | None = None,
+              verbose: bool = False) -> list[CircuitResult]:
+    """Run the flow over a list of benchmark names."""
+    library = library or build_compass_library()
+    match_table = MatchTable(library)
+    results = []
+    for name in names:
+        result = run_circuit(
+            name, library, methods=methods, slack_factor=slack_factor,
+            match_table=match_table, options=options,
+        )
+        results.append(result)
+        if verbose:
+            improvements = "  ".join(
+                f"{method}={result.improvement(method):5.2f}%"
+                for method in methods
+            )
+            print(f"{result.name:>10}: {result.gates:5d} gates  "
+                  f"{improvements}")
+    return results
+
+
+__all__ = [
+    "DEFAULT_SLACK_FACTOR",
+    "PreparedCircuit",
+    "CircuitResult",
+    "prepare_circuit",
+    "run_circuit",
+    "run_suite",
+]

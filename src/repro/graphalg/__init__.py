@@ -1,0 +1,22 @@
+"""Flow-based combinatorial algorithms used by the dual-Vdd passes.
+
+* :mod:`repro.graphalg.maxflow`   -- Edmonds-Karp max-flow (Cormen ch. 27,
+  the algorithm the paper cites for its separator computation).
+* :mod:`repro.graphalg.separator` -- minimum-weight vertex separator via
+  node splitting + max-flow min-cut (Gscale's resizing-target selection).
+* :mod:`repro.graphalg.antichain` -- maximum-weight antichain of a DAG's
+  reachability order via minimum flow with lower bounds; this is the
+  "maximum-weighted independent set on a transitive graph" of
+  Kagaris-Tragoudas that Dscale uses.
+"""
+
+from repro.graphalg.maxflow import FlowNetwork, max_flow
+from repro.graphalg.separator import min_weight_separator
+from repro.graphalg.antichain import max_weight_antichain
+
+__all__ = [
+    "FlowNetwork",
+    "max_flow",
+    "min_weight_separator",
+    "max_weight_antichain",
+]

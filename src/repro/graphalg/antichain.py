@@ -1,0 +1,201 @@
+"""Maximum-weight antichain == MWIS on a transitive graph (Dscale's core).
+
+Dscale must choose, among all individually-demotable gates, a maximum-
+power-gain subset such that no two chosen gates lie on a common path --
+otherwise their delay penalties would accumulate on that path and the
+per-gate slack checks would no longer be valid.  "No two on a common
+path" is exactly *incomparability* in the circuit DAG's reachability
+partial order, so the chosen set is a maximum-weight antichain; the paper
+cites Kagaris-Tragoudas's polynomial MWIS-on-transitive-graphs algorithm.
+
+We solve the problem exactly through LP duality: the chain-covering dual
+of the antichain LP is a *minimum flow with lower bounds* on a split-node
+network.  A feasible flow is built directly, reduced to minimality with a
+reverse (sink-to-source) Edmonds-Karp pass on the residual graph, and the
+optimal antichain is read off the final residual cut.  Total weight of
+the antichain equals the minimum flow value, which the implementation
+asserts -- strong duality doubles as a built-in self-check.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.graphalg.maxflow import FlowNetwork, INFINITY
+
+_SOURCE = ("@source",)
+_SINK = ("@sink",)
+
+
+def max_weight_antichain(
+    elements: Iterable[Hashable],
+    order_pairs: Iterable[tuple[Hashable, Hashable]],
+    weights: Mapping[Hashable, int],
+) -> tuple[list[Hashable], int]:
+    """Maximum-weight antichain of a finite partial order.
+
+    Parameters
+    ----------
+    elements:
+        The ground set.
+    order_pairs:
+        Pairs ``(u, v)`` meaning ``u < v``.  The relation need not be
+        transitively closed as long as comparability is preserved by
+        paths (DAG edges are fine: reachability through intermediate
+        *elements* is captured by the flow network's paths).  Pairs whose
+        endpoints are outside ``elements`` are ignored.
+    weights:
+        Non-negative integer weight per element.  Scale floats to
+        integers before calling; exact arithmetic keeps the duality
+        check meaningful.
+
+    Returns
+    -------
+    (antichain, weight):
+        Deterministically-ordered list of chosen elements (zero-weight
+        elements are never chosen) and its total weight.
+    """
+    element_list = list(elements)
+    element_set = set(element_list)
+    for element in element_list:
+        if weights[element] < 0:
+            raise ValueError(f"negative weight on element {element!r}")
+
+    # --- build the lower-bound network and a feasible flow -------------
+    network = FlowNetwork()
+    total = 0
+    lower: dict[tuple, int] = {}
+    for v in element_list:
+        v_in, v_out = (v, "in"), (v, "out")
+        weight = weights[v]
+        network.add_edge(_SOURCE, v_in, INFINITY)
+        network.add_edge(v_in, v_out, INFINITY)
+        network.add_edge(v_out, _SINK, INFINITY)
+        lower[(v_in, v_out)] = weight
+        if weight:
+            # One chain per element: source -> v -> sink, carrying w(v).
+            network.flow[(_SOURCE, v_in)] += weight
+            network.flow[(v_in, _SOURCE)] -= weight
+            network.flow[(v_in, v_out)] += weight
+            network.flow[(v_out, v_in)] -= weight
+            network.flow[(v_out, _SINK)] += weight
+            network.flow[(_SINK, v_out)] -= weight
+            total += weight
+    seen_pairs = set()
+    for u, v in order_pairs:
+        if u in element_set and v in element_set and (u, v) not in seen_pairs:
+            seen_pairs.add((u, v))
+            network.add_edge((u, "out"), (v, "in"), INFINITY)
+
+    # --- minimize the flow: max residual flow from sink back to source -
+    # Residual capacities: forward arc (x, y) may gain c - f, and may
+    # shed f - l via its reverse.  FlowNetwork already tracks c - f for
+    # both directions given the skew-symmetric flow; the lower bounds
+    # only shrink the reverse capacity, which we impose by pre-charging
+    # the reverse capacity ledger.
+    for (v_in_v_out), bound in lower.items():
+        v_in, v_out = v_in_v_out
+        network.capacity[(v_out, v_in)] -= 0  # reverse starts at 0 capacity
+        # residual(v_out, v_in) = cap - flow = 0 - (-f) = f; restrict to
+        # f - l by lowering the reverse capacity below zero by l.
+        network.capacity[(v_out, v_in)] = -bound
+    reduction = network.run_max_flow(_SINK, _SOURCE)
+    minimum_flow = total - reduction
+
+    # --- read the antichain off the final residual cut -----------------
+    reachable = network.min_cut_source_side(_SINK)
+    antichain = [
+        v
+        for v in element_list
+        if weights[v] > 0
+        and (v, "out") in reachable
+        and (v, "in") not in reachable
+    ]
+    chosen_weight = sum(weights[v] for v in antichain)
+    if chosen_weight != minimum_flow:
+        raise AssertionError(
+            f"duality violated: antichain weight {chosen_weight} != "
+            f"minimum flow {minimum_flow}"
+        )
+    return antichain, chosen_weight
+
+
+def brute_force_antichain(
+    elements: Iterable[Hashable],
+    order_pairs: Iterable[tuple[Hashable, Hashable]],
+    weights: Mapping[Hashable, int],
+) -> int:
+    """Exponential reference: maximum antichain weight by subset search.
+
+    Comparability is taken as reachability through the given pairs
+    restricted to ``elements``.  Exported for the property-based tests.
+    """
+    element_list = list(elements)
+    index = {v: i for i, v in enumerate(element_list)}
+    n = len(element_list)
+    adjacency = [[] for _ in range(n)]
+    for u, v in order_pairs:
+        if u in index and v in index:
+            adjacency[index[u]].append(index[v])
+
+    reach = [0] * n
+    # Repeated relaxation handles arbitrary pair orderings (the graph is
+    # a DAG by contract, so n rounds surely converge).
+    for _ in range(n):
+        changed = False
+        for i in range(n):
+            combined = reach[i]
+            for j in adjacency[i]:
+                combined |= reach[j] | (1 << j)
+            if combined != reach[i]:
+                reach[i] = combined
+                changed = True
+        if not changed:
+            break
+
+    comparable = [reach[i] for i in range(n)]
+    best = 0
+    for mask in range(1 << n):
+        ok = True
+        weight = 0
+        for i in range(n):
+            if mask >> i & 1:
+                if comparable[i] & mask:
+                    ok = False
+                    break
+                weight += weights[element_list[i]]
+        if ok and weight > best:
+            best = weight
+    return best
+
+
+def is_antichain(
+    order_pairs: Iterable[tuple[Hashable, Hashable]],
+    candidate: Iterable[Hashable],
+) -> bool:
+    """True if no two candidate elements are related through the pairs.
+
+    Builds reachability over the full pair set, then checks candidates.
+    """
+    candidate_set = set(candidate)
+    adjacency: dict[Hashable, list[Hashable]] = {}
+    for u, v in order_pairs:
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, [])
+    for start in candidate_set:
+        if start not in adjacency:
+            continue
+        stack = list(adjacency.get(start, ()))
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node in candidate_set:
+                return False
+            stack.extend(adjacency.get(node, ()))
+    return True
+
+
+__all__ = ["max_weight_antichain", "brute_force_antichain", "is_antichain"]

@@ -1,0 +1,25 @@
+"""Cell library substrate.
+
+* :mod:`repro.library.cells`        -- immutable :class:`Cell` and the
+  :class:`Library` container with function/size/voltage lookups.
+* :mod:`repro.library.characterize` -- alpha-power-law MOSFET model used
+  to derive low-voltage timing (the paper re-characterized its COMPASS
+  cells with SPICE at Vlow; this model is our SPICE substitute).
+* :mod:`repro.library.compass`      -- the synthetic 72-cell 0.6 um
+  COMPASS-class library, plus the Usami [8] and Wang [10] level
+  converters used at low-to-high boundaries.
+"""
+
+from repro.library.cells import Cell, Library, WireModel
+from repro.library.characterize import delay_scale, energy_scale, derate_cell
+from repro.library.compass import build_compass_library
+
+__all__ = [
+    "Cell",
+    "Library",
+    "WireModel",
+    "delay_scale",
+    "energy_scale",
+    "derate_cell",
+    "build_compass_library",
+]

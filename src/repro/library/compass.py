@@ -1,0 +1,167 @@
+"""Synthetic COMPASS-class 0.6 um cell library.
+
+The paper uses "72 combinational cells from the COMPASS 0.6 um
+single-poly double-metal library": inverted-output cells come in three
+sizes (d0, d1, d2), non-inverted ones in two.  The proprietary COMPASS
+data is not redistributable, so this module synthesizes a library with
+the same structure -- 16 inverting bases x 3 sizes + 12 non-inverting
+bases x 2 sizes = 72 combinational cells -- and electrically plausible
+0.6 um / 5 V characteristics (see unit table in
+:mod:`repro.library.cells`).
+
+Two level-restoration cells are added on top, mirroring the paper's use
+of both the Usami-Horowitz [8] and the Wang et al. [10] converter
+designs; they are excluded from the 72-cell count exactly as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from repro.library.cells import Cell, Library, WireModel
+from repro.netlist.functions import TruthTable
+
+
+def _tt(expr: str, n: int) -> TruthTable:
+    """Build the named gate function used by the tables below."""
+    builders = {
+        "buf": TruthTable.identity,
+        "inv": TruthTable.inverter,
+        "mux2": TruthTable.mux,
+        "maj3": TruthTable.majority,
+    }
+    if expr in builders:
+        return builders[expr]()
+    families = {
+        "and": TruthTable.and_,
+        "or": TruthTable.or_,
+        "nand": TruthTable.nand,
+        "nor": TruthTable.nor,
+        "xor": TruthTable.xor,
+        "xnor": TruthTable.xnor,
+    }
+    if expr in families:
+        return families[expr](n)
+    composites = {
+        "aoi21": lambda a, b, c: not ((a and b) or c),
+        "aoi22": lambda a, b, c, d: not ((a and b) or (c and d)),
+        "aoi211": lambda a, b, c, d: not ((a and b) or c or d),
+        "oai21": lambda a, b, c: not ((a or b) and c),
+        "oai22": lambda a, b, c, d: not ((a or b) and (c or d)),
+        "oai211": lambda a, b, c, d: not ((a or b) and c and d),
+        "ao21": lambda a, b, c: (a and b) or c,
+    }
+    return TruthTable.from_function(n, composites[expr])
+
+
+# base -> (family expr, n_inputs, area, input_cap fF, intrinsic ns,
+#          drive ns/fF, internal energy fJ)
+_INVERTING = {
+    "inv": ("inv", 1, 1.0, 8.0, 0.10, 0.0100, 10.0),
+    "nand2": ("nand", 2, 1.5, 9.0, 0.15, 0.0130, 14.0),
+    "nand3": ("nand", 3, 2.0, 10.0, 0.20, 0.0160, 18.0),
+    "nand4": ("nand", 4, 2.5, 11.0, 0.26, 0.0200, 22.0),
+    "nand5": ("nand", 5, 3.0, 12.0, 0.33, 0.0240, 26.0),
+    "nor2": ("nor", 2, 1.5, 9.0, 0.18, 0.0160, 14.0),
+    "nor3": ("nor", 3, 2.0, 10.0, 0.26, 0.0220, 18.0),
+    "nor4": ("nor", 4, 2.5, 11.0, 0.35, 0.0280, 22.0),
+    "nor5": ("nor", 5, 3.0, 12.0, 0.45, 0.0340, 26.0),
+    "xnor2": ("xnor", 2, 3.0, 12.0, 0.33, 0.0160, 26.0),
+    "aoi21": ("aoi21", 3, 2.0, 10.0, 0.22, 0.0180, 18.0),
+    "aoi22": ("aoi22", 4, 2.5, 10.0, 0.26, 0.0200, 22.0),
+    "aoi211": ("aoi211", 4, 2.5, 10.0, 0.28, 0.0220, 22.0),
+    "oai21": ("oai21", 3, 2.0, 10.0, 0.23, 0.0180, 18.0),
+    "oai22": ("oai22", 4, 2.5, 10.0, 0.28, 0.0210, 22.0),
+    "oai211": ("oai211", 4, 2.5, 10.0, 0.30, 0.0230, 22.0),
+}
+
+_NON_INVERTING = {
+    "buf": ("buf", 1, 1.5, 8.0, 0.20, 0.0080, 13.0),
+    "and2": ("and", 2, 2.0, 9.0, 0.28, 0.0110, 17.0),
+    "and3": ("and", 3, 2.5, 10.0, 0.33, 0.0130, 21.0),
+    "and4": ("and", 4, 3.0, 11.0, 0.39, 0.0150, 25.0),
+    "or2": ("or", 2, 2.0, 9.0, 0.31, 0.0120, 17.0),
+    "or3": ("or", 3, 2.5, 10.0, 0.39, 0.0140, 21.0),
+    "or4": ("or", 4, 3.0, 11.0, 0.48, 0.0170, 25.0),
+    "xor2": ("xor", 2, 3.0, 12.0, 0.35, 0.0160, 26.0),
+    "xor3": ("xor", 3, 4.5, 13.0, 0.55, 0.0200, 38.0),
+    "mux2": ("mux2", 3, 3.0, 11.0, 0.30, 0.0150, 26.0),
+    "maj3": ("maj3", 3, 3.5, 12.0, 0.36, 0.0180, 30.0),
+    "ao21": ("ao21", 3, 2.5, 10.0, 0.33, 0.0140, 21.0),
+}
+
+# drive-strength multiplier per size index
+_SIZE_FACTOR = {0: 1.0, 1: 2.0, 2: 4.0}
+
+# (area, cin, intrinsic, drive, energy): Usami pass-gate [8] -- tiny
+# (two pass transistors plus a weak keeper) but slow -- and the Wang et
+# al. cross-coupled design [10] -- larger and more energetic but faster.
+_LEVEL_CONVERTERS = {
+    "pg": (1.5, 5.0, 0.45, 0.0120, 14.0),
+    "cm": (2.4, 6.0, 0.30, 0.0100, 20.0),
+}
+
+
+def _make_cell(base: str, spec: tuple, size: int, vdd: float) -> Cell:
+    expr, n, area, cin, intrinsic, drive, energy = spec
+    factor = _SIZE_FACTOR[size]
+    # Pins get slightly staggered intrinsics: inner (later) pins of a
+    # series stack are marginally slower, as in real standard cells.
+    intrinsics = tuple(intrinsic + 0.01 * pin for pin in range(n))
+    return Cell(
+        name=f"{base}_d{size}",
+        base=base,
+        size=size,
+        function=_tt(expr, n),
+        area=area * (1.0 + 0.5 * (factor - 1.0)),
+        input_caps=tuple(cin * factor for _ in range(n)),
+        intrinsics=intrinsics,
+        drive_res=drive / factor,
+        internal_energy=energy * factor,
+        vdd=vdd,
+    )
+
+
+def build_compass_library(vdd_high: float = 5.0,
+                          vdd_low: float | None = 4.3,
+                          vth: float = 0.8,
+                          alpha: float = 2.0) -> Library:
+    """Build the enriched dual-Vdd library used throughout the flow.
+
+    With the default arguments this reproduces the paper's setup: the
+    (5 V, 4.3 V) pair "in accordance with our internal design project",
+    72 combinational cells plus both level-converter designs, and
+    low-voltage twins of every combinational cell.  Pass
+    ``vdd_low=None`` for a single-supply library.
+    """
+    library = Library("compass06", vdd_high, WireModel())
+    for base, spec in _INVERTING.items():
+        for size in (0, 1, 2):
+            library.add(_make_cell(base, spec, size, vdd_high))
+    for base, spec in _NON_INVERTING.items():
+        for size in (0, 1):
+            library.add(_make_cell(base, spec, size, vdd_high))
+
+    identity = TruthTable.identity()
+    for kind, (area, cin, intrinsic, drive, energy) in _LEVEL_CONVERTERS.items():
+        library.add(
+            Cell(
+                name=f"lc_{kind}",
+                base=f"lc_{kind}",
+                size=0,
+                function=identity,
+                area=area,
+                input_caps=(cin,),
+                intrinsics=(intrinsic,),
+                drive_res=drive,
+                internal_energy=energy,
+                vdd=vdd_high,
+                is_level_converter=True,
+            )
+        )
+
+    if vdd_low is not None:
+        library.enrich_low_voltage(vdd_low, vth=vth, alpha=alpha)
+    return library
+
+
+__all__ = ["build_compass_library"]

@@ -1,0 +1,93 @@
+"""SIS genlib-style export of the cell library.
+
+The original flow's library lived in SIS's ``genlib`` format; exporting
+our synthetic library the same way lets the characterization be
+inspected, diffed, and consumed by external SIS-era tooling.  The dual-
+Vdd enrichment is expressed with one file section per rail.
+
+Genlib grammar subset emitted::
+
+    GATE <name> <area> <output>=<expression>;
+    PIN * <phase> <input-cap> <max-load> <rise-block> <rise-fanout> \
+                                         <fall-block> <fall-fanout>
+
+Expressions are rendered from the cell's minimized sum-of-products with
+``!`` for negation, ``*`` for AND, ``+`` for OR, over pins named
+``a b c d e``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+from repro.library.cells import Cell, Library
+from repro.opt.simplify import minimize_cubes
+
+_PIN_NAMES = "abcde"
+_MAX_LOAD = 999.0
+
+
+def cell_expression(cell: Cell) -> str:
+    """The cell function as a genlib boolean expression."""
+    const = cell.function.const_value()
+    if const is not None:
+        return "CONST" + str(const)
+    terms = []
+    for cube in minimize_cubes(cell.function):
+        literals = []
+        for position, value in enumerate(cube):
+            if value == "1":
+                literals.append(_PIN_NAMES[position])
+            elif value == "0":
+                literals.append("!" + _PIN_NAMES[position])
+        terms.append("*".join(literals) if literals else "CONST1")
+    return "+".join(terms)
+
+
+def _gate_lines(cell: Cell) -> list[str]:
+    lines = [f"GATE {cell.name} {cell.area:.2f} o={cell_expression(cell)};"]
+    phase = "UNKNOWN"
+    for pin in range(cell.n_inputs):
+        block = cell.intrinsics[pin]
+        fanout = cell.drive_res
+        lines.append(
+            f"PIN {_PIN_NAMES[pin]} {phase} {cell.input_caps[pin]:.2f} "
+            f"{_MAX_LOAD:.1f} {block:.4f} {fanout:.4f} "
+            f"{block:.4f} {fanout:.4f}"
+        )
+    return lines
+
+
+def write_genlib(library: Library,
+                 target: TextIO | str | Path | None = None) -> str:
+    """Serialize the library (both rails) to genlib text."""
+    lines = [
+        f"# library {library.name}: {len(library.cells)} cells",
+        f"# vdd_high = {library.vdd_high} V"
+        + (f", vdd_low = {library.vdd_low} V"
+           if library.vdd_low is not None else ""),
+    ]
+    rails = [library.vdd_high]
+    if library.vdd_low is not None:
+        rails.append(library.vdd_low)
+    for vdd in rails:
+        lines.append(f"# ---- cells characterized at {vdd} V ----")
+        for cell in sorted(library.combinational_cells(vdd),
+                           key=lambda c: c.name):
+            lines.extend(_gate_lines(cell))
+    lines.append("# ---- level converters (high rail) ----")
+    for cell in sorted(library.level_converters(),
+                       key=lambda c: c.name):
+        lines.extend(_gate_lines(cell))
+    text = "\n".join(lines) + "\n"
+
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    elif target is not None:
+        target.write(text)
+    return text
+
+
+__all__ = ["cell_expression", "write_genlib"]

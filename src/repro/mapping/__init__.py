@@ -1,0 +1,18 @@
+"""Technology mapping (the `map -n1 -AFG` stand-in).
+
+Cut-based structural mapping: the optimized network is lowered to a
+2-bounded AND/OR/INV subject graph, priority cuts (<= 5 leaves) are
+enumerated with their local functions, each cut function is matched
+against the library by exact truth-table-with-permutation lookup, and a
+dynamic program covers the graph for minimum delay.  A reverse-topological
+area-recovery pass then downsizes gates under the relaxed timing
+constraint -- mirroring the paper's two-step "minimum delay, then remap
+with 20% slack for area-delay trade-off" setup.
+"""
+
+from repro.mapping.subject import to_subject_graph
+from repro.mapping.match import MatchTable
+from repro.mapping.mapper import map_network, recover_area, speed_up_sizing
+
+__all__ = ["to_subject_graph", "MatchTable", "map_network", "recover_area",
+           "speed_up_sizing"]

@@ -1,0 +1,52 @@
+"""Exact function matching of cut functions to library cells.
+
+A cut with ordered leaves ``(l_0 .. l_{m-1})`` has a local function ``c``
+over the leaf variables.  Binding cell ``g`` with pin permutation ``pi``
+(pin ``k`` of the cell connects to leaf ``l_{pi[k]}``) implements
+
+    g(val(l_{pi[0]}), ..., val(l_{pi[m-1]}))
+
+which equals the table ``g.compose([var(m, pi[k]) for k])``.  The match
+table precomputes that composition for every (cell, permutation) pair of
+the high-voltage library once; mapping then reduces to dictionary
+lookups.  Symmetric cells collapse to one canonical permutation per
+resulting table.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.library.cells import Cell, Library
+from repro.netlist.functions import TruthTable
+
+
+class MatchTable:
+    """function-table -> [(cell, pin_to_leaf permutation)] lookups."""
+
+    def __init__(self, library: Library):
+        self.library = library
+        self.max_arity = 0
+        self._matches: dict[TruthTable, list[tuple[Cell, tuple[int, ...]]]] = {}
+        for cell in library.combinational_cells():
+            m = cell.n_inputs
+            self.max_arity = max(self.max_arity, m)
+            seen_tables: set[TruthTable] = set()
+            for pi in permutations(range(m)):
+                table = cell.function.compose(
+                    [TruthTable.var(m, pi[k]) for k in range(m)]
+                )
+                if table in seen_tables:
+                    continue
+                seen_tables.add(table)
+                self._matches.setdefault(table, []).append((cell, pi))
+
+    def matches(self, table: TruthTable) -> list[tuple[Cell, tuple[int, ...]]]:
+        """All (cell, permutation) pairs implementing ``table`` exactly."""
+        return self._matches.get(table, [])
+
+    def __len__(self) -> int:
+        return len(self._matches)
+
+
+__all__ = ["MatchTable"]

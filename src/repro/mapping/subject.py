@@ -1,0 +1,53 @@
+"""Subject graph construction for mapping.
+
+The mapper wants a network of *primitive* nodes -- AND2, OR2, XOR2,
+INV, and identity wrappers over primary outputs -- because cut functions
+built from those compose into exactly the cones the library's cells
+implement.  Anything else (wide nodes, exotic 2-input functions such as
+``a & ~b``) is decomposed through its minimized sum-of-products, except
+pure parities, which become balanced XOR2 trees (see
+:func:`repro.opt.decompose._parity_structure`).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.functions import TruthTable
+from repro.netlist.network import Network
+from repro.opt.decompose import _Builder, decompose_node
+from repro.opt.sweep import sweep
+
+_PRIMITIVES = (
+    TruthTable.and_(2),
+    TruthTable.or_(2),
+    TruthTable.xor(2),
+    TruthTable.inverter(),
+    TruthTable.identity(),
+)
+
+
+def is_primitive(table: TruthTable) -> bool:
+    return table in _PRIMITIVES
+
+
+def to_subject_graph(network: Network, prefix: str = "sg_") -> Network:
+    """A functionally-equivalent primitive-only copy of ``network``."""
+    subject = network.copy(f"{network.name}_subject")
+    builder = _Builder(subject, prefix)
+    for name in list(subject.gates()):
+        node = subject.nodes[name]
+        if node.function.const_value() is not None:
+            raise ValueError(
+                f"node {name!r} is constant; run repro.opt.sweep before "
+                "mapping (the library has no tie cells)"
+            )
+        if not is_primitive(node.function):
+            decompose_node(subject, name, builder)
+    sweep(subject)
+    for name in subject.gates():
+        node = subject.nodes[name]
+        if not is_primitive(node.function):
+            raise AssertionError(f"non-primitive node {name!r} survived")
+    return subject
+
+
+__all__ = ["to_subject_graph", "is_primitive"]

@@ -1,0 +1,25 @@
+"""Gate-level logic network substrate (SIS-style netlist DAG).
+
+This subpackage provides the data structures every other layer builds on:
+
+* :mod:`repro.netlist.functions` -- immutable truth-table boolean functions.
+* :mod:`repro.netlist.network`   -- the :class:`Network` DAG of named nodes.
+* :mod:`repro.netlist.blif`      -- BLIF reader/writer (SIS interchange).
+* :mod:`repro.netlist.validate`  -- structural legality checks.
+"""
+
+from repro.netlist.functions import TruthTable
+from repro.netlist.network import Network, Node
+from repro.netlist.blif import parse_blif, read_blif, write_blif
+from repro.netlist.validate import NetworkError, check_network
+
+__all__ = [
+    "TruthTable",
+    "Network",
+    "Node",
+    "parse_blif",
+    "read_blif",
+    "write_blif",
+    "NetworkError",
+    "check_network",
+]

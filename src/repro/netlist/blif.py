@@ -1,0 +1,189 @@
+"""BLIF reader and writer.
+
+BLIF (Berkeley Logic Interchange Format) is the SIS-era netlist exchange
+format the original paper's toolchain consumed.  We support the
+combinational subset: ``.model``, ``.inputs``, ``.outputs``, ``.names``
+with 1-output cover cubes, and ``.end``.  Latches and subcircuits are
+rejected with a clear error -- the paper's flow is purely combinational.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.netlist.functions import TruthTable
+from repro.netlist.network import Network
+
+
+class BlifError(ValueError):
+    """Raised on malformed or unsupported BLIF input."""
+
+
+def _logical_lines(handle: TextIO) -> Iterable[tuple[int, str]]:
+    """Yield (line_number, text) with continuations joined, comments gone."""
+    pending = ""
+    pending_line = 0
+    for line_number, raw in enumerate(handle, start=1):
+        text = raw.split("#", 1)[0].rstrip()
+        if not pending:
+            pending_line = line_number
+        if text.endswith("\\"):
+            pending += text[:-1] + " "
+            continue
+        joined = (pending + text).strip()
+        pending = ""
+        if joined:
+            yield pending_line, joined
+    if pending.strip():
+        yield pending_line, pending.strip()
+
+
+def parse_blif(text: str, name: str | None = None) -> Network:
+    """Parse BLIF source text into a :class:`Network`."""
+    return read_blif(io.StringIO(text), name=name)
+
+
+def read_blif(source: TextIO | str | Path, name: str | None = None) -> Network:
+    """Read BLIF from a file path or open text handle."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_blif(handle, name=name)
+
+    model_name = name or "top"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    covers: list[tuple[int, list[str], list[str]]] = []  # (line, signals, cubes)
+    current_cover: tuple[int, list[str], list[str]] | None = None
+    saw_model = False
+    saw_end = False
+
+    for line_number, line in _logical_lines(source):
+        if saw_end:
+            raise BlifError(f"line {line_number}: content after .end")
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword.startswith("."):
+            current_cover = None
+        if keyword == ".model":
+            if saw_model:
+                raise BlifError(f"line {line_number}: multiple .model sections")
+            saw_model = True
+            if len(tokens) > 1 and name is None:
+                model_name = tokens[1]
+        elif keyword == ".inputs":
+            inputs.extend(tokens[1:])
+        elif keyword == ".outputs":
+            outputs.extend(tokens[1:])
+        elif keyword == ".names":
+            if len(tokens) < 2:
+                raise BlifError(f"line {line_number}: .names needs an output signal")
+            current_cover = (line_number, tokens[1:], [])
+            covers.append(current_cover)
+        elif keyword == ".end":
+            saw_end = True
+        elif keyword in (".latch", ".subckt", ".gate", ".mlatch"):
+            raise BlifError(
+                f"line {line_number}: {keyword} is not supported "
+                "(combinational .names subset only)"
+            )
+        elif keyword.startswith("."):
+            raise BlifError(f"line {line_number}: unknown directive {keyword}")
+        else:
+            if current_cover is None:
+                raise BlifError(f"line {line_number}: cube outside .names: {line!r}")
+            if len(tokens) == 1:
+                input_part, output_part = "", tokens[0]
+            elif len(tokens) == 2:
+                input_part, output_part = tokens
+            else:
+                raise BlifError(f"line {line_number}: malformed cube {line!r}")
+            if output_part != "1":
+                raise BlifError(
+                    f"line {line_number}: only 1-covers supported, got {output_part!r}"
+                )
+            current_cover[2].append(input_part)
+
+    network = Network(model_name)
+    for input_name in inputs:
+        network.add_input(input_name)
+
+    defined = set(inputs)
+    for line_number, signals, _ in covers:
+        output_signal = signals[-1]
+        if output_signal in defined:
+            raise BlifError(
+                f"line {line_number}: signal {output_signal!r} defined twice"
+            )
+        defined.add(output_signal)
+
+    # Add nodes in dependency order (covers may be listed in any order).
+    remaining = list(covers)
+    while remaining:
+        progressed = False
+        deferred = []
+        for cover in remaining:
+            line_number, signals, cubes = cover
+            fanins, output_signal = signals[:-1], signals[-1]
+            if all(f in network.nodes for f in fanins):
+                n_inputs = len(fanins)
+                if cubes and cubes[0] == "" and n_inputs == 0:
+                    function = TruthTable.const(0, True)
+                elif not cubes:
+                    function = TruthTable.const(n_inputs, False)
+                else:
+                    function = TruthTable.from_cubes(n_inputs, cubes)
+                network.add_node(output_signal, fanins, function)
+                progressed = True
+            else:
+                deferred.append(cover)
+        if not progressed:
+            missing = sorted(
+                {f for _, signals, _ in deferred for f in signals[:-1]}
+                - set(network.nodes)
+            )
+            raise BlifError(f"undriven signals referenced: {missing[:5]}")
+        remaining = deferred
+
+    for output_name in outputs:
+        if output_name not in network.nodes:
+            raise BlifError(f"primary output {output_name!r} is undriven")
+        network.set_output(output_name)
+    return network
+
+
+def write_blif(network: Network, target: TextIO | str | Path | None = None) -> str:
+    """Serialize a network to BLIF; returns the text, optionally writing it."""
+    from repro.opt.simplify import minimize_cubes
+
+    lines = [f".model {network.name}"]
+    if network.inputs:
+        lines.append(".inputs " + " ".join(network.inputs))
+    if network.outputs:
+        lines.append(".outputs " + " ".join(network.outputs))
+    for node_name in network.topological():
+        node = network.nodes[node_name]
+        if node.is_input:
+            continue
+        lines.append(".names " + " ".join([*node.fanins, node.name]))
+        const = node.function.const_value()
+        if const == 1:
+            lines.append("-" * len(node.fanins) + " 1" if node.fanins else "1")
+        elif const == 0:
+            pass  # empty cover is constant 0
+        else:
+            for cube in minimize_cubes(node.function):
+                lines.append(f"{cube} 1")
+    lines.append(".end")
+    text = "\n".join(lines) + "\n"
+
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    elif target is not None:
+        target.write(text)
+    return text
+
+
+__all__ = ["BlifError", "parse_blif", "read_blif", "write_blif"]

@@ -1,0 +1,332 @@
+"""The gate-level logic network: a DAG of named nodes (SIS-style).
+
+A :class:`Network` owns a set of :class:`Node` objects keyed by name.
+Primary inputs are nodes without a function; every other node computes a
+:class:`~repro.netlist.functions.TruthTable` over its ordered fanin list.
+Primary outputs name the nodes whose values leave the block.
+
+Before technology mapping nodes carry arbitrary functions; after mapping
+each node is bound to a library cell (:attr:`Node.cell`) whose function
+matches the node's.  The dual-Vdd algorithms in :mod:`repro.core` treat
+the network as read-mostly and keep voltage assignments in a side table,
+but level-converter insertion and gate resizing do edit the network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator
+
+from repro.netlist.functions import TruthTable
+
+
+class Node:
+    """One vertex of the logic network.
+
+    Attributes
+    ----------
+    name:
+        Unique name within the owning network.
+    fanins:
+        Ordered list of fanin node names; variable ``k`` of
+        :attr:`function` is ``fanins[k]``.
+    function:
+        Truth table over the fanins, or ``None`` for primary inputs.
+    cell:
+        Bound library cell (a :class:`repro.library.cells.Cell`) after
+        technology mapping, else ``None``.
+    """
+
+    __slots__ = ("name", "fanins", "function", "cell")
+
+    def __init__(self, name: str, fanins: list[str], function: TruthTable | None,
+                 cell=None):
+        self.name = name
+        self.fanins = list(fanins)
+        self.function = function
+        self.cell = cell
+
+    @property
+    def is_input(self) -> bool:
+        return self.function is None
+
+    def __repr__(self) -> str:
+        if self.is_input:
+            return f"Node({self.name!r}, input)"
+        cell = f", cell={self.cell.name!r}" if self.cell is not None else ""
+        return f"Node({self.name!r}, fanins={self.fanins!r}{cell})"
+
+
+class Network:
+    """A combinational logic network.
+
+    The class maintains fanout indices incrementally and provides the
+    topological iteration, structural editing, and simulation primitives
+    that the optimizer, mapper, timer, and dual-Vdd passes build on.
+    """
+
+    def __init__(self, name: str = "top"):
+        self.name = name
+        self.nodes: dict[str, Node] = {}
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        self._fanouts: dict[str, set[str]] | None = None
+        self._topo: list[str] | None = None
+        self._name_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Construction and editing
+    # ------------------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        self._fanouts = None
+        self._topo = None
+
+    def add_input(self, name: str) -> Node:
+        """Declare a primary input node."""
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        node = Node(name, [], None)
+        self.nodes[name] = node
+        self.inputs.append(name)
+        self._invalidate()
+        return node
+
+    def add_node(self, name: str, fanins: Iterable[str],
+                 function: TruthTable, cell=None) -> Node:
+        """Add an internal node computing ``function`` over ``fanins``."""
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        fanins = list(fanins)
+        if function.n_inputs != len(fanins):
+            raise ValueError(
+                f"node {name!r}: function arity {function.n_inputs} "
+                f"!= fanin count {len(fanins)}"
+            )
+        for fanin in fanins:
+            if fanin not in self.nodes:
+                raise ValueError(f"node {name!r}: unknown fanin {fanin!r}")
+        node = Node(name, fanins, function, cell)
+        self.nodes[name] = node
+        self._invalidate()
+        return node
+
+    def set_output(self, name: str) -> None:
+        """Mark an existing node as a primary output."""
+        if name not in self.nodes:
+            raise ValueError(f"unknown node {name!r}")
+        if name not in self.outputs:
+            self.outputs.append(name)
+
+    def fresh_name(self, prefix: str = "n") -> str:
+        """A node name not currently in use."""
+        while True:
+            name = f"{prefix}{next(self._name_counter)}"
+            if name not in self.nodes:
+                return name
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node that nothing references.
+
+        The node must have no fanouts and must not be a primary output;
+        use :meth:`replace_fanin` / :meth:`substitute` first to detach it.
+        """
+        if name in self.outputs:
+            raise ValueError(f"cannot remove primary output {name!r}")
+        fanouts = self.fanouts(name)
+        if fanouts:
+            raise ValueError(f"cannot remove {name!r}: fanouts {sorted(fanouts)}")
+        if name in self.inputs:
+            self.inputs.remove(name)
+        del self.nodes[name]
+        self._invalidate()
+
+    def replace_fanin(self, node_name: str, old: str, new: str) -> None:
+        """Rewire every ``old`` fanin of ``node_name`` to ``new``."""
+        node = self.nodes[node_name]
+        if new not in self.nodes:
+            raise ValueError(f"unknown node {new!r}")
+        if old not in node.fanins:
+            raise ValueError(f"{old!r} is not a fanin of {node_name!r}")
+        node.fanins = [new if f == old else f for f in node.fanins]
+        self._invalidate()
+
+    def substitute(self, old: str, new: str) -> None:
+        """Redirect every reader of ``old`` (fanouts and POs) to ``new``."""
+        if new not in self.nodes:
+            raise ValueError(f"unknown node {new!r}")
+        for reader in list(self.fanouts(old)):
+            self.replace_fanin(reader, old, new)
+        self.outputs = [new if out == old else out for out in self.outputs]
+        self._invalidate()
+
+    def insert_buffer(self, driver: str, reader: str, name: str,
+                      function: TruthTable, cell=None) -> Node:
+        """Insert a single-input node on the ``driver -> reader`` edge.
+
+        Used for level-converter insertion: only the one edge is rewired,
+        other fanouts of ``driver`` are untouched.  ``reader`` may be the
+        sentinel ``"@output"`` to splice the converter in front of the
+        primary-output use of ``driver``.
+        """
+        if function.n_inputs != 1:
+            raise ValueError("buffer function must have exactly one input")
+        node = self.add_node(name, [driver], function, cell)
+        if reader == "@output":
+            if driver not in self.outputs:
+                raise ValueError(f"{driver!r} is not a primary output")
+            self.outputs = [name if out == driver else out for out in self.outputs]
+        else:
+            self.replace_fanin(reader, driver, name)
+        self._invalidate()
+        return node
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+
+    def fanouts(self, name: str) -> set[str]:
+        """Names of nodes that read ``name`` as a fanin."""
+        if self._fanouts is None:
+            table: dict[str, set[str]] = {n: set() for n in self.nodes}
+            for node in self.nodes.values():
+                for fanin in node.fanins:
+                    table[fanin].add(node.name)
+            self._fanouts = table
+        return self._fanouts[name]
+
+    def topological(self) -> list[str]:
+        """Node names in topological order (fanins before fanouts)."""
+        if self._topo is not None:
+            return self._topo
+        in_degree = {name: len(set(node.fanins)) for name, node in self.nodes.items()}
+        # Count unique fanins only: a node may read the same signal twice.
+        ready = [name for name, deg in in_degree.items() if deg == 0]
+        order: list[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for fanout in self.fanouts(name):
+                unique = set(self.nodes[fanout].fanins)
+                if name in unique:
+                    in_degree[fanout] -= 1
+                    if in_degree[fanout] == 0:
+                        ready.append(fanout)
+        if len(order) != len(self.nodes):
+            cyclic = sorted(set(self.nodes) - set(order))
+            raise ValueError(f"network has a combinational cycle through {cyclic[:5]}")
+        self._topo = order
+        return order
+
+    def gates(self) -> list[str]:
+        """Internal (non-input) node names in topological order."""
+        return [n for n in self.topological() if not self.nodes[n].is_input]
+
+    def transitive_fanin(self, roots: Iterable[str]) -> set[str]:
+        """All nodes on some path into any root, including the roots."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.nodes[name].fanins)
+        return seen
+
+    def transitive_fanout(self, roots: Iterable[str]) -> set[str]:
+        """All nodes reachable from any root, including the roots."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.fanouts(name))
+        return seen
+
+    def depth(self) -> int:
+        """Longest input-to-output path length counted in gates."""
+        level: dict[str, int] = {}
+        for name in self.topological():
+            node = self.nodes[name]
+            if node.is_input:
+                level[name] = 0
+            else:
+                level[name] = 1 + max((level[f] for f in node.fanins), default=0)
+        return max((level[out] for out in self.outputs), default=0)
+
+    def stats(self) -> dict[str, int]:
+        """Summary counts used in reports and tests."""
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "gates": sum(1 for n in self.nodes.values() if not n.is_input),
+            "nets": sum(len(n.fanins) for n in self.nodes.values()),
+            "depth": self.depth(),
+        }
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, input_values: dict[str, int]) -> dict[str, int]:
+        """Zero-delay evaluation of every node for one input assignment."""
+        values: dict[str, int] = {}
+        for name in self.topological():
+            node = self.nodes[name]
+            if node.is_input:
+                values[name] = 1 if input_values[name] else 0
+            else:
+                fanin_values = [values[f] for f in node.fanins]
+                values[name] = node.function.evaluate(fanin_values)
+        return values
+
+    def evaluate_words(self, input_words: dict[str, int],
+                       width_mask: int) -> dict[str, int]:
+        """Bit-parallel zero-delay evaluation over packed vectors."""
+        words: dict[str, int] = {}
+        for name in self.topological():
+            node = self.nodes[name]
+            if node.is_input:
+                words[name] = input_words[name] & width_mask
+            else:
+                fanin_words = [words[f] for f in node.fanins]
+                words[name] = node.function.evaluate_word(fanin_words, width_mask)
+        return words
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "Network":
+        """Deep copy of the structure; cells are shared (they are immutable)."""
+        clone = Network(name or self.name)
+        for input_name in self.inputs:
+            clone.add_input(input_name)
+        for node_name in self.topological():
+            node = self.nodes[node_name]
+            if node.is_input:
+                continue
+            clone.add_node(node_name, list(node.fanins), node.function, node.cell)
+        for output in self.outputs:
+            clone.set_output(output)
+        return clone
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"Network({self.name!r}, {s['inputs']} in, {s['outputs']} out, "
+            f"{s['gates']} gates)"
+        )
+
+    def __iter__(self) -> Iterator[Node]:
+        for name in self.topological():
+            yield self.nodes[name]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+__all__ = ["Network", "Node"]

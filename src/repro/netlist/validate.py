@@ -1,0 +1,121 @@
+"""Structural legality checks for logic networks.
+
+These checks are invoked by tests and, defensively, at the entry of the
+dual-Vdd passes: the algorithms assume an acyclic, fully-driven, mapped
+network, and a clear error early beats a silent wrong answer later.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.network import Network
+
+
+class NetworkError(ValueError):
+    """A structural problem found by :func:`check_network`."""
+
+
+def check_network(network: Network, require_mapped: bool = False) -> None:
+    """Raise :class:`NetworkError` on any structural inconsistency.
+
+    Checks: name/key agreement, fanin existence and arity, acyclicity,
+    driven outputs, no dangling constants among inputs and, when
+    ``require_mapped`` is set, a cell binding on every internal node whose
+    function matches the cell's.
+    """
+    for name, node in network.nodes.items():
+        if node.name != name:
+            raise NetworkError(f"node keyed {name!r} is named {node.name!r}")
+        if node.is_input:
+            if node.fanins:
+                raise NetworkError(f"input {name!r} has fanins")
+            if name not in network.inputs:
+                raise NetworkError(f"function-less node {name!r} not in inputs")
+            continue
+        if name in network.inputs:
+            raise NetworkError(f"input {name!r} has a function")
+        for fanin in node.fanins:
+            if fanin not in network.nodes:
+                raise NetworkError(f"node {name!r}: missing fanin {fanin!r}")
+        if node.function.n_inputs != len(node.fanins):
+            raise NetworkError(
+                f"node {name!r}: arity {node.function.n_inputs} != "
+                f"{len(node.fanins)} fanins"
+            )
+        if require_mapped:
+            if node.cell is None:
+                raise NetworkError(f"node {name!r} has no cell binding")
+            if node.cell.function != node.function:
+                raise NetworkError(
+                    f"node {name!r}: function differs from cell "
+                    f"{node.cell.name!r}"
+                )
+
+    for output in network.outputs:
+        if output not in network.nodes:
+            raise NetworkError(f"primary output {output!r} is undriven")
+
+    try:
+        network.topological()
+    except ValueError as exc:
+        raise NetworkError(str(exc)) from exc
+
+
+def networks_equivalent(a: Network, b: Network, n_vectors: int = 256,
+                        seed: int = 2026,
+                        match_outputs: str = "by_name") -> bool:
+    """Monte-Carlo equivalence check between two networks.
+
+    Both networks must agree on input names.  Outputs are matched by
+    name by default; pass ``match_outputs="by_position"`` for interface-
+    preserving transforms that rename output drivers (e.g. splicing a
+    boundary level converter in front of a primary output).  For small
+    input counts (<= 14) the check is exhaustive and therefore exact;
+    otherwise ``n_vectors`` random vectors are used.
+    """
+    import random
+
+    if set(a.inputs) != set(b.inputs):
+        raise NetworkError("input name sets differ")
+    if match_outputs == "by_position":
+        if len(a.outputs) != len(b.outputs):
+            raise NetworkError("output counts differ")
+        output_pairs = list(zip(a.outputs, b.outputs))
+    elif match_outputs == "by_name":
+        if (list(a.outputs) != list(b.outputs)
+                and set(a.outputs) != set(b.outputs)):
+            raise NetworkError("output name sets differ")
+        output_pairs = [(out, out) for out in a.outputs]
+    else:
+        raise ValueError(f"unknown match_outputs mode {match_outputs!r}")
+
+    n_inputs = len(a.inputs)
+    if n_inputs <= 14:
+        vectors = range(1 << n_inputs)
+    else:
+        rng = random.Random(seed)
+        vectors = [rng.getrandbits(n_inputs) for _ in range(n_vectors)]
+
+    # Pack vectors into words of up to 64 lanes for bit-parallel evaluation.
+    vector_list = list(vectors)
+    lane_width = 64
+    for start in range(0, len(vector_list), lane_width):
+        chunk = vector_list[start:start + lane_width]
+        width_mask = (1 << len(chunk)) - 1
+        words_a: dict[str, int] = {}
+        words_b: dict[str, int] = {}
+        for bit, input_name in enumerate(a.inputs):
+            word = 0
+            for lane, vector in enumerate(chunk):
+                if vector >> bit & 1:
+                    word |= 1 << lane
+            words_a[input_name] = word
+            words_b[input_name] = word
+        out_a = a.evaluate_words(words_a, width_mask)
+        out_b = b.evaluate_words(words_b, width_mask)
+        for out_name_a, out_name_b in output_pairs:
+            if out_a[out_name_a] != out_b.get(out_name_b, None):
+                return False
+    return True
+
+
+__all__ = ["NetworkError", "check_network", "networks_equivalent"]

@@ -1,0 +1,37 @@
+"""The orchestrated optimization script (``script.rugged`` stand-in).
+
+The original flow runs SIS's ``script.rugged`` -- a fixed recipe of
+sweep / eliminate / simplify / decompose passes -- before mapping.  Our
+reduced recipe plays the same role: clean the netlist, minimize node
+covers, collapse low-value structure, and bound node width so the mapper
+has a healthy starting point.  It is deliberately conservative; the
+paper's contribution begins *after* mapping, so "reasonable" beats
+"aggressive" here.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.network import Network
+from repro.opt.decompose import decompose_network
+from repro.opt.eliminate import eliminate
+from repro.opt.simplify import simplify_network
+from repro.opt.sweep import sweep
+
+
+def rugged(network: Network, max_node_inputs: int = 8) -> Network:
+    """Optimize a network in place and return it (for chaining).
+
+    Recipe: sweep, simplify, eliminate, simplify, decompose to
+    ``max_node_inputs``, sweep.
+    """
+    sweep(network)
+    simplify_network(network)
+    eliminate(network, max_fanouts=1, max_node_inputs=6)
+    simplify_network(network)
+    sweep(network)
+    decompose_network(network, max_inputs=max_node_inputs)
+    sweep(network)
+    return network
+
+
+__all__ = ["rugged"]

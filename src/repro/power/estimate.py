@@ -1,0 +1,180 @@
+"""The eq. (1) power estimator, voltage- and converter-aware.
+
+For every gate-driven net the estimator accumulates
+
+    P_switch   = a01 * f * C_net * Vdd_driver^2
+    P_internal = a01 * f * E_internal(variant)
+
+with ``a01`` the rising-transition rate from a measured
+:class:`~repro.power.activity.Activity`, ``f`` the clock frequency
+(20 MHz in the paper), ``C_net`` the same net load the timing analysis
+sees, and the driver's supply deciding the swing.  A low driver with
+high-voltage readers carries one level converter on its net (the Usami
+[8] per-net restoration scheme); the converter contributes its internal
+energy plus its own high-swing output net, toggling at the driver's
+rate.
+
+Primary-input nets are excluded by default: their switching energy is
+dissipated in the *upstream* block's drivers, so a block-level power
+figure -- which is what the paper's per-circuit numbers are -- does not
+include it.  Pass ``include_input_nets=True`` for chip-level accounting.
+
+Units: fF * V^2 * MHz = 1e-3 uW, so totals are reported in uW directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Collection, Mapping
+
+from repro.library.cells import Library
+from repro.netlist.network import Network
+from repro.power.activity import Activity
+from repro.timing.delay import DelayCalculator, OUTPUT, DEFAULT_PO_LOAD
+
+_UW = 1e-3
+"""fF * V^2 * MHz to uW."""
+
+DEFAULT_CLOCK_MHZ = 20.0
+"""The paper's random-simulation clock frequency."""
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Total power and its components, all in uW."""
+
+    switching: float
+    internal: float
+    converter: float
+    total: float
+    per_node: Mapping[str, float] = field(default_factory=dict, repr=False)
+
+    def improvement_over(self, baseline: "PowerBreakdown") -> float:
+        """Percent reduction relative to ``baseline`` (positive = better)."""
+        if baseline.total <= 0:
+            return 0.0
+        return 100.0 * (baseline.total - self.total) / baseline.total
+
+
+def estimate_power(network: Network, library: Library, activity: Activity,
+                   levels: Mapping[str, bool] | None = None,
+                   lc_edges: Collection[tuple[str, str]] | None = None,
+                   lc_kind: str = "pg",
+                   clock_mhz: float = DEFAULT_CLOCK_MHZ,
+                   po_load: float = DEFAULT_PO_LOAD,
+                   include_input_nets: bool = False) -> PowerBreakdown:
+    """Estimate total power of a mapped network under a dual-Vdd state."""
+    calculator = DelayCalculator(
+        network, library, levels=levels or {}, lc_edges=lc_edges or set(),
+        lc_kind=lc_kind, po_load=po_load,
+    )
+    return estimate_power_calc(calculator, activity, clock_mhz=clock_mhz,
+                               include_input_nets=include_input_nets)
+
+
+def estimate_power_calc(calculator: DelayCalculator, activity: Activity,
+                        clock_mhz: float = DEFAULT_CLOCK_MHZ,
+                        include_input_nets: bool = False) -> PowerBreakdown:
+    """Estimate power from an existing calculator (live state)."""
+    network = calculator.network
+    library = calculator.library
+    vdd_high = library.vdd_high
+    lc_cell = calculator.lc_cell
+
+    switching = 0.0
+    internal = 0.0
+    converter = 0.0
+    per_node: dict[str, float] = {}
+
+    for name in network.topological():
+        node = network.nodes[name]
+        if node.is_input and not include_input_nets:
+            per_node[name] = 0.0
+            continue
+        a01 = activity.rate01(name)
+        load = calculator.load(name)
+        if node.is_input:
+            vdd = vdd_high
+            internal_energy = 0.0
+        else:
+            variant = calculator.variant(name)
+            vdd = variant.vdd
+            internal_energy = variant.internal_energy
+        node_switch = a01 * clock_mhz * load * vdd * vdd * _UW
+        node_internal = a01 * clock_mhz * internal_energy * _UW
+        switching += node_switch
+        internal += node_internal
+
+        lc_power = 0.0
+        if calculator.converted_readers(name):
+            lc_out_load = calculator.lc_load(name)
+            lc_power = a01 * clock_mhz * (
+                lc_cell.internal_energy + lc_out_load * vdd_high * vdd_high
+            ) * _UW
+        converter += lc_power
+        per_node[name] = node_switch + node_internal + lc_power
+
+    total = switching + internal + converter
+    return PowerBreakdown(
+        switching=switching,
+        internal=internal,
+        converter=converter,
+        total=total,
+        per_node=per_node,
+    )
+
+
+def demotion_gain(calculator: DelayCalculator, activity: Activity, name: str,
+                  clock_mhz: float = DEFAULT_CLOCK_MHZ,
+                  lc_at_outputs: bool = False) -> float:
+    """Power saved (uW) by demoting gate ``name`` to Vlow right now.
+
+    Mirrors :func:`estimate_power_calc` term by term: the gate's own net
+    re-swings at Vlow with one converter pin replacing the high-reader
+    pins, the internal energy drops to the low twin's, and the (single,
+    per-net) converter adds its internal energy plus a high-swing output
+    net carrying the former high-reader pins.  Positive means the
+    demotion saves power.  The gate must currently be at Vhigh.
+    """
+    network = calculator.network
+    library = calculator.library
+    if calculator.is_low(name):
+        raise ValueError(f"{name!r} is already at Vlow")
+    node = network.nodes[name]
+    if node.is_input:
+        raise ValueError("primary inputs cannot be demoted")
+    if calculator.converted_readers(name):
+        raise ValueError(f"high gate {name!r} already has a converter")
+
+    vdd_high = library.vdd_high
+    vdd_low = library.vdd_low
+    lc_cell = calculator.lc_cell
+    a01 = activity.rate01(name)
+
+    high_cell = calculator.variant(name)
+    low_cell = calculator.low_variant_of(node.cell)
+    change = calculator.demotion_net_change(name, lc_at_outputs)
+
+    load_before = calculator.load(name)
+    gain = a01 * clock_mhz * (
+        load_before * vdd_high * vdd_high
+        - change.load_after * vdd_low * vdd_low
+    ) * _UW
+    gain += a01 * clock_mhz * (
+        high_cell.internal_energy - low_cell.internal_energy
+    ) * _UW
+    if change.needs_converter:
+        gain -= a01 * clock_mhz * (
+            lc_cell.internal_energy
+            + change.converter_load * vdd_high * vdd_high
+        ) * _UW
+    return gain
+
+
+__all__ = [
+    "DEFAULT_CLOCK_MHZ",
+    "PowerBreakdown",
+    "estimate_power",
+    "estimate_power_calc",
+    "demotion_gain",
+]

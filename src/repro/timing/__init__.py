@@ -1,0 +1,13 @@
+"""Static timing analysis under dual supply voltages.
+
+* :mod:`repro.timing.delay` -- the pin-to-pin, load-dependent delay
+  calculator, aware of per-gate voltage levels and of level converters
+  spliced onto low-to-high edges.
+* :mod:`repro.timing.sta`   -- arrival / required / slack computation and
+  critical-path extraction over a :class:`repro.netlist.network.Network`.
+"""
+
+from repro.timing.delay import DelayCalculator, OUTPUT
+from repro.timing.sta import TimingAnalysis
+
+__all__ = ["DelayCalculator", "TimingAnalysis", "OUTPUT"]

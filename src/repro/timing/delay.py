@@ -1,0 +1,268 @@
+"""Dual-Vdd-aware pin-to-pin delay calculation.
+
+Delay model (the paper's "simple static timing analysis" over a
+"pin-to-pin Elmore delay model"): a gate's pin-to-output delay is
+``intrinsic[pin] + drive_res * C_load`` with the load summed from fanout
+pin capacitances, a fanout-count wire estimate, and the primary-output
+load.  A gate assigned to Vlow uses its derated library twin; an edge
+carrying a level converter inserts the converter's own stage delay and
+replaces the reader's pin capacitance with the converter's on the
+driver's net.
+
+The calculator reads the caller's ``levels`` / ``lc_edges`` collections
+*live* -- the dual-Vdd algorithms mutate those as they decide, and every
+query reflects the current state.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Mapping
+
+from repro.library.cells import Cell, Library
+from repro.netlist.network import Network
+
+OUTPUT = "@output"
+"""Sentinel reader name for the primary-output use of a node."""
+
+DEFAULT_PO_LOAD = 10.0
+"""External capacitance (fF) presented by each primary output."""
+
+
+class DemotionNetChange:
+    """Result of :meth:`DelayCalculator.demotion_net_change`."""
+
+    __slots__ = ("load_after", "converter_load", "new_edges")
+
+    def __init__(self, load_after: float, converter_load: float | None,
+                 new_edges: list[tuple[str, str]]):
+        self.load_after = load_after
+        self.converter_load = converter_load
+        self.new_edges = new_edges
+
+    @property
+    def needs_converter(self) -> bool:
+        return self.converter_load is not None
+
+
+class DelayCalculator:
+    """Pin delays, net loads, and converter delays for one network.
+
+    Parameters
+    ----------
+    network:
+        A technology-mapped network (every gate carries a cell).
+    library:
+        The enriched dual-Vdd library the cells came from.
+    levels:
+        Mapping from node name to ``True`` when the gate runs at Vlow.
+        Missing names (and primary inputs) are at Vhigh.  The mapping is
+        read live; callers mutate it as their algorithms decide.
+    lc_edges:
+        Collection of ``(driver, reader)`` pairs carrying a level
+        converter, with ``reader == OUTPUT`` for a converter guarding a
+        primary output.  Read live as well.
+    """
+
+    def __init__(self, network: Network, library: Library,
+                 levels: Mapping[str, bool] | None = None,
+                 lc_edges: Collection[tuple[str, str]] | None = None,
+                 lc_kind: str = "pg",
+                 po_load: float = DEFAULT_PO_LOAD):
+        self.network = network
+        self.library = library
+        self.levels = levels if levels is not None else {}
+        self.lc_edges = lc_edges if lc_edges is not None else set()
+        self.lc_cell = library.level_converter(lc_kind)
+        self.po_load = po_load
+        self._twin_cache: dict[tuple[str, float], Cell] = {}
+
+    # ------------------------------------------------------------------
+    # Cell selection
+    # ------------------------------------------------------------------
+
+    def is_low(self, name: str) -> bool:
+        return bool(self.levels.get(name, False))
+
+    def variant(self, name: str) -> Cell:
+        """The cell implementing ``name`` at its current voltage."""
+        node = self.network.nodes[name]
+        if node.cell is None:
+            raise ValueError(f"node {name!r} is not mapped to a cell")
+        if not self.is_low(name):
+            return node.cell
+        return self.low_variant_of(node.cell)
+
+    def low_variant_of(self, cell: Cell) -> Cell:
+        """The Vlow twin of a Vhigh cell (cached)."""
+        if self.library.vdd_low is None:
+            raise ValueError("library has no low-voltage cells")
+        key = (cell.name, self.library.vdd_low)
+        twin = self._twin_cache.get(key)
+        if twin is None:
+            twin = self.library.twin(cell, self.library.vdd_low)
+            self._twin_cache[key] = twin
+        return twin
+
+    # ------------------------------------------------------------------
+    # Net loads
+    # ------------------------------------------------------------------
+
+    def reader_pin_cap(self, driver: str, reader: str) -> float:
+        """Capacitance the ``driver -> reader`` connection presents.
+
+        Sums every pin of ``reader`` fed by ``driver`` (a gate may read
+        the same signal more than once).  Voltage does not change pin
+        capacitance, so the reader's nominal cell is consulted.
+        """
+        node = self.network.nodes[reader]
+        return sum(
+            node.cell.input_caps[pin]
+            for pin, fanin in enumerate(node.fanins)
+            if fanin == driver
+        )
+
+    def converted_readers(self, name: str) -> list[str]:
+        """Readers of ``name`` reached through its level converter.
+
+        One converter per *net* (the Usami [8] restoration scheme): a
+        single converter on a low driver's output feeds every
+        high-voltage reader, so its cost is amortized across them.
+        """
+        readers = [
+            reader
+            for reader in self.network.fanouts(name)
+            if (name, reader) in self.lc_edges
+        ]
+        if name in self.network.outputs and (name, OUTPUT) in self.lc_edges:
+            readers.append(OUTPUT)
+        return readers
+
+    def load(self, name: str) -> float:
+        """Total capacitance (fF) on the net driven by ``name``."""
+        total = 0.0
+        connections = 0
+        converted = 0
+        for reader in self.network.fanouts(name):
+            if (name, reader) in self.lc_edges:
+                converted += 1
+            else:
+                connections += 1
+                total += self.reader_pin_cap(name, reader)
+        if name in self.network.outputs:
+            if (name, OUTPUT) in self.lc_edges:
+                converted += 1
+            else:
+                connections += 1
+                total += self.po_load
+        if converted:
+            connections += 1
+            total += self.lc_cell.input_caps[0]
+        total += self.library.wire_model.cap(connections)
+        return total
+
+    def lc_load(self, driver: str, reader: str = "") -> float:
+        """Load on the net driven by ``driver``'s level converter.
+
+        The Usami [8] / Wang [10] designs integrate the converter at the
+        receiving gates (a level-converting receiver), so its output
+        drives only the converted pins with no additional interconnect
+        -- the long wire stays on the (low-swing) driver side.
+        """
+        total = 0.0
+        for converted in self.converted_readers(driver):
+            if converted == OUTPUT:
+                total += self.po_load
+            else:
+                total += self.reader_pin_cap(driver, converted)
+        return total
+
+    # ------------------------------------------------------------------
+    # Delays
+    # ------------------------------------------------------------------
+
+    def pin_delay(self, name: str, pin: int, load: float | None = None) -> float:
+        """Delay from input ``pin`` to the output of gate ``name``."""
+        cell = self.variant(name)
+        if load is None:
+            load = self.load(name)
+        return cell.pin_delay(pin, load)
+
+    def stage_delay(self, name: str, load: float | None = None) -> float:
+        """Worst pin-to-output delay of gate ``name`` at its load."""
+        cell = self.variant(name)
+        if load is None:
+            load = self.load(name)
+        return cell.max_delay(load)
+
+    def lc_delay(self, driver: str, reader: str = "") -> float:
+        """Stage delay of ``driver``'s level converter (one per net)."""
+        return self.lc_cell.pin_delay(0, self.lc_load(driver))
+
+    def edge_extra_delay(self, driver: str, reader: str) -> float:
+        """Converter delay on an edge, or 0 when no converter sits there."""
+        if (driver, reader) in self.lc_edges:
+            return self.lc_delay(driver, reader)
+        return 0.0
+
+    def demotion_net_change(self, name: str, lc_at_outputs: bool
+                            ) -> "DemotionNetChange":
+        """Hypothetical net profile if ``name`` were demoted right now.
+
+        Low readers (and the primary output, when boundary conversion is
+        off) stay directly on the driver's -- now low-swing -- net; high
+        readers move onto one new converter.  Returns the driver's new
+        load, the converter's output load (``None`` when no converter is
+        needed), and the converter edges to record.
+        """
+        network = self.network
+        wire = self.library.wire_model
+        direct_cap = 0.0
+        direct_count = 0
+        converted_cap = 0.0
+        new_edges: list[tuple[str, str]] = []
+        for reader in network.fanouts(name):
+            pin_cap = self.reader_pin_cap(name, reader)
+            if self.is_low(reader):
+                direct_cap += pin_cap
+                direct_count += 1
+            else:
+                converted_cap += pin_cap
+                new_edges.append((name, reader))
+        if name in network.outputs:
+            if lc_at_outputs:
+                converted_cap += self.po_load
+                new_edges.append((name, OUTPUT))
+            else:
+                direct_cap += self.po_load
+                direct_count += 1
+
+        connections = direct_count + (1 if new_edges else 0)
+        load_after = direct_cap + wire.cap(connections)
+        converter_load = None
+        if new_edges:
+            load_after += self.lc_cell.input_caps[0]
+            converter_load = converted_cap
+        return DemotionNetChange(
+            load_after=load_after,
+            converter_load=converter_load,
+            new_edges=new_edges,
+        )
+
+    # ------------------------------------------------------------------
+    # Area
+    # ------------------------------------------------------------------
+
+    def total_area(self) -> float:
+        """Cell area plus converter area under the current state."""
+        area = sum(
+            node.cell.area
+            for node in self.network.nodes.values()
+            if node.cell is not None
+        )
+        converted_drivers = {driver for driver, _ in self.lc_edges}
+        area += self.lc_cell.area * len(converted_drivers)
+        return area
+
+
+__all__ = ["DelayCalculator", "DemotionNetChange", "OUTPUT",
+           "DEFAULT_PO_LOAD"]

@@ -1,0 +1,151 @@
+"""Static timing analysis: arrival / required / slack / critical paths.
+
+``TimingAnalysis`` snapshots the timing of a mapped network under the
+*current* voltage levels and converter placement of a
+:class:`~repro.timing.delay.DelayCalculator`.  The dual-Vdd passes build
+a fresh analysis after every batch of accepted moves (the paper's
+``update_timing``) and use calculator queries for cheap what-if checks in
+between.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.netlist.network import Network
+from repro.timing.delay import DelayCalculator, OUTPUT
+
+
+class TimingAnalysis:
+    """One full arrival/required sweep over a mapped network."""
+
+    def __init__(self, calculator: DelayCalculator, tspec: float):
+        self.calculator = calculator
+        self.network: Network = calculator.network
+        self.tspec = tspec
+        self.arrival: dict[str, float] = {}
+        self.required: dict[str, float] = {}
+        self.load: dict[str, float] = {}
+        self._compute()
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+
+    def _compute(self) -> None:
+        calc = self.calculator
+        network = self.network
+        order = network.topological()
+
+        for name in order:
+            self.load[name] = calc.load(name)
+
+        for name in order:
+            node = network.nodes[name]
+            if node.is_input:
+                self.arrival[name] = 0.0
+                continue
+            cell = calc.variant(name)
+            load = self.load[name]
+            worst = 0.0
+            for pin, fanin in enumerate(node.fanins):
+                at_pin = self.arrival[fanin] + calc.edge_extra_delay(fanin, name)
+                worst = max(worst, at_pin + cell.pin_delay(pin, load))
+            self.arrival[name] = worst
+
+        for name in reversed(order):
+            node = network.nodes[name]
+            required = math.inf
+            if name in network.outputs:
+                required = self.tspec - calc.edge_extra_delay(name, OUTPUT)
+            for reader in network.fanouts(name):
+                reader_node = network.nodes[reader]
+                reader_cell = calc.variant(reader)
+                reader_load = self.load[reader]
+                extra = calc.edge_extra_delay(name, reader)
+                for pin, fanin in enumerate(reader_node.fanins):
+                    if fanin != name:
+                        continue
+                    required = min(
+                        required,
+                        self.required[reader]
+                        - reader_cell.pin_delay(pin, reader_load)
+                        - extra,
+                    )
+            self.required[name] = required
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def slack(self, name: str) -> float:
+        return self.required[name] - self.arrival[name]
+
+    def slacks(self) -> dict[str, float]:
+        return {name: self.slack(name) for name in self.network.nodes}
+
+    @property
+    def worst_delay(self) -> float:
+        """Latest arrival at any primary output, converters included."""
+        calc = self.calculator
+        return max(
+            (
+                self.arrival[out] + calc.edge_extra_delay(out, OUTPUT)
+                for out in self.network.outputs
+            ),
+            default=0.0,
+        )
+
+    @property
+    def worst_slack(self) -> float:
+        return min(
+            (self.slack(name) for name in self.network.nodes),
+            default=math.inf,
+        )
+
+    def meets_timing(self, tolerance: float = 1e-9) -> bool:
+        return self.worst_delay <= self.tspec + tolerance
+
+    def critical_path(self) -> list[str]:
+        """One worst input-to-output path (node names, PI first)."""
+        calc = self.calculator
+        if not self.network.outputs:
+            return []
+        end = max(
+            self.network.outputs,
+            key=lambda out: self.arrival[out] + calc.edge_extra_delay(out, OUTPUT),
+        )
+        path = [end]
+        current = end
+        while True:
+            node = self.network.nodes[current]
+            if node.is_input:
+                break
+            cell = calc.variant(current)
+            load = self.load[current]
+            best_fanin = None
+            best_at = -math.inf
+            for pin, fanin in enumerate(node.fanins):
+                at_pin = (
+                    self.arrival[fanin]
+                    + calc.edge_extra_delay(fanin, current)
+                    + cell.pin_delay(pin, load)
+                )
+                if at_pin > best_at:
+                    best_at = at_pin
+                    best_fanin = fanin
+            path.append(best_fanin)
+            current = best_fanin
+        path.reverse()
+        return path
+
+    def nodes_with_slack(self, threshold: float) -> list[str]:
+        """Internal nodes whose slack strictly exceeds ``threshold``."""
+        return [
+            name
+            for name in self.network.gates()
+            if self.slack(name) > threshold
+        ]
+
+
+__all__ = ["TimingAnalysis"]

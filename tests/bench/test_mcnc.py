@@ -1,0 +1,69 @@
+"""MCNC registry tests."""
+
+import pytest
+
+from repro.bench.mcnc import CIRCUITS, MCNC_NAMES, load_circuit
+from repro.bench.paper_data import PAPER_AVERAGES, PAPER_TABLE1, PAPER_TABLE2
+from repro.netlist.validate import check_network
+
+
+def test_all_39_paper_circuits_present():
+    assert len(CIRCUITS) == 39
+    assert set(CIRCUITS) == set(PAPER_TABLE1) == set(PAPER_TABLE2)
+
+
+def test_load_unknown_circuit():
+    with pytest.raises(KeyError):
+        load_circuit("c17")
+
+
+def test_loaded_circuits_carry_their_name():
+    net = load_circuit("C432")
+    assert net.name == "C432"
+    check_network(net)
+
+
+def test_loading_is_deterministic():
+    a = load_circuit("k2")
+    b = load_circuit("k2")
+    assert a.stats() == b.stats()
+    assert a.topological() == b.topological()
+
+
+@pytest.mark.parametrize("name", ["z4ml", "pm1", "x2", "i1", "lal"])
+def test_small_circuits_build_and_check(name):
+    check_network(load_circuit(name))
+
+
+def test_paper_table1_transcription_sanity():
+    # The published averages match the per-circuit columns.
+    rows = PAPER_TABLE1.values()
+    assert sum(r.cvs_pct for r in rows) / len(PAPER_TABLE1) == \
+        pytest.approx(PAPER_AVERAGES["cvs_pct"], abs=0.01)
+    assert sum(r.dscale_pct for r in rows) / len(PAPER_TABLE1) == \
+        pytest.approx(PAPER_AVERAGES["dscale_pct"], abs=0.01)
+    assert sum(r.gscale_pct for r in rows) / len(PAPER_TABLE1) == \
+        pytest.approx(PAPER_AVERAGES["gscale_pct"], abs=0.01)
+
+
+def test_paper_table2_internal_consistency():
+    for name, row in PAPER_TABLE2.items():
+        if row.gates:
+            assert row.cvs_low / row.gates == pytest.approx(
+                row.cvs_ratio, abs=0.012
+            ), name
+            assert row.gscale_low / row.gates == pytest.approx(
+                row.gscale_ratio, abs=0.012
+            ), name
+
+
+def test_paper_orderings_hold_in_transcription():
+    for name, row in PAPER_TABLE1.items():
+        assert row.cvs_pct <= row.dscale_pct + 1e-9, name
+        assert row.cvs_pct <= row.gscale_pct + 1e-9, name
+
+
+def test_family_annotations_exist():
+    for spec in CIRCUITS.values():
+        assert spec.family
+        assert callable(spec.generator)

@@ -1,0 +1,108 @@
+"""Shared fixtures: one library and match table for the whole run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.library.compass import build_compass_library
+from repro.mapping.match import MatchTable
+from repro.netlist.blif import parse_blif
+
+ADDER_BLIF = """
+.model adder3
+.inputs a0 a1 a2 b0 b1 b2 cin
+.outputs s0 s1 s2 cout
+.names a0 b0 cin s0
+001 1
+010 1
+100 1
+111 1
+.names a0 b0 cin c1
+11- 1
+1-1 1
+-11 1
+.names a1 b1 c1 s1
+001 1
+010 1
+100 1
+111 1
+.names a1 b1 c1 c2
+11- 1
+1-1 1
+-11 1
+.names a2 b2 c2 s2
+001 1
+010 1
+100 1
+111 1
+.names a2 b2 c2 cout
+11- 1
+1-1 1
+-11 1
+.end
+"""
+
+CONTROL_BLIF = """
+.model ctl
+.inputs a b c d e
+.outputs f g h
+.names a b p1
+11 1
+.names c d p2
+10 1
+01 1
+.names b e p3
+0- 1
+-1 1
+.names p1 p2 f
+1- 1
+-1 1
+.names p2 p3 g
+11 1
+.names p1 p3 e h
+1-0 1
+-11 1
+.end
+"""
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The enriched (5 V, 4.3 V) COMPASS-class library."""
+    return build_compass_library()
+
+
+@pytest.fixture(scope="session")
+def match_table(library):
+    return MatchTable(library)
+
+
+@pytest.fixture()
+def adder_network():
+    return parse_blif(ADDER_BLIF)
+
+
+@pytest.fixture()
+def control_network():
+    return parse_blif(CONTROL_BLIF)
+
+
+@pytest.fixture()
+def mapped_adder(library, match_table):
+    """A mapped 3-bit ripple adder (fresh per test; tests may mutate)."""
+    from repro.mapping.mapper import map_network
+    from repro.opt.script import rugged
+
+    network = parse_blif(ADDER_BLIF)
+    rugged(network)
+    return map_network(network, library, match_table=match_table)
+
+
+@pytest.fixture()
+def mapped_control(library, match_table):
+    from repro.mapping.mapper import map_network
+    from repro.opt.script import rugged
+
+    network = parse_blif(CONTROL_BLIF)
+    rugged(network)
+    return map_network(network, library, match_table=match_table)

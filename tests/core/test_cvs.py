@@ -1,0 +1,146 @@
+"""CVS (clustered voltage scaling) tests: the paper's baseline invariants."""
+
+import pytest
+
+from repro.bench.generators import mixed_datapath, pla_control, ripple_adder
+from repro.core.cvs import run_cvs
+from repro.core.state import ScalingOptions, ScalingState
+from repro.flow.experiment import prepare_circuit
+
+
+@pytest.fixture(scope="module")
+def prepared(library):
+    from repro.mapping.match import MatchTable
+
+    network = mixed_datapath(width=8, n_control=6, n_products=14, seed=21)
+    return prepare_circuit(network, library,
+                           match_table=MatchTable(library))
+
+
+def fresh_state(prepared, library, slack=1.0):
+    network = prepared.fresh_copy()
+    return ScalingState(network, library,
+                        tspec=prepared.tspec * slack,
+                        activity=prepared.activity)
+
+
+def test_cluster_property(prepared, library):
+    """Every fanout of a low gate is low: the defining CVS restriction."""
+    state = fresh_state(prepared, library)
+    run_cvs(state)
+    assert state.n_low > 0
+    for name in state.low_nodes():
+        for reader in state.network.fanouts(name):
+            assert state.is_low(reader), f"{name} drives high {reader}"
+
+
+def test_no_internal_converters(prepared, library):
+    state = fresh_state(prepared, library)
+    run_cvs(state)
+    assert state.lc_edges == set()  # lc_at_outputs=False default
+
+
+def test_timing_met_after_cvs(prepared, library):
+    state = fresh_state(prepared, library)
+    run_cvs(state)
+    analysis = state.timing()
+    assert analysis.meets_timing()
+    state.validate()
+
+
+def test_cvs_saves_power(prepared, library):
+    state = fresh_state(prepared, library)
+    before = state.power().total
+    run_cvs(state)
+    assert state.power().total < before
+
+
+def test_tcb_definition(prepared, library):
+    """TCB = high gates, topologically eligible, blocked by timing only."""
+    state = fresh_state(prepared, library)
+    result = run_cvs(state)
+    for name in result.tcb:
+        assert not state.is_low(name)
+        readers = state.network.fanouts(name)
+        assert all(state.is_low(r) for r in readers)
+        # Demoting a TCB member must break timing.
+        from repro.core.gscale import demotion_shortfall
+
+        analysis = state.timing()
+        assert demotion_shortfall(state, analysis, name) > 0
+
+
+def test_cvs_idempotent(prepared, library):
+    state = fresh_state(prepared, library)
+    first = run_cvs(state)
+    second = run_cvs(state)
+    assert second.demoted == []
+    assert second.tcb == first.tcb
+
+
+def test_zero_slack_budget_keeps_timing(prepared, library):
+    # tspec exactly at the current worst delay: gates on critical paths
+    # cannot absorb the 24% low-voltage penalty, but shallow cones may;
+    # either way the constraint must still hold afterwards.
+    state = fresh_state(prepared, library)
+    state.tspec = state.timing().worst_delay
+    run_cvs(state)
+    analysis = state.timing()
+    assert analysis.meets_timing(1e-9)
+    critical = analysis.critical_path()
+    assert any(not state.is_low(name) for name in critical
+               if not state.network.nodes[name].is_input)
+
+
+def test_loose_timing_demotes_everything(prepared, library):
+    state = fresh_state(prepared, library, slack=10.0)
+    run_cvs(state)
+    assert state.low_ratio == 1.0
+
+
+def test_demotions_monotone_in_slack(prepared, library):
+    tight = fresh_state(prepared, library, slack=1.0)
+    loose = fresh_state(prepared, library, slack=1.1)
+    run_cvs(tight)
+    run_cvs(loose)
+    assert loose.n_low >= tight.n_low
+
+
+def test_extends_existing_cluster(prepared, library):
+    """Gscale's re-invocation: CVS must extend, not restart."""
+    state = fresh_state(prepared, library)
+    run_cvs(state)
+    demoted_before = set(state.low_nodes())
+    state.tspec *= 1.05  # simulate new slack appearing
+    follow_up = run_cvs(state)
+    assert demoted_before <= set(state.low_nodes())
+    assert all(name not in demoted_before for name in follow_up.demoted)
+
+
+def test_adder_chain_blocks_cvs(library):
+    """Carry chains leave CVS little to harvest (paper: my_adder 11.8%)."""
+    from repro.mapping.match import MatchTable
+
+    prepared = prepare_circuit(ripple_adder(width=12), library,
+                               match_table=MatchTable(library))
+    state = ScalingState(prepared.network, library, tspec=prepared.tspec,
+                         activity=prepared.activity)
+    run_cvs(state)
+    assert 0.0 < state.low_ratio < 1.0
+
+
+def test_po_converter_costs_timing(prepared, library):
+    convert = ScalingState(
+        prepared.fresh_copy(), library, tspec=prepared.tspec,
+        activity=prepared.activity,
+        options=ScalingOptions(lc_at_outputs=True),
+    )
+    keep = ScalingState(
+        prepared.fresh_copy(), library, tspec=prepared.tspec,
+        activity=prepared.activity,
+    )
+    run_cvs(convert)
+    run_cvs(keep)
+    convert.validate()
+    # Boundary conversion consumes slack, so it can only demote fewer.
+    assert convert.n_low <= keep.n_low

@@ -1,0 +1,61 @@
+"""scale_voltage front-door tests."""
+
+import pytest
+
+from repro.core.pipeline import METHODS, scale_voltage
+from repro.flow.experiment import prepare_circuit
+
+
+@pytest.fixture(scope="module")
+def prepared(library):
+    from repro.bench.generators import mixed_datapath
+    from repro.mapping.match import MatchTable
+
+    network = mixed_datapath(width=6, n_control=5, n_products=12, seed=99)
+    return prepare_circuit(network, library,
+                           match_table=MatchTable(library))
+
+
+def test_unknown_method_rejected(prepared, library):
+    with pytest.raises(ValueError, match="method"):
+        scale_voltage(prepared.fresh_copy(), library, prepared.tspec,
+                      method="magic")
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_report_fields_consistent(prepared, library, method):
+    state, report = scale_voltage(
+        prepared.fresh_copy(), library, prepared.tspec, method=method,
+        activity=prepared.activity,
+    )
+    assert report.method == method
+    assert report.power_after_uw <= report.power_before_uw + 1e-9
+    assert report.improvement_pct == pytest.approx(
+        100 * (report.power_before_uw - report.power_after_uw)
+        / report.power_before_uw
+    )
+    assert report.n_low == state.n_low
+    assert report.low_ratio == pytest.approx(state.low_ratio)
+    assert report.n_converters == len(state.lc_edges)
+    assert report.worst_delay_ns <= prepared.tspec + 1e-9
+    assert report.runtime_s >= 0
+
+
+def test_method_ordering_on_this_circuit(prepared, library):
+    """The paper's ordering: CVS <= Dscale and CVS <= Gscale."""
+    improvements = {}
+    for method in METHODS:
+        _, report = scale_voltage(
+            prepared.fresh_copy(), library, prepared.tspec, method=method,
+            activity=prepared.activity,
+        )
+        improvements[method] = report.improvement_pct
+    assert improvements["dscale"] >= improvements["cvs"] - 1e-9
+    assert improvements["gscale"] >= improvements["cvs"] - 1e-9
+
+
+def test_activity_is_optional(prepared, library):
+    state, report = scale_voltage(
+        prepared.fresh_copy(), library, prepared.tspec, method="cvs",
+    )
+    assert report.power_before_uw > 0

@@ -1,0 +1,128 @@
+"""Property-based end-to-end safety: random mapped circuits, all passes.
+
+Hypothesis builds arbitrary mapped DAGs straight out of library cells
+(bypassing the optimizer and mapper), then runs each scaling algorithm
+and asserts the paper's legality invariants: timing met under the
+dual-Vdd delay model, the CVS cluster property, converters exactly on
+low-to-high crossings, power never increased, area inside the budget.
+This sweeps a far wider behavioural space than the curated benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cvs import run_cvs
+from repro.core.dscale import run_dscale
+from repro.core.gscale import run_gscale
+from repro.core.state import ScalingOptions, ScalingState
+from repro.library.compass import build_compass_library
+from repro.netlist.network import Network
+from repro.timing.delay import DelayCalculator
+from repro.timing.sta import TimingAnalysis
+
+_LIBRARY = build_compass_library()
+_CELLS = _LIBRARY.combinational_cells(5.0)
+
+
+def random_mapped_network(seed: int, n_inputs: int, n_gates: int) -> Network:
+    """A random connected mapped DAG over real library cells."""
+    rng = random.Random(seed)
+    net = Network(f"rand{seed}")
+    signals = []
+    for k in range(n_inputs):
+        net.add_input(f"i{k}")
+        signals.append(f"i{k}")
+    for k in range(n_gates):
+        cell = rng.choice(_CELLS)
+        # Bias fanins toward recent signals for depth.
+        fanins = [
+            signals[max(0, len(signals) - 1 - abs(int(rng.gauss(0, 4))))]
+            if rng.random() < 0.7 else rng.choice(signals)
+            for _ in range(cell.n_inputs)
+        ]
+        name = f"g{k}"
+        net.add_node(name, fanins, cell.function, cell)
+        signals.append(name)
+    sinks = [
+        name for name in net.gates() if not net.fanouts(name)
+    ]
+    for name in sinks or net.gates()[-1:]:
+        net.set_output(name)
+    return net
+
+
+def fresh_state(seed: int, n_inputs: int, n_gates: int, slack: float,
+                lc_at_outputs: bool) -> ScalingState:
+    net = random_mapped_network(seed, n_inputs, n_gates)
+    worst = TimingAnalysis(DelayCalculator(net, _LIBRARY), 0.0).worst_delay
+    options = ScalingOptions(lc_at_outputs=lc_at_outputs, n_vectors=64)
+    return ScalingState(net, _LIBRARY, tspec=slack * worst, options=options)
+
+
+circuit_params = st.tuples(
+    st.integers(min_value=0, max_value=10 ** 6),       # seed
+    st.integers(min_value=2, max_value=5),             # inputs
+    st.integers(min_value=4, max_value=28),            # gates
+    st.sampled_from([1.0, 1.1, 1.25, 1.6]),            # slack factor
+    st.booleans(),                                     # lc_at_outputs
+)
+
+
+@given(circuit_params)
+@settings(max_examples=25, deadline=None)
+def test_cvs_invariants_on_random_circuits(params):
+    state = fresh_state(*params)
+    before = state.power().total
+    run_cvs(state)
+    state.validate()
+    if not state.options.lc_at_outputs:
+        # CVS checks timing only (as in the paper); when boundary
+        # converters are charged to this block, a primary-output
+        # demotion can legitimately cost more than it saves.
+        assert state.power().total <= before + 1e-9
+    for name in state.low_nodes():
+        for reader in state.network.fanouts(name):
+            assert state.is_low(reader)
+
+
+@given(circuit_params)
+@settings(max_examples=15, deadline=None)
+def test_dscale_invariants_on_random_circuits(params):
+    state = fresh_state(*params)
+    before = state.power().total
+    run_dscale(state)
+    state.validate()
+    if not state.options.lc_at_outputs:
+        assert state.power().total <= before + 1e-9
+    for driver, reader in state.lc_edges:
+        assert state.is_low(driver)
+
+
+@given(circuit_params)
+@settings(max_examples=12, deadline=None)
+def test_gscale_invariants_on_random_circuits(params):
+    state = fresh_state(*params)
+    before = state.power().total
+    run_gscale(state)
+    state.validate()
+    if not state.options.lc_at_outputs:
+        assert state.power().total <= before + 1e-9
+    assert state.sizing_area_increase_ratio <= 0.10 + 1e-9
+
+
+@given(circuit_params)
+@settings(max_examples=10, deadline=None)
+def test_materialization_agrees_on_random_circuits(params):
+    from repro.core.restore import materialize_converters, materialized_timing
+    from repro.netlist.validate import networks_equivalent
+
+    state = fresh_state(*params)
+    run_dscale(state)
+    design = materialize_converters(state)
+    assert networks_equivalent(state.network, design.network,
+                               match_outputs="by_position")
+    analysis = materialized_timing(state, design)
+    assert analysis.worst_delay <= state.tspec + 1e-6

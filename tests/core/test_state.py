@@ -1,0 +1,163 @@
+"""ScalingState bookkeeping and legality tests."""
+
+import pytest
+
+from repro.core.state import ScalingOptions, ScalingState
+from repro.timing.delay import OUTPUT
+
+
+def make_state(mapped, library, slack=1.5):
+    from repro.timing.delay import DelayCalculator
+    from repro.timing.sta import TimingAnalysis
+
+    dmin = TimingAnalysis(DelayCalculator(mapped, library), 0.0).worst_delay
+    return ScalingState(mapped, library, tspec=slack * dmin)
+
+
+def test_requires_enriched_library(mapped_adder):
+    from repro.library.compass import build_compass_library
+
+    single = build_compass_library(vdd_low=None)
+    with pytest.raises(ValueError, match="enriched"):
+        ScalingState(mapped_adder, single, tspec=100.0)
+
+
+def test_requires_mapped_network(control_network, library):
+    from repro.netlist.validate import NetworkError
+
+    with pytest.raises(NetworkError):
+        ScalingState(control_network, library, tspec=100.0)
+
+
+def test_counts_start_at_zero(mapped_adder, library):
+    state = make_state(mapped_adder, library)
+    assert state.n_low == 0
+    assert state.low_ratio == 0.0
+    assert state.area_increase_ratio == 0.0
+    assert state.n_resized == 0
+
+
+def test_demote_marks_level_and_converters(mapped_adder, library):
+    state = make_state(mapped_adder, library)
+    victim = next(
+        n for n in mapped_adder.gates()
+        if mapped_adder.fanouts(n) and n not in mapped_adder.outputs
+    )
+    edges = state.demote(victim)
+    assert state.is_low(victim)
+    assert set(edges) == {
+        (victim, r) for r in mapped_adder.fanouts(victim)
+    }
+    assert state.n_low == 1
+
+
+def test_demote_guards(mapped_adder, library):
+    state = make_state(mapped_adder, library)
+    with pytest.raises(ValueError):
+        state.demote(mapped_adder.inputs[0])
+    victim = mapped_adder.gates()[0]
+    state.demote(victim)
+    with pytest.raises(ValueError):
+        state.demote(victim)
+
+
+def test_promote_rolls_back(mapped_adder, library):
+    state = make_state(mapped_adder, library)
+    victim = mapped_adder.gates()[0]
+    state.demote(victim)
+    state.promote(victim)
+    assert not state.is_low(victim)
+    assert not any(d == victim for d, _ in state.lc_edges)
+    with pytest.raises(ValueError):
+        state.promote(victim)
+
+
+def test_no_converter_toward_low_reader(mapped_adder, library):
+    state = make_state(mapped_adder, library)
+    victim = next(
+        n for n in mapped_adder.gates()
+        if mapped_adder.fanouts(n) and n not in mapped_adder.outputs
+    )
+    for reader in mapped_adder.fanouts(victim):
+        state.levels[reader] = True
+    assert state.new_lc_edges_for(victim) == []
+
+
+def test_output_converter_policy(mapped_adder, library):
+    out = next(
+        o for o in mapped_adder.outputs
+        if not mapped_adder.nodes[o].is_input
+        and not mapped_adder.fanouts(o)
+    )
+    state = make_state(mapped_adder, library)
+    assert (out, OUTPUT) not in state.demote(out)
+
+    fresh = mapped_adder.copy()
+    state2 = ScalingState(
+        fresh, library, tspec=state.tspec,
+        options=ScalingOptions(lc_at_outputs=True),
+    )
+    assert (out, OUTPUT) in state2.demote(out)
+
+
+def test_resize_same_base_only(mapped_adder, library):
+    state = make_state(mapped_adder, library)
+    victim = mapped_adder.gates()[0]
+    cell = mapped_adder.nodes[victim].cell
+    other_base = next(
+        c for c in library.combinational_cells() if c.base != cell.base
+    )
+    with pytest.raises(ValueError, match="base"):
+        state.resize(victim, other_base)
+
+
+def test_resize_round_trip_not_counted(mapped_adder, library):
+    state = make_state(mapped_adder, library)
+    victim = mapped_adder.gates()[0]
+    original = mapped_adder.nodes[victim].cell
+    other = next(
+        c for c in library.variants(original.base)
+        if c.size != original.size
+    )
+    state.resize(victim, other)
+    assert state.n_resized == 1
+    state.resize(victim, original)
+    assert state.n_resized == 0
+
+
+def test_validate_catches_unconverted_crossing(mapped_adder, library):
+    state = make_state(mapped_adder, library)
+    victim = next(
+        n for n in mapped_adder.gates() if mapped_adder.fanouts(n)
+    )
+    state.levels[victim] = True  # bypass demote() on purpose
+    with pytest.raises(AssertionError, match="unconverted"):
+        state.validate()
+
+
+def test_validate_catches_converter_on_high_driver(mapped_adder, library):
+    state = make_state(mapped_adder, library)
+    name = mapped_adder.gates()[0]
+    reader = next(iter(mapped_adder.fanouts(name)), OUTPUT)
+    state.lc_edges.add((name, reader))
+    with pytest.raises(AssertionError, match="high driver"):
+        state.validate()
+
+
+def test_validate_catches_timing_violation(mapped_adder, library):
+    from repro.timing.delay import DelayCalculator
+    from repro.timing.sta import TimingAnalysis
+
+    dmin = TimingAnalysis(
+        DelayCalculator(mapped_adder, library), 0.0
+    ).worst_delay
+    state = ScalingState(mapped_adder, library, tspec=0.5 * dmin)
+    with pytest.raises(AssertionError, match="timing"):
+        state.validate()
+
+
+def test_power_and_area_reporting(mapped_adder, library):
+    state = make_state(mapped_adder, library)
+    power = state.power()
+    assert power.total > 0
+    assert state.area() == pytest.approx(state.initial_area)

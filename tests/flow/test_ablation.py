@@ -1,0 +1,44 @@
+"""Ablation sweep tests (small circuits; full sweeps live in benchmarks)."""
+
+import pytest
+
+from repro.flow.ablation import (
+    sweep_area_budget,
+    sweep_converter_kind,
+    sweep_max_iter,
+    sweep_voltage_pairs,
+)
+
+CIRCUIT = ["pm1"]
+
+
+def test_max_iter_sweep_monotone_opportunity():
+    points = sweep_max_iter(CIRCUIT, values=(0, 10))
+    by_value = {p.value: p for p in points}
+    assert by_value[10].improvement_pct >= by_value[0].improvement_pct - 1e-9
+    for point in points:
+        assert point.parameter == "max_iter"
+        assert 0 <= point.low_ratio <= 1
+
+
+def test_voltage_sweep_respects_quadratic_ceiling():
+    points = sweep_voltage_pairs(CIRCUIT, lows=(4.6, 4.3))
+    for point in points:
+        ceiling = 100.0 * (1 - (point.value / 5.0) ** 2)
+        assert point.improvement_pct <= ceiling + 1e-6
+
+
+def test_area_budget_sweep():
+    points = sweep_area_budget(CIRCUIT, budgets=(0.0, 0.10))
+    by_budget = {p.value: p for p in points}
+    assert by_budget[0.0].area_increase == pytest.approx(0.0)
+    assert (by_budget[0.10].improvement_pct
+            >= by_budget[0.0].improvement_pct - 1e-9)
+
+
+def test_converter_kind_sweep_runs_both_designs():
+    points = sweep_converter_kind(CIRCUIT)
+    kinds = {p.value for p in points}
+    assert kinds == {"pg", "cm"}
+    for point in points:
+        assert point.improvement_pct >= -1e-9

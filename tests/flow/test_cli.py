@@ -1,0 +1,46 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_circuits_listing(capsys):
+    assert main(["circuits"]) == 0
+    out = capsys.readouterr().out
+    assert "C432" in out and "des" in out
+    assert out.count("\n") == 39
+
+
+def test_library_listing(capsys):
+    assert main(["library"]) == 0
+    out = capsys.readouterr().out
+    assert "compass06" in out
+    assert "nand2" in out and "lc_pg" in out
+
+
+def test_run_single_method(capsys):
+    assert main(["run", "z4ml", "--method", "cvs"]) == 0
+    out = capsys.readouterr().out
+    assert "z4ml" in out and "cvs" in out and "% saved" in out
+
+
+def test_run_blif_file(tmp_path, capsys):
+    blif = tmp_path / "toy.blif"
+    blif.write_text(
+        ".model toy\n.inputs a b c\n.outputs f\n"
+        ".names a b t\n11 1\n.names t c f\n1- 1\n-1 1\n.end\n"
+    )
+    assert main(["run", str(blif), "--method", "gscale"]) == 0
+    out = capsys.readouterr().out
+    assert "toy" in out and "gscale" in out
+
+
+def test_unknown_circuit_raises():
+    with pytest.raises(KeyError):
+        main(["run", "not_a_circuit"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,88 @@
+"""The paper-shape integration test: the claims of section 4, in miniature.
+
+These tests assert the *qualitative* results the paper reports -- the
+per-circuit ordering CVS <= Dscale and CVS <= Gscale, meaningful average
+improvements, Gscale's larger low-voltage fraction, and the small sizing
+footprint -- on a representative subset of the synthetic suite.  The full
+39-circuit tables live in the benchmark harness.
+"""
+
+import pytest
+
+from repro.flow.experiment import run_suite
+from repro.flow.tables import format_table1, format_table2, suite_averages
+
+SUBSET = ["z4ml", "pm1", "mux", "b9", "C432", "my_adder", "sct", "i2"]
+
+
+@pytest.fixture(scope="module")
+def results(library):
+    return run_suite(SUBSET, library)
+
+
+def test_per_circuit_ordering(results):
+    """Paper Table 1: Dscale >= CVS and Gscale >= CVS on every circuit."""
+    for row in results:
+        assert row.improvement("dscale") >= row.improvement("cvs") - 1e-9, \
+            row.name
+        assert row.improvement("gscale") >= row.improvement("cvs") - 1e-9, \
+            row.name
+
+
+def test_gscale_dominates_on_average(results):
+    averages = suite_averages(results)
+    assert averages["gscale_pct"] >= averages["dscale_pct"] - 1e-9
+    assert averages["dscale_pct"] >= averages["cvs_pct"] - 1e-9
+
+
+def test_average_improvement_bands(results):
+    """Averages in the DESIGN.md fidelity bands around the paper's
+    10.27 / 12.09 / 19.12."""
+    averages = suite_averages(results)
+    assert 3.0 <= averages["cvs_pct"] <= 20.0
+    assert averages["cvs_pct"] <= averages["dscale_pct"] <= 22.0
+    assert 8.0 <= averages["gscale_pct"] <= 26.04
+
+
+def test_gscale_raises_low_ratio(results):
+    """Paper Table 2: Gscale turns substantially more gates low."""
+    averages = suite_averages(results)
+    assert averages["gscale_ratio"] >= averages["cvs_ratio"] + 0.10
+    assert averages["gscale_ratio"] <= 1.0
+
+
+def test_area_increase_small(results):
+    """Paper Table 2: average area increase ~1%, bounded by the budget."""
+    averages = suite_averages(results)
+    assert averages["area_increase"] <= 0.10 + 1e-9
+    for row in results:
+        assert row.reports["gscale"].area_increase_ratio <= 0.10 + 1e-9
+
+
+def test_improvement_never_exceeds_physical_bound(results):
+    """(1 - (4.3/5)^2) = 26.04% caps any improvement."""
+    for row in results:
+        for report in row.reports.values():
+            assert report.improvement_pct <= 26.04 + 1e-6
+
+
+def test_balanced_circuits_resist_cvs(results):
+    """i2-style balanced trees give CVS little (paper: 0.00%)."""
+    by_name = {row.name: row for row in results}
+    assert by_name["i2"].improvement("cvs") < 10.0
+
+
+def test_timing_respected_everywhere(results):
+    for row in results:
+        for report in row.reports.values():
+            assert report.worst_delay_ns <= report.tspec_ns + 1e-9
+
+
+def test_tables_render(results):
+    table1 = format_table1(results)
+    table2 = format_table2(results)
+    for row in results:
+        assert row.name in table1
+        assert row.name in table2
+    assert "average" in table1
+    assert "| paper" in table1

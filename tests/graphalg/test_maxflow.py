@@ -1,0 +1,105 @@
+"""Edmonds-Karp max-flow tests."""
+
+import pytest
+
+from repro.graphalg.maxflow import INFINITY, FlowNetwork, max_flow
+
+
+def test_single_edge():
+    value, cut = max_flow([("s", "t", 5)], "s", "t")
+    assert value == 5
+    assert cut == {"s"}
+
+
+def test_series_bottleneck():
+    value, _ = max_flow([("s", "a", 10), ("a", "t", 3)], "s", "t")
+    assert value == 3
+
+
+def test_parallel_paths_add():
+    edges = [("s", "a", 4), ("a", "t", 4), ("s", "b", 6), ("b", "t", 6)]
+    value, _ = max_flow(edges, "s", "t")
+    assert value == 10
+
+
+def test_classic_clrs_network():
+    # The textbook example the paper cites (CLRS ch. 26/27), max flow 23.
+    edges = [
+        ("s", "v1", 16), ("s", "v2", 13), ("v1", "v3", 12),
+        ("v2", "v1", 4), ("v2", "v4", 14), ("v3", "v2", 9),
+        ("v3", "t", 20), ("v4", "v3", 7), ("v4", "t", 4),
+    ]
+    value, _ = max_flow(edges, "s", "t")
+    assert value == 23
+
+
+def test_disconnected_graph_zero_flow():
+    value, cut = max_flow([("s", "a", 5), ("b", "t", 5)], "s", "t")
+    assert value == 0
+    assert "t" not in cut
+
+
+def test_min_cut_separates():
+    edges = [("s", "a", 2), ("a", "b", 1), ("b", "t", 2)]
+    network = FlowNetwork()
+    for u, v, c in edges:
+        network.add_edge(u, v, c)
+    assert network.run_max_flow("s", "t") == 1
+    side = network.min_cut_source_side("s")
+    assert "s" in side and "t" not in side
+    # The only unit-capacity edge crosses the cut.
+    assert ("a" in side) != ("b" in side) or side == {"s", "a"}
+
+
+def test_parallel_edges_merge():
+    network = FlowNetwork()
+    network.add_edge("s", "t", 2)
+    network.add_edge("s", "t", 3)
+    assert network.run_max_flow("s", "t") == 5
+
+
+def test_self_loop_ignored():
+    network = FlowNetwork()
+    network.add_edge("s", "s", 5)
+    network.add_edge("s", "t", 1)
+    assert network.run_max_flow("s", "t") == 1
+
+
+def test_negative_capacity_rejected():
+    network = FlowNetwork()
+    with pytest.raises(ValueError):
+        network.add_edge("a", "b", -1)
+
+
+def test_same_source_sink_rejected():
+    network = FlowNetwork()
+    network.add_edge("s", "t", 1)
+    with pytest.raises(ValueError):
+        network.run_max_flow("s", "s")
+
+
+def test_flow_conservation():
+    edges = [
+        ("s", "a", 7), ("s", "b", 5), ("a", "b", 3),
+        ("a", "t", 4), ("b", "t", 8),
+    ]
+    network = FlowNetwork()
+    for u, v, c in edges:
+        network.add_edge(u, v, c)
+    total = network.run_max_flow("s", "t")
+    for node in ("a", "b"):
+        inflow = sum(
+            max(network.flow.get((u, node), 0), 0)
+            for u in network.adjacency[node]
+        )
+        outflow = sum(
+            max(network.flow.get((node, v), 0), 0)
+            for v in network.adjacency[node]
+        )
+        assert inflow == outflow
+    assert total == 12
+
+
+def test_infinity_is_effectively_unbounded():
+    value, _ = max_flow([("s", "t", INFINITY)], "s", "t")
+    assert value == INFINITY

@@ -1,0 +1,107 @@
+"""Cell / Library container tests."""
+
+import pytest
+
+from repro.library.cells import Cell, Library, WireModel
+from repro.netlist.functions import TruthTable
+
+
+def make_cell(name="x_d0", base="x", size=0, vdd=5.0, n=2, drive=0.01):
+    return Cell(
+        name=name, base=base, size=size,
+        function=TruthTable.and_(n), area=1.0,
+        input_caps=tuple([8.0] * n), intrinsics=tuple([0.1] * n),
+        drive_res=drive, internal_energy=10.0, vdd=vdd,
+    )
+
+
+class TestCell:
+    def test_pin_attribute_arity_check(self):
+        with pytest.raises(ValueError, match="pin attribute"):
+            Cell("bad", "bad", 0, TruthTable.and_(2), 1.0, (8.0,),
+                 (0.1, 0.1), 0.01, 10.0, 5.0)
+
+    def test_positive_area_and_drive(self):
+        with pytest.raises(ValueError):
+            make_cell(drive=0.0)
+
+    def test_pin_delay_linear_in_load(self):
+        cell = make_cell()
+        assert cell.pin_delay(0, 0.0) == pytest.approx(0.1)
+        assert cell.pin_delay(0, 50.0) == pytest.approx(0.6)
+
+    def test_max_delay_uses_worst_pin(self):
+        cell = Cell("y_d0", "y", 0, TruthTable.and_(2), 1.0, (8.0, 8.0),
+                    (0.1, 0.3), 0.01, 10.0, 5.0)
+        assert cell.max_delay(10.0) == pytest.approx(0.4)
+
+    def test_n_inputs(self):
+        assert make_cell(n=3).n_inputs == 3
+
+
+class TestWireModel:
+    def test_zero_fanout_is_free(self):
+        assert WireModel().cap(0) == 0.0
+
+    def test_monotone_in_fanout(self):
+        wire = WireModel()
+        assert wire.cap(1) < wire.cap(2) < wire.cap(5)
+
+
+class TestLibrary:
+    def test_duplicate_cell_rejected(self):
+        lib = Library("l", 5.0)
+        lib.add(make_cell())
+        with pytest.raises(ValueError):
+            lib.add(make_cell())
+
+    def test_variants_sorted_by_size(self):
+        lib = Library("l", 5.0)
+        lib.add(make_cell("x_d1", size=1))
+        lib.add(make_cell("x_d0", size=0))
+        assert [c.size for c in lib.variants("x")] == [0, 1]
+
+    def test_variants_unknown_base(self):
+        with pytest.raises(KeyError):
+            Library("l", 5.0).variants("nope")
+
+    def test_matching_by_function(self):
+        lib = Library("l", 5.0)
+        cell = lib.add(make_cell())
+        assert lib.matching(TruthTable.and_(2)) == [cell]
+        assert lib.matching(TruthTable.or_(2)) == []
+
+    def test_twin_lookup(self):
+        lib = Library("l", 5.0)
+        lib.add(make_cell())
+        lib.enrich_low_voltage(4.3)
+        twin = lib.twin(lib.cell("x_d0"), 4.3)
+        assert twin.vdd == 4.3
+        assert twin.size == 0
+
+    def test_next_size_up(self):
+        lib = Library("l", 5.0)
+        d0 = lib.add(make_cell("x_d0", size=0))
+        d1 = lib.add(make_cell("x_d1", size=1))
+        assert lib.next_size_up(d0) is d1
+        assert lib.next_size_up(d1) is None
+
+    def test_enrich_guards(self):
+        lib = Library("l", 5.0)
+        lib.add(make_cell())
+        with pytest.raises(ValueError):
+            lib.enrich_low_voltage(5.5)
+        lib.enrich_low_voltage(4.3)
+        with pytest.raises(ValueError, match="already"):
+            lib.enrich_low_voltage(4.0)
+
+    def test_enrichment_doubles_combinational_cells(self):
+        lib = Library("l", 5.0)
+        lib.add(make_cell())
+        lib.enrich_low_voltage(4.3)
+        assert len(lib.combinational_cells(5.0)) == 1
+        assert len(lib.combinational_cells(4.3)) == 1
+
+    def test_level_converter_lookup_missing(self):
+        with pytest.raises(KeyError):
+            Library("l", 5.0).level_converter("pg")

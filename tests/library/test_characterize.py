@@ -1,0 +1,91 @@
+"""Alpha-power-law characterization tests (the SPICE substitute)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.library.characterize import (
+    dc_leakage_power,
+    delay_scale,
+    derate_cell,
+    energy_scale,
+)
+from repro.library.compass import build_compass_library
+
+
+class TestDelayScale:
+    def test_identity_at_reference(self):
+        assert delay_scale(5.0, 5.0) == pytest.approx(1.0)
+
+    def test_paper_operating_point(self):
+        # (5 V -> 4.3 V) with Vth=0.8, alpha=2.0: ~1.24x slower.
+        scale = delay_scale(4.3, 5.0)
+        assert 1.20 < scale < 1.28
+
+    def test_rejects_subthreshold(self):
+        with pytest.raises(ValueError):
+            delay_scale(0.5, 5.0)
+
+    @given(st.floats(min_value=2.0, max_value=4.9))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_slower_at_lower_vdd(self, vdd):
+        assert delay_scale(vdd, 5.0) > 1.0
+
+    def test_alpha_sensitivity(self):
+        # More velocity saturation (lower alpha) means a milder penalty.
+        mild = delay_scale(4.3, 5.0, alpha=1.2)
+        harsh = delay_scale(4.3, 5.0, alpha=2.0)
+        assert mild < harsh
+
+
+class TestEnergyScale:
+    def test_quadratic(self):
+        assert energy_scale(4.3, 5.0) == pytest.approx((4.3 / 5.0) ** 2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            energy_scale(0.0, 5.0)
+
+
+class TestDerate:
+    def test_low_twin_slower_and_cheaper(self):
+        library = build_compass_library()
+        for cell in library.combinational_cells(5.0):
+            twin = derate_cell(cell, 4.3)
+            assert twin.vdd == 4.3
+            assert twin.drive_res > cell.drive_res
+            assert all(
+                lo > hi for lo, hi in zip(twin.intrinsics, cell.intrinsics)
+            )
+            assert twin.internal_energy < cell.internal_energy
+            # Same transistors: caps and area unchanged.
+            assert twin.input_caps == cell.input_caps
+            assert twin.area == cell.area
+
+    def test_naming_convention(self):
+        library = build_compass_library(vdd_low=None)
+        cell = library.cell("inv_d0")
+        assert derate_cell(cell, 4.3).name == "inv_d0_lv"
+
+
+class TestDcLeakage:
+    def test_zero_without_voltage_gap(self):
+        assert dc_leakage_power(5.0, 5.0) == 0.0
+
+    def test_grows_with_gap(self):
+        mild = dc_leakage_power(5.0, 4.3)
+        harsh = dc_leakage_power(5.0, 3.3)
+        assert 0 < mild < harsh
+
+    def test_motivates_level_restoration(self):
+        """An unconverted crossing leaks more than a converter costs.
+
+        The paper's premise: DC leakage of a low->high crossing can
+        exceed the restoration circuitry's switching power -- here a
+        0.7 V underdrive leaks ~uW-scale static power, larger than a
+        converter's dynamic power at 20 MHz and typical activity.
+        """
+        leak = dc_leakage_power(5.0, 4.3)
+        library = build_compass_library()
+        lc = library.level_converter("pg")
+        lc_dynamic = 0.25 * 20.0 * (lc.internal_energy + 15 * 25) * 1e-3
+        assert leak > lc_dynamic

@@ -1,0 +1,82 @@
+"""Synthetic COMPASS library structure tests (paper section 4 setup)."""
+
+import pytest
+
+from repro.library.compass import build_compass_library
+from repro.netlist.functions import TruthTable
+
+
+def test_seventy_two_combinational_cells(library):
+    assert len(library.combinational_cells(5.0)) == 72
+
+
+def test_inverting_cells_have_three_sizes(library):
+    for base in ("inv", "nand2", "nor4", "xnor2", "aoi21", "oai211"):
+        assert [c.size for c in library.variants(base)] == [0, 1, 2]
+
+
+def test_non_inverting_cells_have_two_sizes(library):
+    for base in ("buf", "and2", "or4", "xor2", "mux2", "maj3", "ao21"):
+        assert [c.size for c in library.variants(base)] == [0, 1]
+
+
+def test_both_level_converter_designs_present(library):
+    kinds = {c.base for c in library.level_converters(5.0)}
+    assert kinds == {"lc_pg", "lc_cm"}
+    assert library.level_converter("pg").is_level_converter
+    assert library.level_converter("cm").is_level_converter
+
+
+def test_level_converters_not_twinned(library):
+    assert library.level_converters(4.3) == []
+
+
+def test_enriched_library_has_low_twins(library):
+    assert library.vdd_low == 4.3
+    assert len(library.combinational_cells(4.3)) == 72
+
+
+def test_cell_functions_are_correct(library):
+    assert library.cell("nand2_d0").function == TruthTable.nand(2)
+    assert library.cell("xor3_d0").function == TruthTable.xor(3)
+    assert library.cell("mux2_d0").function == TruthTable.mux()
+    assert library.cell("maj3_d1").function == TruthTable.majority()
+    aoi21 = library.cell("aoi21_d0").function
+    assert aoi21.evaluate([1, 1, 0]) == 0
+    assert aoi21.evaluate([0, 0, 0]) == 1
+    ao21 = library.cell("ao21_d0").function
+    assert ao21.evaluate([1, 1, 0]) == 1
+
+
+def test_size_scaling_trades_cap_for_drive(library):
+    d0, d1, d2 = library.variants("nand2")
+    assert d0.drive_res > d1.drive_res > d2.drive_res
+    assert d0.input_caps[0] < d1.input_caps[0] < d2.input_caps[0]
+    assert d0.area < d1.area < d2.area
+    assert d0.internal_energy < d2.internal_energy
+
+
+def test_larger_series_stacks_are_slower(library):
+    assert (library.cell("nand2_d0").intrinsics[0]
+            < library.cell("nand4_d0").intrinsics[0])
+    assert (library.cell("nor2_d0").drive_res
+            < library.cell("nor4_d0").drive_res)
+
+
+def test_single_supply_library():
+    single = build_compass_library(vdd_low=None)
+    assert single.vdd_low is None
+    assert len(single.cells) == 74  # 72 + two converters
+
+
+def test_alternate_voltage_pair():
+    lib = build_compass_library(vdd_high=3.3, vdd_low=2.7, vth=0.5)
+    assert lib.vdd_high == 3.3
+    assert lib.vdd_low == 2.7
+    low = lib.twin(lib.cell("inv_d0"), 2.7)
+    assert low.drive_res > lib.cell("inv_d0").drive_res
+
+
+def test_every_cell_name_encodes_base_and_size(library):
+    for cell in library.combinational_cells(5.0):
+        assert cell.name == f"{cell.base}_d{cell.size}"

@@ -1,0 +1,51 @@
+"""genlib export tests."""
+
+import pytest
+
+from repro.library.genlib import cell_expression, write_genlib
+from repro.netlist.functions import TruthTable
+
+
+def test_expression_for_simple_gates(library):
+    assert cell_expression(library.cell("and2_d0")) == "a*b"
+    assert cell_expression(library.cell("or2_d0")) in ("a+b", "b+a")
+    assert cell_expression(library.cell("inv_d0")) == "!a"
+    assert cell_expression(library.cell("buf_d0")) == "a"
+
+
+def test_expression_round_trips_through_cubes(library):
+    # Every exported expression's cube form equals the cell function.
+    for cell in library.combinational_cells(5.0):
+        expression = cell_expression(cell)
+        assert expression
+        # Count of OR terms equals the minimized cover size.
+        from repro.opt.simplify import minimize_cubes
+
+        assert expression.count("+") == len(minimize_cubes(cell.function)) - 1
+
+
+def test_genlib_contains_every_cell(library):
+    text = write_genlib(library)
+    for cell in library.cells.values():
+        assert f"GATE {cell.name} " in text
+
+
+def test_genlib_pin_lines_match_arity(library):
+    text = write_genlib(library)
+    nand4 = [
+        block for block in text.split("GATE ") if block.startswith("nand4_d0 ")
+    ][0]
+    assert nand4.count("PIN ") == 4
+
+
+def test_genlib_sections_per_rail(library):
+    text = write_genlib(library)
+    assert "characterized at 5.0 V" in text
+    assert "characterized at 4.3 V" in text
+    assert "level converters" in text
+
+
+def test_genlib_write_to_file(tmp_path, library):
+    target = tmp_path / "compass.genlib"
+    write_genlib(library, target)
+    assert target.read_text().startswith("# library compass06")

@@ -1,0 +1,140 @@
+"""Technology-mapper tests: covering, sizing passes, invariants."""
+
+import pytest
+
+from repro.bench.generators import multiplier, pla_control, ripple_adder
+from repro.mapping.mapper import (
+    enumerate_cuts,
+    map_network,
+    recover_area,
+    speed_up_sizing,
+)
+from repro.mapping.subject import to_subject_graph
+from repro.netlist.validate import check_network, networks_equivalent
+from repro.opt.script import rugged
+from repro.timing.delay import DelayCalculator
+from repro.timing.sta import TimingAnalysis
+
+
+@pytest.mark.parametrize("factory, kwargs", [
+    (ripple_adder, {"width": 3}),
+    (multiplier, {"width": 3}),
+    (pla_control, {"n_inputs": 10, "n_outputs": 5, "n_products": 12,
+                   "seed": 3}),
+])
+def test_mapping_preserves_function(factory, kwargs, library, match_table):
+    network = factory(**kwargs)
+    rugged(network)
+    mapped = map_network(network, library, match_table=match_table)
+    check_network(mapped, require_mapped=True)
+    assert networks_equivalent(network, mapped)
+
+
+def test_every_gate_bound_to_real_cell(mapped_adder, library):
+    for name in mapped_adder.gates():
+        cell = mapped_adder.nodes[name].cell
+        assert library.cell(cell.name) is cell
+        assert cell.vdd == library.vdd_high
+
+
+def test_interface_preserved(adder_network, library, match_table):
+    inputs = list(adder_network.inputs)
+    outputs = list(adder_network.outputs)
+    rugged(adder_network)
+    mapped = map_network(adder_network, library, match_table=match_table)
+    assert mapped.inputs == inputs
+    assert mapped.outputs == outputs
+
+
+def test_cut_enumeration_shapes(control_network, library):
+    rugged(control_network)
+    subject = to_subject_graph(control_network)
+    cuts = enumerate_cuts(subject, max_leaves=5, per_node=6)
+    for name in subject.topological():
+        node_cuts = cuts[name]
+        assert node_cuts, f"no cuts for {name}"
+        # Trivial self-cut always present (last).
+        assert node_cuts[-1].leaves == (name,)
+        for cut in node_cuts:
+            assert len(cut.leaves) <= 5
+            assert cut.table.n_inputs == len(cut.leaves)
+            assert list(cut.leaves) == sorted(cut.leaves)
+
+
+def test_cut_functions_are_correct(control_network, library):
+    rugged(control_network)
+    subject = to_subject_graph(control_network)
+    cuts = enumerate_cuts(subject, max_leaves=4, per_node=8)
+    import random
+
+    rng = random.Random(0)
+    for name in subject.gates():
+        for cut in cuts[name][:3]:
+            if cut.leaves == (name,):
+                continue
+            for _ in range(8):
+                assignment = {
+                    leaf: rng.randint(0, 1) for leaf in subject.inputs
+                }
+                values = subject.evaluate(assignment)
+                leaf_values = [values[leaf] for leaf in cut.leaves]
+                assert cut.table.evaluate(leaf_values) == values[name]
+
+
+def test_xor_rich_logic_uses_xor_cells(library, match_table):
+    network = ripple_adder(width=6)
+    rugged(network)
+    mapped = map_network(network, library, match_table=match_table)
+    bases = {mapped.nodes[g].cell.base for g in mapped.gates()}
+    assert bases & {"xor2", "xor3", "xnor2"}, bases
+    assert bases & {"maj3", "aoi21", "oai21", "and2", "nand2", "or2",
+                    "nor2", "ao21", "mux2"}
+
+
+def test_speed_up_sizing_never_hurts(mapped_adder, library):
+    before = TimingAnalysis(
+        DelayCalculator(mapped_adder, library), 0.0
+    ).worst_delay
+    after = speed_up_sizing(mapped_adder, library)
+    assert after <= before + 1e-12
+
+
+def test_recover_area_respects_tspec(mapped_control, library):
+    dmin = speed_up_sizing(mapped_control, library)
+    tspec = 1.2 * dmin
+    area_before = sum(
+        mapped_control.nodes[g].cell.area for g in mapped_control.gates()
+    )
+    resized = recover_area(mapped_control, library, tspec)
+    area_after = sum(
+        mapped_control.nodes[g].cell.area for g in mapped_control.gates()
+    )
+    final = TimingAnalysis(DelayCalculator(mapped_control, library), tspec)
+    assert final.meets_timing()
+    assert area_after <= area_before
+    assert resized >= 0
+
+
+def test_recover_area_rejects_broken_input(mapped_control, library):
+    with pytest.raises(ValueError, match="misses tspec"):
+        recover_area(mapped_control, library, tspec=1e-6)
+
+
+def test_recovery_preserves_function(mapped_adder, library):
+    reference = mapped_adder.copy()
+    dmin = speed_up_sizing(mapped_adder, library)
+    recover_area(mapped_adder, library, 1.3 * dmin)
+    assert networks_equivalent(reference, mapped_adder)
+    check_network(mapped_adder, require_mapped=True)
+
+
+def test_tighter_tspec_keeps_more_area(mapped_control, library):
+    import copy
+
+    dmin = speed_up_sizing(mapped_control, library)
+    loose = mapped_control.copy()
+    tight = mapped_control.copy()
+    recover_area(loose, library, 1.5 * dmin)
+    recover_area(tight, library, 1.02 * dmin)
+    area = lambda net: sum(net.nodes[g].cell.area for g in net.gates())
+    assert area(loose) <= area(tight) + 1e-9

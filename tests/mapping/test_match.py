@@ -1,0 +1,63 @@
+"""Cell matching (function + permutation) tests."""
+
+import pytest
+
+from repro.netlist.functions import TruthTable
+
+
+def test_symmetric_cells_match_their_function(match_table):
+    matches = match_table.matches(TruthTable.nand(2))
+    assert {cell.base for cell, _ in matches} == {"nand2"}
+    # All three sizes, one canonical permutation each.
+    assert len(matches) == 3
+
+
+def test_permutation_recovers_asymmetric_functions(match_table):
+    # mux over a permuted leaf order is still matchable.
+    mux = TruthTable.mux()
+    permuted = mux.permute([1, 0, 2])
+    matches = match_table.matches(permuted)
+    assert matches, "mux must match under leaf permutation"
+    for cell, pi in matches:
+        rebuilt = cell.function.compose(
+            [TruthTable.var(3, pi[k]) for k in range(3)]
+        )
+        assert rebuilt == permuted
+
+
+def test_permutation_semantics_documented(match_table):
+    """pin k of the matched cell connects to leaf pi[k]."""
+    aoi21 = TruthTable.from_function(3, lambda a, b, c: not ((a and b) or c))
+    # Rotate leaves: the function over (x, y, z) = not((y and z) or x).
+    rotated = TruthTable.from_function(3, lambda x, y, z: not ((y and z) or x))
+    matches = [m for m in match_table.matches(rotated)
+               if m[0].base == "aoi21"]
+    assert matches
+    cell, pi = matches[0]
+    rebuilt = cell.function.compose(
+        [TruthTable.var(3, pi[k]) for k in range(3)]
+    )
+    assert rebuilt == rotated
+
+
+def test_max_arity(match_table):
+    assert match_table.max_arity == 5
+
+
+def test_unmatchable_function_returns_empty(match_table):
+    weird = TruthTable(4, 0b0110100110010110 ^ 0b1)  # tweaked parity
+    # 4-input almost-parity exists in no library cell.
+    assert match_table.matches(weird) == []
+
+
+def test_level_converters_not_matchable(match_table):
+    # Identity matches buf cells only, never the converters.
+    matches = match_table.matches(TruthTable.identity())
+    assert matches
+    assert all(not cell.is_level_converter for cell, _ in matches)
+
+
+def test_every_library_function_is_matchable(match_table, library):
+    for cell in library.combinational_cells(5.0):
+        matches = match_table.matches(cell.function)
+        assert any(found.name == cell.name for found, _ in matches)

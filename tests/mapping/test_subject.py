@@ -1,0 +1,70 @@
+"""Subject-graph construction tests."""
+
+import pytest
+
+from repro.mapping.subject import is_primitive, to_subject_graph
+from repro.netlist.functions import TruthTable
+from repro.netlist.network import Network
+from repro.netlist.validate import networks_equivalent
+from repro.opt.script import rugged
+
+
+def test_primitive_set():
+    assert is_primitive(TruthTable.and_(2))
+    assert is_primitive(TruthTable.or_(2))
+    assert is_primitive(TruthTable.xor(2))
+    assert is_primitive(TruthTable.inverter())
+    assert is_primitive(TruthTable.identity())
+    assert not is_primitive(TruthTable.nand(2))
+    assert not is_primitive(TruthTable.mux())
+
+
+def test_subject_graph_is_primitive_only(adder_network):
+    rugged(adder_network)
+    subject = to_subject_graph(adder_network)
+    for node in subject.nodes.values():
+        if not node.is_input:
+            assert is_primitive(node.function)
+
+
+def test_subject_graph_preserves_function(adder_network):
+    rugged(adder_network)
+    subject = to_subject_graph(adder_network)
+    assert networks_equivalent(adder_network, subject)
+
+
+def test_exotic_two_input_function_decomposed():
+    net = Network()
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("f", ["a", "b"], TruthTable.from_function(
+        2, lambda a, b: a and not b
+    ))
+    net.set_output("f")
+    subject = to_subject_graph(net)
+    assert networks_equivalent(net, subject)
+    for node in subject.nodes.values():
+        if not node.is_input:
+            assert is_primitive(node.function)
+
+
+def test_original_is_untouched(control_network):
+    snapshot = {n: list(node.fanins)
+                for n, node in control_network.nodes.items()}
+    to_subject_graph(control_network)
+    for name, fanins in snapshot.items():
+        assert control_network.nodes[name].fanins == fanins
+
+
+def test_rejects_constant_nodes():
+    net = Network()
+    net.add_input("a")
+    net.add_node("k", [], TruthTable.const(0, True))
+    net.set_output("k")
+    with pytest.raises(ValueError, match="constant"):
+        to_subject_graph(net)
+
+
+def test_outputs_preserved(control_network):
+    subject = to_subject_graph(control_network)
+    assert subject.outputs == control_network.outputs

@@ -1,0 +1,178 @@
+"""BLIF parsing and serialization tests."""
+
+import pytest
+
+from repro.netlist.blif import BlifError, parse_blif, write_blif
+from repro.netlist.validate import check_network, networks_equivalent
+
+
+def test_parse_minimal_model():
+    net = parse_blif(".model m\n.inputs a\n.outputs a\n.end\n")
+    assert net.inputs == ["a"]
+    assert net.outputs == ["a"]
+
+
+def test_parse_single_gate():
+    net = parse_blif("""
+.model m
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.end
+""")
+    assert net.evaluate({"a": 1, "b": 1})["f"] == 1
+    assert net.evaluate({"a": 1, "b": 0})["f"] == 0
+
+
+def test_parse_multi_cube_cover():
+    net = parse_blif("""
+.model m
+.inputs a b
+.outputs f
+.names a b f
+10 1
+01 1
+.end
+""")
+    assert net.evaluate({"a": 1, "b": 0})["f"] == 1
+    assert net.evaluate({"a": 1, "b": 1})["f"] == 0
+
+
+def test_parse_constant_one_node():
+    net = parse_blif("""
+.model m
+.inputs a
+.outputs k
+.names k
+1
+.end
+""")
+    assert net.evaluate({"a": 0})["k"] == 1
+
+
+def test_parse_constant_zero_node():
+    net = parse_blif(".model m\n.inputs a\n.outputs k\n.names k\n.end\n")
+    assert net.evaluate({"a": 0})["k"] == 0
+
+
+def test_out_of_order_definitions():
+    net = parse_blif("""
+.model m
+.inputs a b
+.outputs f
+.names t b f
+11 1
+.names a b t
+01 1
+.end
+""")
+    check_network(net)
+    assert net.evaluate({"a": 0, "b": 1})["f"] == 1
+
+
+def test_comments_and_continuations():
+    net = parse_blif("""
+.model m  # trailing comment
+.inputs a \\
+b
+.outputs f
+.names a b f
+11 1
+.end
+""")
+    assert set(net.inputs) == {"a", "b"}
+
+
+def test_model_name_capture():
+    assert parse_blif(".model widget\n.inputs a\n.outputs a\n.end").name == \
+        "widget"
+
+
+def test_reject_latches():
+    with pytest.raises(BlifError, match="latch"):
+        parse_blif(".model m\n.inputs a\n.latch a b 0\n.end")
+
+
+def test_reject_unknown_directive():
+    with pytest.raises(BlifError, match="unknown"):
+        parse_blif(".model m\n.bogus x\n.end")
+
+
+def test_reject_duplicate_definition():
+    with pytest.raises(BlifError, match="twice"):
+        parse_blif("""
+.model m
+.inputs a
+.outputs f
+.names a f
+1 1
+.names a f
+0 1
+.end
+""")
+
+
+def test_reject_undriven_output():
+    with pytest.raises(BlifError, match="undriven"):
+        parse_blif(".model m\n.inputs a\n.outputs f\n.end")
+
+
+def test_reject_undriven_intermediate():
+    with pytest.raises(BlifError, match="undriven"):
+        parse_blif("""
+.model m
+.inputs a
+.outputs f
+.names a ghost f
+11 1
+.end
+""")
+
+
+def test_reject_zero_cover_output():
+    with pytest.raises(BlifError, match="1-covers"):
+        parse_blif("""
+.model m
+.inputs a
+.outputs f
+.names a f
+1 0
+.end
+""")
+
+
+def test_reject_cube_outside_names():
+    with pytest.raises(BlifError, match="outside"):
+        parse_blif(".model m\n11 1\n.end")
+
+
+def test_reject_content_after_end():
+    with pytest.raises(BlifError, match="after .end"):
+        parse_blif(".model m\n.inputs a\n.outputs a\n.end\n.inputs b\n")
+
+
+def test_round_trip_preserves_function(control_network):
+    text = write_blif(control_network)
+    reparsed = parse_blif(text)
+    assert networks_equivalent(control_network, reparsed)
+
+
+def test_round_trip_preserves_interface(adder_network):
+    reparsed = parse_blif(write_blif(adder_network))
+    assert reparsed.inputs == adder_network.inputs
+    assert reparsed.outputs == adder_network.outputs
+
+
+def test_write_to_path(tmp_path, control_network):
+    target = tmp_path / "out.blif"
+    write_blif(control_network, target)
+    assert networks_equivalent(
+        control_network, parse_blif(target.read_text())
+    )
+
+
+def test_write_uses_minimized_covers(control_network):
+    text = write_blif(control_network)
+    # The p3 cover (b'=1 or e=1) must not be written as raw minterms.
+    assert text.count("\n") < 40

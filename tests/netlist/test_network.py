@@ -1,0 +1,196 @@
+"""Unit tests for the logic-network data structure."""
+
+import pytest
+
+from repro.netlist.functions import TruthTable
+from repro.netlist.network import Network
+
+_AND2 = TruthTable.and_(2)
+_OR2 = TruthTable.or_(2)
+_INV = TruthTable.inverter()
+
+
+def small_network() -> Network:
+    net = Network("small")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("t", ["a", "b"], _AND2)
+    net.add_node("f", ["t", "a"], _OR2)
+    net.set_output("f")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_input("a")
+
+    def test_duplicate_node_rejected(self):
+        net = small_network()
+        with pytest.raises(ValueError):
+            net.add_node("t", ["a", "b"], _AND2)
+
+    def test_unknown_fanin_rejected(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_node("t", ["a", "zz"], _AND2)
+
+    def test_arity_mismatch_rejected(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_node("t", ["a"], _AND2)
+
+    def test_unknown_output_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.set_output("zz")
+
+    def test_set_output_idempotent(self):
+        net = small_network()
+        net.set_output("f")
+        assert net.outputs.count("f") == 1
+
+    def test_fresh_name_avoids_collisions(self):
+        net = small_network()
+        name = net.fresh_name("t")
+        assert name not in net.nodes
+
+
+class TestTopology:
+    def test_fanouts(self):
+        net = small_network()
+        assert net.fanouts("a") == {"t", "f"}
+        assert net.fanouts("f") == set()
+
+    def test_topological_order_respects_edges(self):
+        net = small_network()
+        order = net.topological()
+        assert order.index("a") < order.index("t") < order.index("f")
+
+    def test_cycle_detection(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("x", ["a", "a"], _AND2)
+        net.add_node("y", ["x", "a"], _AND2)
+        # Force a cycle behind the API's back.
+        net.nodes["x"].fanins = ["y", "a"]
+        net._invalidate()
+        with pytest.raises(ValueError, match="cycle"):
+            net.topological()
+
+    def test_transitive_fanin(self):
+        net = small_network()
+        assert net.transitive_fanin(["f"]) == {"f", "t", "a", "b"}
+        assert net.transitive_fanin(["t"]) == {"t", "a", "b"}
+
+    def test_transitive_fanout(self):
+        net = small_network()
+        assert net.transitive_fanout(["b"]) == {"b", "t", "f"}
+
+    def test_depth(self):
+        assert small_network().depth() == 2
+
+    def test_stats(self):
+        stats = small_network().stats()
+        assert stats == {
+            "inputs": 2, "outputs": 1, "gates": 2, "nets": 4, "depth": 2,
+        }
+
+    def test_repeated_fanin_counts_once_for_topo(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("x", ["a", "a"], _AND2)
+        net.set_output("x")
+        assert net.topological() == ["a", "x"]
+
+
+class TestEditing:
+    def test_replace_fanin(self):
+        net = small_network()
+        net.add_input("c")
+        net.replace_fanin("f", "a", "c")
+        assert net.nodes["f"].fanins == ["t", "c"]
+        assert "f" in net.fanouts("c")
+
+    def test_replace_fanin_unknown(self):
+        net = small_network()
+        with pytest.raises(ValueError):
+            net.replace_fanin("f", "zz", "a")
+
+    def test_substitute_rewires_readers_and_outputs(self):
+        net = small_network()
+        net.add_node("t2", ["a", "b"], _OR2)
+        net.substitute("f", "t2")
+        assert net.outputs == ["t2"]
+        assert net.fanouts("f") == set()
+
+    def test_remove_node_guards(self):
+        net = small_network()
+        with pytest.raises(ValueError):
+            net.remove_node("t")  # has fanout
+        with pytest.raises(ValueError):
+            net.remove_node("f")  # is output
+
+    def test_remove_detached_node(self):
+        net = small_network()
+        net.add_node("dead", ["a"], _INV)
+        net.remove_node("dead")
+        assert "dead" not in net.nodes
+
+    def test_insert_buffer_on_edge(self):
+        net = small_network()
+        net.insert_buffer("t", "f", "buf1", TruthTable.identity())
+        assert net.nodes["f"].fanins == ["buf1", "a"]
+        assert net.nodes["buf1"].fanins == ["t"]
+
+    def test_insert_buffer_on_output(self):
+        net = small_network()
+        net.insert_buffer("f", "@output", "buf2", TruthTable.identity())
+        assert net.outputs == ["buf2"]
+
+    def test_insert_buffer_requires_single_input_function(self):
+        net = small_network()
+        with pytest.raises(ValueError):
+            net.insert_buffer("t", "f", "bad", _AND2)
+
+
+class TestEvaluation:
+    def test_evaluate_full_adder_row(self):
+        net = small_network()
+        values = net.evaluate({"a": 1, "b": 0})
+        assert values["t"] == 0
+        assert values["f"] == 1
+
+    def test_evaluate_words_matches_scalar(self):
+        net = small_network()
+        words = net.evaluate_words({"a": 0b0101, "b": 0b0011}, 0b1111)
+        for lane in range(4):
+            scalar = net.evaluate(
+                {"a": 0b0101 >> lane & 1, "b": 0b0011 >> lane & 1}
+            )
+            for name in net.nodes:
+                assert words[name] >> lane & 1 == scalar[name]
+
+
+class TestCopy:
+    def test_copy_is_deep_for_structure(self):
+        net = small_network()
+        clone = net.copy()
+        clone.nodes["f"].fanins = ["t", "t"]
+        assert net.nodes["f"].fanins == ["t", "a"]
+
+    def test_copy_preserves_interface(self):
+        net = small_network()
+        clone = net.copy("renamed")
+        assert clone.name == "renamed"
+        assert clone.inputs == net.inputs
+        assert clone.outputs == net.outputs
+
+    def test_iter_and_len(self):
+        net = small_network()
+        assert len(net) == 4
+        assert [node.name for node in net] == net.topological()

@@ -1,0 +1,84 @@
+"""Structural validation and equivalence-check tests."""
+
+import pytest
+
+from repro.netlist.functions import TruthTable
+from repro.netlist.network import Network
+from repro.netlist.validate import (
+    NetworkError,
+    check_network,
+    networks_equivalent,
+)
+
+_AND2 = TruthTable.and_(2)
+
+
+def test_check_passes_on_sound_network(control_network):
+    check_network(control_network)
+
+
+def test_check_detects_key_name_mismatch(control_network):
+    control_network.nodes["p1"].name = "renamed"
+    with pytest.raises(NetworkError, match="keyed"):
+        check_network(control_network)
+
+
+def test_check_detects_arity_mismatch(control_network):
+    control_network.nodes["p1"].fanins.append("a")
+    with pytest.raises(NetworkError, match="arity"):
+        check_network(control_network)
+
+
+def test_check_detects_missing_fanin(control_network):
+    control_network.nodes["p1"].fanins[0] = "ghost"
+    with pytest.raises(NetworkError, match="missing fanin"):
+        check_network(control_network)
+
+
+def test_check_requires_cells_when_asked(control_network):
+    with pytest.raises(NetworkError, match="no cell"):
+        check_network(control_network, require_mapped=True)
+
+
+def test_check_detects_cell_function_mismatch(mapped_control, library):
+    name = mapped_control.gates()[0]
+    node = mapped_control.nodes[name]
+    wrong = next(
+        c for c in library.combinational_cells()
+        if c.n_inputs == node.cell.n_inputs and c.function != node.cell.function
+    )
+    node.cell = wrong
+    with pytest.raises(NetworkError, match="differs"):
+        check_network(mapped_control, require_mapped=True)
+
+
+def test_equivalence_detects_equal_networks(control_network):
+    assert networks_equivalent(control_network, control_network.copy())
+
+
+def test_equivalence_detects_difference(control_network):
+    other = control_network.copy()
+    node = other.nodes["g"]
+    node.function = ~node.function
+    assert not networks_equivalent(control_network, other)
+
+
+def test_equivalence_rejects_interface_mismatch(control_network):
+    other = Network()
+    other.add_input("zz")
+    other.add_node("f", ["zz", "zz"], _AND2)
+    other.set_output("f")
+    with pytest.raises(NetworkError):
+        networks_equivalent(control_network, other)
+
+
+def test_equivalence_is_exhaustive_for_small_inputs():
+    # Two networks that differ only on one input row must be caught.
+    a = Network()
+    for name in ("x", "y"):
+        a.add_input(name)
+    a.add_node("f", ["x", "y"], TruthTable.and_(2))
+    a.set_output("f")
+    b = a.copy()
+    b.nodes["f"].function = TruthTable(2, 0b1001)  # differs on row 0 only
+    assert not networks_equivalent(a, b)

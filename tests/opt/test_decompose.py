@@ -1,0 +1,123 @@
+"""Decomposition tests (SOP trees and parity awareness)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.functions import TruthTable, random_table
+from repro.netlist.network import Network
+from repro.netlist.validate import networks_equivalent
+from repro.opt.decompose import _parity_structure, decompose_network
+
+
+def wide_node_network(table: TruthTable) -> Network:
+    net = Network()
+    fanins = [f"i{k}" for k in range(table.n_inputs)]
+    for name in fanins:
+        net.add_input(name)
+    net.add_node("f", fanins, table)
+    net.set_output("f")
+    return net
+
+
+def test_wide_and_becomes_two_input_tree():
+    net = wide_node_network(TruthTable.and_(5))
+    reference = net.copy()
+    decompose_network(net, max_inputs=2)
+    assert networks_equivalent(reference, net)
+    widths = [n.function.n_inputs for n in net.nodes.values()
+              if not n.is_input]
+    assert max(widths) <= 2
+
+
+def test_narrow_nodes_untouched(control_network):
+    before = set(control_network.nodes)
+    decompose_network(control_network, max_inputs=4)
+    assert set(control_network.nodes) == before
+
+
+def test_rejects_trivial_bound(control_network):
+    with pytest.raises(ValueError):
+        decompose_network(control_network, max_inputs=1)
+
+
+def test_parity_detection_xor():
+    support, inverted = _parity_structure(TruthTable.xor(4))
+    assert support == (0, 1, 2, 3)
+    assert not inverted
+
+
+def test_parity_detection_xnor():
+    support, inverted = _parity_structure(TruthTable.xnor(3))
+    assert inverted
+
+
+def test_parity_detection_with_dead_variable():
+    table = TruthTable.from_function(3, lambda a, b, c: a ^ c)
+    support, inverted = _parity_structure(table)
+    assert support == (0, 2)
+
+
+def test_parity_detection_rejects_non_parity():
+    assert _parity_structure(TruthTable.majority()) is None
+    assert _parity_structure(TruthTable.and_(3)) is None
+
+
+def test_wide_xor_becomes_xor_tree():
+    """Parity must decompose to ~n xor2 gates, not 2^(n-1) cubes."""
+    net = wide_node_network(TruthTable.xor(6))
+    reference = net.copy()
+    decompose_network(net, max_inputs=2)
+    assert networks_equivalent(reference, net)
+    gates = [n for n in net.nodes.values() if not n.is_input]
+    assert len(gates) <= 8  # 5 xor2 + output wrapper, not ~80 SOP nodes
+    xor2 = TruthTable.xor(2)
+    assert sum(1 for n in gates if n.function == xor2) == 5
+
+
+def test_wide_xnor_gets_final_inverter():
+    net = wide_node_network(TruthTable.xnor(4))
+    reference = net.copy()
+    decompose_network(net, max_inputs=2)
+    assert networks_equivalent(reference, net)
+
+
+def test_shared_inverters():
+    # Two nodes using complemented a must share one inverter.
+    net = Network()
+    for name in ("a", "b", "c", "d", "e"):
+        net.add_input(name)
+    table = TruthTable.from_function(3, lambda a, b, c: (not a) and b and c)
+    net.add_node("f", ["a", "b", "c"], table)
+    net.add_node("g", ["a", "d", "e"], table)
+    net.set_output("f")
+    net.set_output("g")
+    reference = net.copy()
+    decompose_network(net, max_inputs=2)
+    assert networks_equivalent(reference, net)
+    inverters = [
+        n for n in net.nodes.values()
+        if not n.is_input and n.function == TruthTable.inverter()
+        and n.fanins == ["a"]
+    ]
+    assert len(inverters) == 1
+
+
+@given(st.integers(min_value=3, max_value=6),
+       st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=40, deadline=None)
+def test_random_functions_survive_decomposition(n, seed):
+    rng = random.Random(seed)
+    table = random_table(n, rng)
+    if table.is_const():
+        return
+    net = wide_node_network(table)
+    reference = net.copy()
+    decompose_network(net, max_inputs=2)
+    assert networks_equivalent(reference, net)
+    assert all(
+        node.function.n_inputs <= 2
+        for node in net.nodes.values()
+        if not node.is_input
+    )

@@ -1,0 +1,54 @@
+"""Optimization-script (rugged) integration tests."""
+
+import pytest
+
+from repro.bench.generators import (
+    multiplier,
+    pla_control,
+    ripple_adder,
+    sec_decoder,
+)
+from repro.netlist.validate import check_network, networks_equivalent
+from repro.opt.script import rugged
+
+
+@pytest.mark.parametrize("factory, kwargs", [
+    (ripple_adder, {"width": 4}),
+    (multiplier, {"width": 3}),
+    (pla_control, {"n_inputs": 12, "n_outputs": 6, "n_products": 15,
+                   "seed": 5}),
+    (sec_decoder, {"data_bits": 8}),
+])
+def test_rugged_preserves_function(factory, kwargs):
+    network = factory(**kwargs)
+    reference = network.copy()
+    rugged(network)
+    check_network(network)
+    assert networks_equivalent(reference, network)
+
+
+def test_rugged_bounds_node_width():
+    network = sec_decoder(data_bits=11)
+    rugged(network, max_node_inputs=6)
+    for node in network.nodes.values():
+        if not node.is_input:
+            assert node.function.n_inputs <= 6
+
+
+def test_rugged_reduces_or_keeps_size():
+    network = pla_control(n_inputs=10, n_outputs=5, n_products=12, seed=9)
+    before = network.stats()["gates"]
+    rugged(network)
+    assert network.stats()["gates"] <= before + 5
+
+
+def test_rugged_returns_network_for_chaining(control_network):
+    assert rugged(control_network) is control_network
+
+
+def test_rugged_keeps_interface(adder_network):
+    inputs = list(adder_network.inputs)
+    outputs = list(adder_network.outputs)
+    rugged(adder_network)
+    assert adder_network.inputs == inputs
+    assert adder_network.outputs == outputs

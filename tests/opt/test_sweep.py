@@ -1,0 +1,109 @@
+"""Sweep (constant propagation / cleanup) tests."""
+
+import pytest
+
+from repro.netlist.functions import TruthTable
+from repro.netlist.network import Network
+from repro.netlist.validate import networks_equivalent
+from repro.opt.sweep import sweep
+
+_AND2 = TruthTable.and_(2)
+_INV = TruthTable.inverter()
+_BUF = TruthTable.identity()
+
+
+def test_removes_dangling_node(control_network):
+    control_network.add_node("dead", ["a"], _INV)
+    sweep(control_network)
+    assert "dead" not in control_network.nodes
+
+
+def test_keeps_outputs(control_network):
+    before = set(control_network.outputs)
+    sweep(control_network)
+    assert set(control_network.outputs) == before
+
+
+def test_collapses_buffer_chain():
+    net = Network()
+    net.add_input("a")
+    net.add_node("b1", ["a"], _BUF)
+    net.add_node("b2", ["b1"], _BUF)
+    net.add_node("f", ["b2", "a"], _AND2)
+    net.set_output("f")
+    sweep(net)
+    assert net.nodes["f"].fanins == ["a", "a"] or net.stats()["gates"] == 1
+
+
+def test_keeps_output_buffer_name():
+    net = Network()
+    net.add_input("a")
+    net.add_node("f", ["a"], _BUF)
+    net.set_output("f")
+    sweep(net)
+    assert "f" in net.nodes
+    assert net.outputs == ["f"]
+
+
+def test_propagates_constant_one():
+    net = Network()
+    net.add_input("a")
+    net.add_node("k", [], TruthTable.const(0, True))
+    net.add_node("f", ["a", "k"], _AND2)  # a & 1 == a
+    net.set_output("f")
+    sweep(net)
+    values = net.evaluate({"a": 1})
+    assert values["f"] == 1
+    assert net.evaluate({"a": 0})["f"] == 0
+    # The constant node itself must be gone.
+    assert "k" not in net.nodes
+
+
+def test_propagates_constant_zero_through_and():
+    net = Network()
+    net.add_input("a")
+    net.add_node("k", [], TruthTable.const(0, False))
+    net.add_node("f", ["a", "k"], _AND2)
+    net.set_output("f")
+    sweep(net)
+    assert net.nodes["f"].function.const_value() == 0
+
+
+def test_folds_degenerate_function_to_constant():
+    net = Network()
+    net.add_input("a")
+    net.add_node("t", ["a", "a"], TruthTable.xor(2))  # a xor a == 0
+    net.add_node("f", ["t", "a"], TruthTable.or_(2))
+    net.set_output("f")
+    sweep(net)
+    assert networks_equivalent_simple(net, {"a": 0}, 0)
+    assert networks_equivalent_simple(net, {"a": 1}, 1)
+
+
+def networks_equivalent_simple(net, inputs, expected):
+    return net.evaluate(inputs)[net.outputs[0]] == expected
+
+
+def test_dedupes_repeated_fanins():
+    net = Network()
+    net.add_input("a")
+    net.add_node("t", ["a", "a"], _AND2)  # a & a == a
+    net.add_node("f", ["t"], _INV)
+    net.set_output("f")
+    sweep(net)
+    assert net.evaluate({"a": 1})["f"] == 0
+    assert net.evaluate({"a": 0})["f"] == 1
+    assert net.nodes["f"].fanins == ["a"]
+
+
+def test_preserves_function(control_network):
+    reference = control_network.copy()
+    control_network.add_node("noise1", ["a", "b"], TruthTable.xor(2))
+    control_network.add_node("noise2", ["noise1"], _INV)
+    sweep(control_network)
+    assert networks_equivalent(reference, control_network)
+
+
+def test_idempotent(control_network):
+    sweep(control_network)
+    assert sweep(control_network) == 0

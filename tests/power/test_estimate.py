@@ -1,0 +1,136 @@
+"""Power estimator tests, including the Dscale gain-vs-estimator oracle."""
+
+import pytest
+
+from repro.power.activity import random_activities
+from repro.power.estimate import (
+    demotion_gain,
+    estimate_power,
+    estimate_power_calc,
+)
+from repro.timing.delay import DelayCalculator, OUTPUT
+
+
+@pytest.fixture()
+def setup(mapped_adder, library):
+    activity = random_activities(mapped_adder, n_vectors=512, seed=1999)
+    return mapped_adder, library, activity
+
+
+def test_breakdown_components_sum(setup):
+    network, library, activity = setup
+    power = estimate_power(network, library, activity)
+    assert power.total == pytest.approx(
+        power.switching + power.internal + power.converter
+    )
+    assert power.converter == 0.0
+    assert power.total > 0
+
+
+def test_per_node_sums_to_total(setup):
+    network, library, activity = setup
+    power = estimate_power(network, library, activity)
+    assert sum(power.per_node.values()) == pytest.approx(power.total)
+
+
+def test_input_nets_excluded_by_default(setup):
+    network, library, activity = setup
+    block = estimate_power(network, library, activity)
+    chip = estimate_power(network, library, activity,
+                          include_input_nets=True)
+    assert chip.total > block.total
+    for name in network.inputs:
+        assert block.per_node[name] == 0.0
+
+
+def test_all_low_saves_roughly_quadratic(setup):
+    network, library, activity = setup
+    base = estimate_power(network, library, activity)
+    levels = {name: True for name in network.gates()}
+    low = estimate_power(network, library, activity, levels=levels)
+    # Every gate-driven net and internal energy scales by (4.3/5)^2;
+    # only the improvement is bounded by 26.04%.
+    improvement = low.improvement_over(base)
+    assert improvement == pytest.approx(26.04, abs=0.5)
+
+
+def test_demotion_reduces_power(setup):
+    network, library, activity = setup
+    base = estimate_power(network, library, activity)
+    victim = network.gates()[0]
+    one_low = estimate_power(network, library, activity,
+                             levels={victim: True})
+    assert one_low.total < base.total
+
+
+def test_converter_costs_power(setup):
+    network, library, activity = setup
+    name = next(
+        n for n in network.gates()
+        if network.fanouts(n) and n not in network.outputs
+    )
+    levels = {name: True}
+    without = estimate_power(network, library, activity, levels=levels)
+    edges = {(name, r) for r in network.fanouts(name)}
+    with_lc = estimate_power(network, library, activity, levels=levels,
+                             lc_edges=edges)
+    assert with_lc.converter > 0
+    assert with_lc.total > without.total
+
+
+def test_improvement_over_zero_baseline():
+    from repro.power.estimate import PowerBreakdown
+
+    zero = PowerBreakdown(0, 0, 0, 0)
+    assert zero.improvement_over(zero) == 0.0
+
+
+def test_demotion_gain_matches_estimator_difference(setup):
+    """The analytic per-gate delta must equal the full estimator's diff.
+
+    This is the oracle that keeps Dscale's MWIS weights honest.
+    """
+    network, library, activity = setup
+    levels: dict[str, bool] = {}
+    lc_edges: set[tuple[str, str]] = set()
+    calculator = DelayCalculator(network, library, levels=levels,
+                                 lc_edges=lc_edges)
+    for victim in network.gates():
+        before = estimate_power_calc(calculator, activity).total
+        gain = demotion_gain(calculator, activity, victim)
+
+        levels[victim] = True
+        for reader in network.fanouts(victim):
+            if not levels.get(reader, False):
+                lc_edges.add((victim, reader))
+        after = estimate_power_calc(calculator, activity).total
+        assert gain == pytest.approx(before - after, abs=1e-9)
+        # Roll back for the next victim.
+        levels.pop(victim)
+        lc_edges.clear()
+
+
+def test_demotion_gain_with_output_conversion(setup):
+    network, library, activity = setup
+    calculator = DelayCalculator(network, library, levels={}, lc_edges=set())
+    out = next(
+        o for o in network.outputs if not network.nodes[o].is_input
+    )
+    keep = demotion_gain(calculator, activity, out, lc_at_outputs=False)
+    convert = demotion_gain(calculator, activity, out, lc_at_outputs=True)
+    assert keep > convert  # boundary converter always costs something
+
+
+def test_demotion_gain_rejects_low_gate(setup):
+    network, library, activity = setup
+    victim = network.gates()[0]
+    calculator = DelayCalculator(network, library, levels={victim: True})
+    with pytest.raises(ValueError):
+        demotion_gain(calculator, activity, victim)
+
+
+def test_demotion_gain_rejects_inputs(setup):
+    network, library, activity = setup
+    calculator = DelayCalculator(network, library)
+    with pytest.raises(ValueError):
+        demotion_gain(calculator, activity, network.inputs[0])

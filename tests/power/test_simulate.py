@@ -1,0 +1,82 @@
+"""Event-driven timed simulation (glitch) tests."""
+
+import pytest
+
+from repro.netlist.functions import TruthTable
+from repro.netlist.network import Network
+from repro.power.activity import random_activities
+from repro.power.simulate import glitch_factor, timed_toggle_counts
+from repro.timing.delay import DelayCalculator
+
+
+def test_inverter_chain_has_no_glitches(library):
+    net = Network()
+    net.add_input("a")
+    cell = library.cell("inv_d0")
+    prev = "a"
+    for k in range(4):
+        name = f"inv{k}"
+        net.add_node(name, [prev], cell.function, cell)
+        prev = name
+    net.set_output(prev)
+    calculator = DelayCalculator(net, library)
+    timed = timed_toggle_counts(net, calculator, n_vectors=128, seed=1)
+    zero_delay = random_activities(net, n_vectors=128, seed=1)
+    # A single path cannot glitch: timed == zero-delay per net.
+    for k in range(4):
+        assert timed[f"inv{k}"] == pytest.approx(
+            zero_delay.toggles[f"inv{k}"]
+        )
+
+
+def test_unbalanced_xor_glitches(library):
+    """x = a xor delayed(a-path) produces extra transitions.
+
+    Classic glitch generator: one xor input goes through a long
+    inverter chain, so input changes race and the xor output toggles
+    more often under timed simulation than zero-delay analysis admits.
+    """
+    net = Network()
+    net.add_input("a")
+    net.add_input("b")
+    inv = library.cell("inv_d0")
+    xor2 = library.cell("xor2_d0")
+    and2 = library.cell("and2_d0")
+    prev = "b"
+    for k in range(6):
+        name = f"d{k}"
+        net.add_node(name, [prev], inv.function, inv)
+        prev = name
+    net.add_node("mix", ["a", "b"], and2.function, and2)
+    net.add_node("x", ["mix", prev], xor2.function, xor2)
+    net.set_output("x")
+    calculator = DelayCalculator(net, library)
+    timed = timed_toggle_counts(net, calculator, n_vectors=512, seed=3)
+    zero_delay = random_activities(net, n_vectors=512, seed=3)
+    assert timed["x"] >= zero_delay.toggles["x"] - 1e-9
+
+
+def test_glitch_factor_at_least_one_on_average(mapped_adder, library):
+    calculator = DelayCalculator(mapped_adder, library)
+    timed = timed_toggle_counts(mapped_adder, calculator, n_vectors=128,
+                                seed=7)
+    zero_delay = random_activities(mapped_adder, n_vectors=128, seed=7)
+    factor = glitch_factor(zero_delay.toggles, timed)
+    assert factor >= 0.95  # ripple adders glitch; never materially below
+
+
+def test_deterministic(mapped_adder, library):
+    calculator = DelayCalculator(mapped_adder, library)
+    a = timed_toggle_counts(mapped_adder, calculator, n_vectors=32, seed=5)
+    b = timed_toggle_counts(mapped_adder, calculator, n_vectors=32, seed=5)
+    assert a == b
+
+
+def test_needs_two_vectors(mapped_adder, library):
+    calculator = DelayCalculator(mapped_adder, library)
+    with pytest.raises(ValueError):
+        timed_toggle_counts(mapped_adder, calculator, n_vectors=1)
+
+
+def test_glitch_factor_of_empty_activity():
+    assert glitch_factor({}, {}) == 1.0

@@ -51,7 +51,7 @@ from repro.library import (
     delay_scale,
     energy_scale,
 )
-from repro.timing import DelayCalculator, TimingAnalysis
+from repro.timing import DelayCalculator, IncrementalTiming, TimingAnalysis
 from repro.power import (
     Activity,
     PowerBreakdown,
@@ -95,6 +95,7 @@ __all__ = [
     "delay_scale",
     "energy_scale",
     "DelayCalculator",
+    "IncrementalTiming",
     "TimingAnalysis",
     "Activity",
     "PowerBreakdown",

@@ -7,14 +7,18 @@ inside the logic -- only, optionally, at the block boundary where a low
 gate drives a primary output.
 
 Implementation: one reverse-topological pass (the paper's breadth-first
-traversal from the outputs, O(n+e)).  Required times are built
-incrementally against *final* downstream decisions during the very same
-pass, and arrivals are taken from a snapshot at pass start; a node is
-demoted when its slowed-down, converter-adjusted output still meets its
-required time on every fanout edge.  The pass-start arrivals are safe
-because on any path the demoted node closest to the inputs is decided
-last, when its entire downstream suffix is final -- so the full path
-inequality it checks is exactly the final circuit's.
+traversal from the outputs, O(n+e)).  Required times start from the
+pass-start timing snapshot (the incremental engine's arrays, which
+already satisfy the required-time fixed point) and are repaired against
+*final* downstream decisions during the very same pass -- each demotion
+marks only its fanins stale and the repair propagates upstream exactly
+as far as values actually move.  Arrivals are taken from a snapshot at
+pass start; a node is demoted when its slowed-down, converter-adjusted
+output still meets its required time on every fanout edge.  The
+pass-start arrivals are safe because on any path the demoted node
+closest to the inputs is decided last, when its entire downstream
+suffix is final -- so the full path inequality it checks is exactly the
+final circuit's.
 
 The pass also reports the time-critical boundary (TCB): gates that are
 topologically eligible (all fanouts low / primary output) but whose
@@ -80,63 +84,63 @@ def run_cvs(state: ScalingState) -> CvsResult:
     network = state.network
     calc = state.calc
     order = network.topological()
+    reader_pins = network.reader_pins()
+    outputs = frozenset(network.outputs)
+    tspec = state.tspec
 
-    arrival: dict[str, float] = {}
-    for name in order:
-        node = network.nodes[name]
-        if node.is_input:
-            arrival[name] = 0.0
-            continue
-        cell = calc.variant(name)
-        load = calc.load(name)
-        arrival[name] = max(
-            arrival[fanin]
-            + calc.edge_extra_delay(fanin, name)
-            + cell.pin_delay(pin, load)
-            for pin, fanin in enumerate(node.fanins)
-        )
+    # Pass-start snapshots.  The timing analysis (incremental engine or
+    # full rebuild) already satisfies the required-time fixed point
+    # ``required[n] = f(required[readers of n], current state)``
+    # bit-exactly, so instead of re-deriving every node's required time
+    # the pass copies the snapshot and repairs only the *stale region*:
+    # a demotion marks its fanins stale (the gate's variant -- and, at
+    # the boundary, its load -- entered their equations), and a stale
+    # recompute whose value moves marks its own fanins in turn.  Every
+    # untouched node keeps a value identical to what the seed's full
+    # backward sweep would have recomputed.
+    analysis = state.timing()
+    arrival = analysis.arrival_snapshot()
+    required = analysis.required_snapshot()
+    levels = state.levels
+    high_counts = state.high_fanout_counts
 
-    required: dict[str, float] = {}
     demoted: list[str] = []
     tcb: set[str] = set()
+    stale: set[str] = set()
     for name in reversed(order):
         node = network.nodes[name]
-        req = math.inf
-        if name in network.outputs:
-            req = state.tspec - calc.edge_extra_delay(name, OUTPUT)
-        for reader in network.fanouts(name):
-            reader_node = network.nodes[reader]
-            reader_cell = calc.variant(reader)
-            reader_load = calc.load(reader)
-            extra = calc.edge_extra_delay(name, reader)
-            for pin, fanin in enumerate(reader_node.fanins):
-                if fanin != name:
-                    continue
+        if name in stale:
+            stale.discard(name)
+            req = math.inf
+            if name in outputs:
+                req = tspec - calc.edge_extra_delay(name, OUTPUT)
+            for reader, pin in reader_pins[name]:
                 req = min(
                     req,
                     required[reader]
-                    - reader_cell.pin_delay(pin, reader_load)
-                    - extra,
+                    - calc.variant(reader).pin_delay(pin, calc.load(reader))
+                    - calc.edge_extra_delay(name, reader),
                 )
-        required[name] = req
+            if req != required[name]:
+                required[name] = req
+                stale.update(node.fanins)
 
-        if node.is_input or state.is_low(name):
+        if node.is_input or levels.get(name):
             continue
-        readers = network.fanouts(name)
-        if not readers and name not in network.outputs:
-            continue
-        eligible = all(state.is_low(reader) for reader in readers)
-        if not eligible:
-            continue
+        if high_counts[name]:
+            continue  # some reader still at Vhigh: not cluster-eligible
+        if name not in outputs and not network.fanouts(name):
+            continue  # dangling node: nothing downstream to protect
         if _hypothetical_low_check(state, name, arrival, required):
             state.demote(name)
             demoted.append(name)
+            stale.update(node.fanins)
             # The converter (if any) changed this node's delay model;
             # refresh its required-time record for upstream decisions.
-            if name in network.outputs:
+            if name in outputs:
                 required[name] = min(
                     required[name],
-                    state.tspec - calc.edge_extra_delay(name, OUTPUT),
+                    tspec - calc.edge_extra_delay(name, OUTPUT),
                 )
         else:
             tcb.add(name)

@@ -29,6 +29,7 @@ from repro.core.state import ScalingState
 from repro.graphalg.antichain import max_weight_antichain
 from repro.power.estimate import demotion_gain
 from repro.timing.delay import OUTPUT
+from repro.timing.incremental import IncrementalTiming
 from repro.timing.sta import TimingAnalysis
 
 _WEIGHT_SCALE = 10_000
@@ -45,7 +46,8 @@ class DscaleResult:
     converters_removed: int = 0
 
 
-def check_demotion(state: ScalingState, analysis: TimingAnalysis,
+def check_demotion(state: ScalingState,
+                   analysis: TimingAnalysis | IncrementalTiming,
                    name: str) -> bool:
     """Exact feasibility of demoting ``name`` under the current state.
 
@@ -139,20 +141,25 @@ def cleanup_converters(state: ScalingState) -> int:
     """Drop converters whose reader ended up at Vlow as well.
 
     Removing a converter always saves power but shifts load between the
-    driver's net and the removed converter; each removal is verified
-    against a fresh timing analysis and rolled back if it would break
-    ``tspec`` (in practice removals also shorten the path).
+    driver's net and the removed converter; each removal is verified as
+    a what-if transaction -- only the driver's cone is re-timed, and a
+    removal that would break ``tspec`` is rolled back without touching
+    the rest of the network (in practice removals also shorten the
+    path).
     """
     removed = 0
     for edge in sorted(state.lc_edges):
         driver, reader = edge
         if reader == OUTPUT or not state.is_low(reader):
             continue
+        state.begin_move()
         state.lc_edges.discard(edge)
         if state.timing().meets_timing(state.options.timing_tolerance):
             removed += 1
+            state.commit_move()
         else:
             state.lc_edges.add(edge)
+            state.rollback_move()
     return removed
 
 

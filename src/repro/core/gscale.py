@@ -21,6 +21,7 @@ from repro.core.cvs import CvsResult, run_cvs
 from repro.core.state import ScalingState
 from repro.graphalg.separator import min_weight_separator
 from repro.timing.delay import OUTPUT
+from repro.timing.incremental import IncrementalTiming
 from repro.timing.sta import TimingAnalysis
 
 _WEIGHT_SCALE = 1000
@@ -43,7 +44,8 @@ class GscaleResult:
     final_tcb: frozenset[str] = frozenset()
 
 
-def demotion_shortfall(state: ScalingState, analysis: TimingAnalysis,
+def demotion_shortfall(state: ScalingState,
+                       analysis: TimingAnalysis | IncrementalTiming,
                        name: str) -> float:
     """How much earlier ``name``'s inputs must arrive to allow demotion.
 
@@ -68,7 +70,8 @@ def demotion_shortfall(state: ScalingState, analysis: TimingAnalysis,
     return out_arrival - deadline
 
 
-def resize_profile(state: ScalingState, analysis: TimingAnalysis,
+def resize_profile(state: ScalingState,
+                   analysis: TimingAnalysis | IncrementalTiming,
                    name: str) -> tuple[float, float, float] | None:
     """(area penalty, net timing gain, worst driver penalty) of an upsize.
 
@@ -108,7 +111,8 @@ def resize_profile(state: ScalingState, analysis: TimingAnalysis,
     return area_penalty, own_gain - driver_penalty, driver_penalty
 
 
-def get_cpn(state: ScalingState, analysis: TimingAnalysis,
+def get_cpn(state: ScalingState,
+            analysis: TimingAnalysis | IncrementalTiming,
             tcb: frozenset[str]) -> tuple[list[str], list[tuple[str, str]],
                                           list[str], list[str]]:
     """The critical-path network feeding the TCB.
@@ -124,12 +128,15 @@ def get_cpn(state: ScalingState, analysis: TimingAnalysis,
     ]
     window = max(shortfalls, default=0.0) + state.options.timing_tolerance
 
+    # Order the fanin cone topologically by cached position instead of
+    # filtering the whole network's order: O(|cone| log |cone|), and the
+    # resulting sequence is identical to the full-order filter.
     cone = network.transitive_fanin(tcb)
+    position = network.topo_index()
     nodes = [
         name
-        for name in network.topological()
-        if name in cone
-        and not network.nodes[name].is_input
+        for name in sorted(cone, key=position.__getitem__)
+        if not network.nodes[name].is_input
         and analysis.slack(name) <= window
     ]
     node_set = set(nodes)
@@ -191,10 +198,12 @@ def run_gscale(state: ScalingState,
             cut, _ = min_weight_separator(nodes, edges, weights,
                                           sources, sinks)
 
-        # Apply the separator's resizes one by one, each verified against
-        # a full timing analysis: an upsize speeds the resized stage but
-        # loads its drivers, and on zero-slack logic only the measured
-        # circuit can arbitrate that trade.
+        # Apply the separator's resizes one by one, each verified as a
+        # what-if timing transaction: an upsize speeds the resized stage
+        # but loads its drivers, and on zero-slack logic only the
+        # measured circuit can arbitrate that trade.  Only the resized
+        # gate's cone is re-timed per attempt, and a rejected upsize is
+        # rolled back from the journal instead of re-propagated.
         applied: list[tuple[str, object]] = []
         worst_before = analysis.worst_delay
         for name in cut:
@@ -212,14 +221,17 @@ def run_gscale(state: ScalingState,
             if state.sizing_area_delta + growth > sizing_budget:
                 continue
             old_cell = node.cell
+            state.begin_move()
             state.resize(name, bigger)
             check = state.timing()
             if (check.meets_timing(state.options.timing_tolerance)
                     and check.worst_delay <= worst_before + 1e-12):
-                applied.append((name, old_cell))
                 worst_before = check.worst_delay
+                applied.append((name, old_cell))
+                state.commit_move()
             else:
                 state.resize(name, old_cell)
+                state.rollback_move()
         result.resized.extend(name for name, _ in applied)
 
         follow_up = run_cvs(state)
@@ -231,8 +243,13 @@ def run_gscale(state: ScalingState,
             result.failed_pushes += 1
         else:
             counter = 0
+        # Fixed point: no resize stuck, CVS demoted nothing, TCB is
+        # unchanged -- the iteration left the state bit-identical, so
+        # every further iteration is provably identical too.  Burning
+        # the remaining max_iter retries cannot change the outcome.
+        at_fixed_point = not applied and not follow_up.demoted and new_tcb == tcb
         tcb = new_tcb
-        if counter > max_iter:
+        if counter > max_iter or at_fixed_point:
             break
 
     if state.power().total > snapshot_power:

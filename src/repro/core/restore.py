@@ -29,15 +29,34 @@ class MaterializedDesign:
 
 
 def materialize_converters(state: ScalingState) -> MaterializedDesign:
-    """Splice converter cells onto every recorded low-to-high edge."""
+    """Splice one converter cell per converted driver net.
+
+    The virtual model amortizes a single converter across every
+    converted reader of a net (the Usami [8] per-net restoration scheme
+    :meth:`DelayCalculator.converted_readers` and ``lc_load`` price), so
+    the physical netlist gets exactly one converter node per driver,
+    feeding all of its recorded high readers and -- for a converted
+    primary output -- taking over the output slot.
+    """
     network = state.network.copy(f"{state.network.name}_dualvdd")
     levels = dict(state.levels)
     lc_cell = state.calc.lc_cell
     converters: list[str] = []
 
+    by_driver: dict[str, list[str]] = {}
     for driver, reader in sorted(state.lc_edges):
+        by_driver.setdefault(driver, []).append(reader)
+    for driver in sorted(by_driver):
         name = network.fresh_name(f"lc_{driver}_")
-        network.insert_buffer(driver, reader, name, lc_cell.function, lc_cell)
+        network.add_node(name, [driver], lc_cell.function, lc_cell)
+        for reader in by_driver[driver]:
+            if reader == OUTPUT:
+                network.outputs = [
+                    name if out == driver else out
+                    for out in network.outputs
+                ]
+            else:
+                network.replace_fanin(reader, driver, name)
         levels[name] = False  # converters live on the high rail
         converters.append(name)
     return MaterializedDesign(network=network, levels=levels,

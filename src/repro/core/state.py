@@ -6,12 +6,22 @@ edges carrying level converters.  The timing calculator and the power
 estimator both observe these tables live, so a demotion is visible to
 the next query immediately -- no network surgery happens until
 :func:`repro.core.restore.materialize_converters` exports the result.
+
+Both side tables are *observed* collections: every effective mutation
+(``demote`` / ``promote`` / direct ``levels[...] =`` / ``lc_edges.add``
+/ ``clear`` / ...) is reported to the shared
+:class:`~repro.timing.delay.DelayCalculator` cache and to the lazily
+created :class:`~repro.timing.incremental.IncrementalTiming` engine, so
+:meth:`ScalingState.timing` repairs only the affected cone instead of
+rebuilding a full analysis per move.  ``options.incremental=False``
+restores the rebuild-from-scratch behaviour (used by the benchmark
+harness as the baseline and by anyone who wants the oracle in the loop).
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.library.cells import Library
 from repro.netlist.network import Network
@@ -23,6 +33,7 @@ from repro.power.estimate import (
     estimate_power_calc,
 )
 from repro.timing.delay import DEFAULT_PO_LOAD, DelayCalculator, OUTPUT
+from repro.timing.incremental import IncrementalTiming
 from repro.timing.sta import TimingAnalysis
 
 
@@ -39,6 +50,11 @@ class ScalingOptions:
     ``include_input_nets=False`` likewise excludes primary-input net
     switching from the power figure: that energy is dissipated in the
     upstream drivers.
+
+    ``incremental=True`` runs every timing query of the scaling loops on
+    the dirty-region incremental engine; ``False`` rebuilds a full
+    :class:`~repro.timing.sta.TimingAnalysis` per query (the seed
+    behaviour, kept as the measurable baseline).
     """
 
     lc_kind: str = "pg"
@@ -49,6 +65,153 @@ class ScalingOptions:
     n_vectors: int = 512
     activity_seed: int = 1999
     timing_tolerance: float = 1e-9
+    incremental: bool = True
+
+
+class _LevelTable(dict):
+    """``levels`` dict that reports every effective voltage flip."""
+
+    __slots__ = ("_notify",)
+
+    def __init__(self, notify: Callable[[str], None]):
+        super().__init__()
+        self._notify = notify
+
+    def __setitem__(self, key, value):
+        changed = bool(value) != bool(dict.get(self, key, False))
+        dict.__setitem__(self, key, value)
+        if changed:
+            self._notify(key)
+
+    def __delitem__(self, key):
+        was_low = bool(dict.get(self, key, False))
+        dict.__delitem__(self, key)
+        if was_low:
+            self._notify(key)
+
+    def update(self, *args, **kwargs):
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self[key] = default
+        return dict.get(self, key)
+
+    def pop(self, key, *default):
+        if key in self:
+            value = dict.get(self, key)
+            del self[key]
+            return value
+        if default:
+            return default[0]
+        raise KeyError(key)
+
+    def popitem(self):
+        if not self:
+            raise KeyError("popitem(): dictionary is empty")
+        key = next(reversed(self))
+        return key, self.pop(key)
+
+    def clear(self):
+        low = [key for key, value in self.items() if value]
+        dict.clear(self)
+        for key in low:
+            self._notify(key)
+
+    def __ior__(self, other):
+        self.update(other)
+        return self
+
+
+class _ConverterSet(set):
+    """``lc_edges`` set that reports changes and indexes edges by driver."""
+
+    __slots__ = ("_notify", "_by_driver")
+
+    def __init__(self, notify: Callable[[tuple[str, str]], None]):
+        super().__init__()
+        self._notify = notify
+        self._by_driver: dict[str, set[str]] = {}
+
+    def readers_of(self, driver: str) -> tuple[str, ...]:
+        """Current converter readers of ``driver`` (O(fanout) snapshot)."""
+        return tuple(self._by_driver.get(driver, ()))
+
+    def add(self, edge):
+        if edge not in self:
+            set.add(self, edge)
+            self._by_driver.setdefault(edge[0], set()).add(edge[1])
+            self._notify(edge)
+
+    def discard(self, edge):
+        if edge in self:
+            set.discard(self, edge)
+            readers = self._by_driver[edge[0]]
+            readers.discard(edge[1])
+            if not readers:
+                del self._by_driver[edge[0]]
+            self._notify(edge)
+
+    def remove(self, edge):
+        if edge not in self:
+            raise KeyError(edge)
+        self.discard(edge)
+
+    def pop(self):
+        if not self:
+            raise KeyError("pop from an empty converter set")
+        edge = next(iter(self))
+        self.discard(edge)
+        return edge
+
+    def update(self, *iterables):
+        for iterable in iterables:
+            for edge in iterable:
+                self.add(edge)
+
+    def difference_update(self, *iterables):
+        for iterable in iterables:
+            for edge in list(iterable):
+                self.discard(edge)
+
+    def intersection_update(self, *iterables):
+        keep = set(self)
+        for iterable in iterables:
+            keep &= set(iterable)
+        for edge in list(self):
+            if edge not in keep:
+                self.discard(edge)
+
+    def symmetric_difference_update(self, other):
+        for edge in list(other):
+            if edge in self:
+                self.discard(edge)
+            else:
+                self.add(edge)
+
+    def clear(self):
+        edges = list(self)
+        set.clear(self)
+        self._by_driver.clear()
+        for edge in edges:
+            self._notify(edge)
+
+    def __ior__(self, other):
+        self.update(other)
+        return self
+
+    def __isub__(self, other):
+        self.difference_update(other)
+        return self
+
+    def __iand__(self, other):
+        self.intersection_update(other)
+        return self
+
+    def __ixor__(self, other):
+        self.symmetric_difference_update(other)
+        return self
 
 
 class ScalingState:
@@ -64,11 +227,21 @@ class ScalingState:
         self.library = library
         self.tspec = tspec
         self.options = options or ScalingOptions()
-        self.levels: dict[str, bool] = {}
-        self.lc_edges: set[tuple[str, str]] = set()
+        self._engine: IncrementalTiming | None = None
+        # Per-driver count of fanout readers still at Vhigh; CVS reads
+        # this for O(1) cluster-eligibility checks instead of scanning
+        # every reader per visit.  Maintained by _on_level_changed.
+        self.high_fanout_counts: dict[str, int] = {
+            name: len(network.fanouts(name)) for name in network.nodes
+        }
+        self.levels: dict[str, bool] = _LevelTable(self._on_level_changed)
+        self.lc_edges: set[tuple[str, str]] = _ConverterSet(
+            self._on_lc_edge_changed
+        )
         self.calc = DelayCalculator(
             network, library, levels=self.levels, lc_edges=self.lc_edges,
             lc_kind=self.options.lc_kind, po_load=self.options.po_load,
+            cache=True,
         )
         if activity is None:
             activity = random_activities(
@@ -79,6 +252,32 @@ class ScalingState:
         self.activity = activity
         self.initial_area = self.calc.total_area()
         self.resized: dict[str, tuple[str, str]] = {}
+        self._sizing_delta_cache: float | None = 0.0
+
+    # ------------------------------------------------------------------
+    # Mutation observers
+    # ------------------------------------------------------------------
+
+    def _on_level_changed(self, name: str) -> None:
+        """A gate's supply flipped: its cell variant is stale."""
+        counts = self.high_fanout_counts
+        delta = -1 if self.levels.get(name) else 1
+        for fanin in set(self.network.nodes[name].fanins):
+            counts[fanin] += delta
+        calc = getattr(self, "calc", None)
+        if calc is not None:
+            calc.invalidate_variant(name)
+        if self._engine is not None:
+            self._engine.note_variant_changed(name)
+
+    def _on_lc_edge_changed(self, edge: tuple[str, str]) -> None:
+        """A converter edge (dis)appeared: the driver's net changed."""
+        driver = edge[0]
+        calc = getattr(self, "calc", None)
+        if calc is not None:
+            calc.invalidate_net(driver)
+        if self._engine is not None:
+            self._engine.note_net_changed(driver)
 
     # ------------------------------------------------------------------
     # Queries
@@ -103,9 +302,37 @@ class ScalingState:
         gates = self.n_gates
         return self.n_low / gates if gates else 0.0
 
-    def timing(self) -> TimingAnalysis:
-        """A fresh full analysis under the current state."""
-        return TimingAnalysis(self.calc, self.tspec)
+    def timing(self) -> IncrementalTiming | TimingAnalysis:
+        """The current timing picture (incrementally repaired).
+
+        With ``options.incremental`` (the default) this returns the
+        shared engine after a dirty-region refresh -- O(affected cone)
+        per move instead of O(V+E).  Otherwise a fresh full analysis is
+        built, exactly as the seed implementation did.
+        """
+        if not self.options.incremental:
+            return TimingAnalysis(self.calc, self.tspec)
+        engine = self._engine
+        if engine is None:
+            engine = self._engine = IncrementalTiming(self.calc, self.tspec)
+        # No eager refresh: every engine query self-repairs, and probes
+        # that only ask worst_delay / meets_timing then pay just the
+        # forward (arrival) repair, never the backward required cascade.
+        return engine
+
+    def full_timing(self) -> TimingAnalysis:
+        """A rebuild-from-scratch analysis on an uncached calculator.
+
+        This is the equivalence oracle: it shares the live ``levels`` /
+        ``lc_edges`` tables but none of the caches, so it cannot be
+        polluted by a missed invalidation.
+        """
+        oracle_calc = DelayCalculator(
+            self.network, self.library, levels=self.levels,
+            lc_edges=self.lc_edges, lc_kind=self.options.lc_kind,
+            po_load=self.options.po_load,
+        )
+        return TimingAnalysis(oracle_calc, self.tspec)
 
     def power(self) -> PowerBreakdown:
         return estimate_power_calc(
@@ -129,14 +356,20 @@ class ScalingState:
 
         This is what the paper's +10% budget and Table 2's AreaInc
         column govern; converter area is tracked separately in
-        :meth:`area`.
+        :meth:`area`.  The value is memoized and invalidated by
+        :meth:`resize`, so Gscale's inner loop pays O(1) per access
+        instead of a full dict scan.  (A re-scan on invalidation -- not
+        a running float accumulator -- keeps the value bit-identical to
+        the seed computation regardless of resize order.)
         """
-        delta = 0.0
-        for name, (old_name, new_name) in self.resized.items():
-            if old_name != new_name:
-                delta += (self.library.cell(new_name).area
-                          - self.library.cell(old_name).area)
-        return delta
+        if self._sizing_delta_cache is None:
+            delta = 0.0
+            for old_name, new_name in self.resized.values():
+                if old_name != new_name:
+                    delta += (self.library.cell(new_name).area
+                              - self.library.cell(old_name).area)
+            self._sizing_delta_cache = delta
+        return self._sizing_delta_cache
 
     @property
     def sizing_area_increase_ratio(self) -> float:
@@ -175,12 +408,12 @@ class ScalingState:
         return edges
 
     def promote(self, name: str) -> None:
-        """Undo a demotion (rollback support)."""
+        """Undo a demotion (rollback support); O(fanout of ``name``)."""
         if not self.is_low(name):
             raise ValueError(f"{name!r} is not at Vlow")
         self.levels[name] = False
-        for edge in [e for e in self.lc_edges if e[0] == name]:
-            self.lc_edges.discard(edge)
+        for reader in self.lc_edges.readers_of(name):
+            self.lc_edges.discard((name, reader))
 
     def resize(self, name: str, cell) -> None:
         """Swap a gate's bound cell (same base, other size)."""
@@ -192,11 +425,50 @@ class ScalingState:
             )
         self.resized.setdefault(name, (node.cell.name, cell.name))
         self.resized[name] = (self.resized[name][0], cell.name)
+        self._sizing_delta_cache = None
         node.cell = cell
+        # The gate's own stage delay changed, and its new input pin
+        # capacitances changed every fanin driver's net load.
+        self.calc.invalidate_variant(name)
+        engine = self._engine
+        if engine is not None:
+            engine.note_variant_changed(name)
+        for fanin in set(node.fanins):
+            self.calc.invalidate_net(fanin)
+            if engine is not None:
+                engine.note_net_changed(fanin)
 
     @property
     def n_resized(self) -> int:
         return sum(1 for old, new in self.resized.values() if old != new)
+
+    # ------------------------------------------------------------------
+    # What-if transactions
+    # ------------------------------------------------------------------
+
+    def begin_move(self) -> None:
+        """Open a what-if window around a candidate move.
+
+        Between ``begin_move`` and ``commit_move`` / ``rollback_move``
+        the caller mutates the state and queries :meth:`timing`; only
+        the mutated cone is repaired.  On rollback the caller reverts
+        its own mutations (resize back / re-add the edge) and the
+        journaled timing values are restored without recomputation.
+        No-ops when ``options.incremental`` is off.
+        """
+        if self.options.incremental:
+            engine = self.timing()
+            engine.begin()
+
+    def commit_move(self) -> None:
+        """Keep the candidate move's timing updates."""
+        if self.options.incremental and self._engine is not None:
+            self._engine.commit()
+
+    def rollback_move(self) -> None:
+        """Restore pre-move timing (call after reverting the mutations)."""
+        if self.options.incremental and self._engine is not None:
+            self._engine.rollback()
 
     # ------------------------------------------------------------------
     # Legality

@@ -72,6 +72,8 @@ class Network:
         self.outputs: list[str] = []
         self._fanouts: dict[str, set[str]] | None = None
         self._topo: list[str] | None = None
+        self._topo_index: dict[str, int] | None = None
+        self._reader_pins: dict[str, tuple[tuple[str, int], ...]] | None = None
         self._name_counter = itertools.count()
 
     # ------------------------------------------------------------------
@@ -81,6 +83,8 @@ class Network:
     def _invalidate(self) -> None:
         self._fanouts = None
         self._topo = None
+        self._topo_index = None
+        self._reader_pins = None
 
     def add_input(self, name: str) -> Node:
         """Declare a primary input node."""
@@ -218,9 +222,41 @@ class Network:
         self._topo = order
         return order
 
+    def topo_index(self) -> dict[str, int]:
+        """Cached node name -> topological position map.
+
+        Lets callers order an arbitrary node subset topologically in
+        O(k log k) instead of filtering the full order in O(V).
+        """
+        if self._topo_index is None:
+            self._topo_index = {
+                name: i for i, name in enumerate(self.topological())
+            }
+        return self._topo_index
+
     def gates(self) -> list[str]:
         """Internal (non-input) node names in topological order."""
         return [n for n in self.topological() if not self.nodes[n].is_input]
+
+    def reader_pins(self) -> dict[str, tuple[tuple[str, int], ...]]:
+        """Cached map: driver name -> ((reader, pin), ...) over all edges.
+
+        The timing sweeps need "which pins read this signal" per driver;
+        deriving it per query means scanning every reader's whole fanin
+        list (quadratic in fanin degree).  This builds the edge-exact
+        adjacency once per network revision.
+        """
+        if self._reader_pins is None:
+            table: dict[str, list[tuple[str, int]]] = {
+                name: [] for name in self.nodes
+            }
+            for node in self.nodes.values():
+                for pin, fanin in enumerate(node.fanins):
+                    table[fanin].append((node.name, pin))
+            self._reader_pins = {
+                name: tuple(pins) for name, pins in table.items()
+            }
+        return self._reader_pins
 
     def transitive_fanin(self, roots: Iterable[str]) -> set[str]:
         """All nodes on some path into any root, including the roots."""

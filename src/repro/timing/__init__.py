@@ -2,12 +2,18 @@
 
 * :mod:`repro.timing.delay` -- the pin-to-pin, load-dependent delay
   calculator, aware of per-gate voltage levels and of level converters
-  spliced onto low-to-high edges.
-* :mod:`repro.timing.sta`   -- arrival / required / slack computation and
-  critical-path extraction over a :class:`repro.netlist.network.Network`.
+  spliced onto low-to-high edges, with optional per-net memoization.
+* :mod:`repro.timing.sta`   -- rebuild-from-scratch arrival / required /
+  slack computation and critical-path extraction; the equivalence
+  oracle for the incremental engine.
+* :mod:`repro.timing.incremental` -- the levelized dirty-region engine
+  the dual-Vdd optimization loops run on: seed-set invalidation,
+  cone-bounded propagation with early convergence, and what-if
+  transactions (``begin`` / ``commit`` / ``rollback``).
 """
 
 from repro.timing.delay import DelayCalculator, OUTPUT
+from repro.timing.incremental import IncrementalTiming
 from repro.timing.sta import TimingAnalysis
 
-__all__ = ["DelayCalculator", "TimingAnalysis", "OUTPUT"]
+__all__ = ["DelayCalculator", "IncrementalTiming", "TimingAnalysis", "OUTPUT"]

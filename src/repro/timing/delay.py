@@ -12,6 +12,14 @@ driver's net.
 The calculator reads the caller's ``levels`` / ``lc_edges`` collections
 *live* -- the dual-Vdd algorithms mutate those as they decide, and every
 query reflects the current state.
+
+With ``cache=True`` the calculator memoizes per-net loads, per-driver
+converter stage delays, and per-gate cell variants.  Cached entries are
+dropped *per net* through :meth:`DelayCalculator.invalidate_net` /
+:meth:`DelayCalculator.invalidate_variant` rather than recomputed per
+query; :class:`repro.core.state.ScalingState` owns the mutations and
+routes every one to the right invalidation, which is what makes cached
+queries safe against the live-read contract.
 """
 
 from __future__ import annotations
@@ -61,13 +69,20 @@ class DelayCalculator:
         Collection of ``(driver, reader)`` pairs carrying a level
         converter, with ``reader == OUTPUT`` for a converter guarding a
         primary output.  Read live as well.
+    cache:
+        Enable per-net load / converter-delay / variant memoization.
+        Only safe when the owner of ``levels`` / ``lc_edges`` / the
+        network's cells reports every mutation via
+        :meth:`invalidate_net` and :meth:`invalidate_variant` (see
+        :class:`repro.core.state.ScalingState`).
     """
 
     def __init__(self, network: Network, library: Library,
                  levels: Mapping[str, bool] | None = None,
                  lc_edges: Collection[tuple[str, str]] | None = None,
                  lc_kind: str = "pg",
-                 po_load: float = DEFAULT_PO_LOAD):
+                 po_load: float = DEFAULT_PO_LOAD,
+                 cache: bool = False):
         self.network = network
         self.library = library
         self.levels = levels if levels is not None else {}
@@ -75,6 +90,24 @@ class DelayCalculator:
         self.lc_cell = library.level_converter(lc_kind)
         self.po_load = po_load
         self._twin_cache: dict[tuple[str, float], Cell] = {}
+        self._load_cache: dict[str, float] | None = {} if cache else None
+        self._lc_delay_cache: dict[str, float] | None = {} if cache else None
+        self._variant_cache: dict[str, Cell] | None = {} if cache else None
+
+    # ------------------------------------------------------------------
+    # Cache invalidation (no-ops when caching is off)
+    # ------------------------------------------------------------------
+
+    def invalidate_net(self, name: str) -> None:
+        """Drop cached load and converter delay of the net ``name`` drives."""
+        if self._load_cache is not None:
+            self._load_cache.pop(name, None)
+            self._lc_delay_cache.pop(name, None)
+
+    def invalidate_variant(self, name: str) -> None:
+        """Drop the cached cell variant of gate ``name``."""
+        if self._variant_cache is not None:
+            self._variant_cache.pop(name, None)
 
     # ------------------------------------------------------------------
     # Cell selection
@@ -85,12 +118,20 @@ class DelayCalculator:
 
     def variant(self, name: str) -> Cell:
         """The cell implementing ``name`` at its current voltage."""
+        cache = self._variant_cache
+        if cache is not None:
+            cell = cache.get(name)
+            if cell is not None:
+                return cell
         node = self.network.nodes[name]
         if node.cell is None:
             raise ValueError(f"node {name!r} is not mapped to a cell")
-        if not self.is_low(name):
-            return node.cell
-        return self.low_variant_of(node.cell)
+        cell = node.cell if not self.is_low(name) else (
+            self.low_variant_of(node.cell)
+        )
+        if cache is not None:
+            cache[name] = cell
+        return cell
 
     def low_variant_of(self, cell: Cell) -> Cell:
         """The Vlow twin of a Vhigh cell (cached)."""
@@ -139,6 +180,11 @@ class DelayCalculator:
 
     def load(self, name: str) -> float:
         """Total capacitance (fF) on the net driven by ``name``."""
+        cache = self._load_cache
+        if cache is not None:
+            cached = cache.get(name)
+            if cached is not None:
+                return cached
         total = 0.0
         connections = 0
         converted = 0
@@ -157,7 +203,15 @@ class DelayCalculator:
         if converted:
             connections += 1
             total += self.lc_cell.input_caps[0]
-        total += self.library.wire_model.cap(connections)
+        # A level-converting receiver's output stays inside the
+        # receiving gates (Usami [8] / Wang [10]), so a materialized
+        # converter node's net carries no interconnect estimate --
+        # exactly what lc_load() prices for the virtual converter.
+        cell = self.network.nodes[name].cell
+        if cell is None or not cell.is_level_converter:
+            total += self.library.wire_model.cap(connections)
+        if cache is not None:
+            cache[name] = total
         return total
 
     def lc_load(self, driver: str, reader: str = "") -> float:
@@ -196,7 +250,15 @@ class DelayCalculator:
 
     def lc_delay(self, driver: str, reader: str = "") -> float:
         """Stage delay of ``driver``'s level converter (one per net)."""
-        return self.lc_cell.pin_delay(0, self.lc_load(driver))
+        cache = self._lc_delay_cache
+        if cache is not None:
+            cached = cache.get(driver)
+            if cached is not None:
+                return cached
+        delay = self.lc_cell.pin_delay(0, self.lc_load(driver))
+        if cache is not None:
+            cache[driver] = delay
+        return delay
 
     def edge_extra_delay(self, driver: str, reader: str) -> float:
         """Converter delay on an edge, or 0 when no converter sits there."""

@@ -1,0 +1,424 @@
+"""Levelized, dirty-region incremental static timing analysis.
+
+:class:`IncrementalTiming` keeps arrival / required / load values in
+flat arrays indexed by cached topological position and repairs them
+lazily after state mutations instead of rebuilding the whole analysis
+(the paper's ``update_timing`` as an incremental operation).  It exposes
+the same query surface as :class:`repro.timing.sta.TimingAnalysis`
+(``arrival`` / ``required`` / ``load`` mappings, ``slack``,
+``worst_delay``, ``critical_path``, ...) so the dual-Vdd passes can use
+either interchangeably; the full analysis remains the equivalence
+oracle the engine is tested against.
+
+Invalidation contract
+---------------------
+The engine never watches the network or the calculator -- the owner of
+the mutable state (:class:`repro.core.state.ScalingState`) must report
+every mutation through exactly one of:
+
+* :meth:`note_variant_changed` -- the cell implementing a gate changed
+  (demote / promote flipped its voltage, or a resize swapped the bound
+  cell).  Seeds a forward recompute of the gate's arrival and a backward
+  recompute of its fanins' required times (the gate appears in their
+  required equation as the reader cell).
+* :meth:`note_net_changed` -- the *net driven by* a node changed: a
+  converter edge was added or removed on one of its fanout edges, or a
+  reader's pin capacitances changed (reader resize).  Seeds a load
+  recompute for that net, a forward recompute of the driver and all its
+  readers (converter stage delays live on those edges), and a backward
+  recompute of the driver and its fanins.
+
+From those seed sets :meth:`refresh` propagates arrival changes forward
+and required changes backward in topological order through the affected
+cone only, stopping early at every node whose recomputed value is
+bit-identical to the stored one.  Because each value is a pure function
+of its frontier, the repaired arrays are bit-identical to a rebuild
+from scratch.
+
+What-if transactions
+--------------------
+:meth:`begin` opens a transaction: every array entry overwritten by a
+subsequent refresh is journaled once.  :meth:`commit` keeps the new
+values; :meth:`rollback` restores the journaled entries and clears the
+pending seed sets.  The caller must revert its own state mutations
+(promote the gate back, re-add the converter edge, resize back) before
+or immediately after rolling back -- the journal only covers the timing
+arrays, not the caller's state.  This is what makes Gscale's per-resize
+verification and Dscale's converter cleanup touch only the mutated
+gate's cone instead of the whole network.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterator, Mapping
+
+from repro.netlist.network import Network
+from repro.timing.delay import DelayCalculator, OUTPUT
+from repro.timing.sta import trace_critical_path
+
+
+class _ArrayView(Mapping):
+    """Read-only name-keyed view over a flat topo-indexed array.
+
+    Accessing a value refreshes the owning engine first (forward-only
+    for the arrival/load arrays, full for required), so a view read
+    after a mutation never observes a stale entry.
+    """
+
+    __slots__ = ("_engine", "_pos", "_data", "_forward_only")
+
+    def __init__(self, engine: "IncrementalTiming", pos: dict[str, int],
+                 data: list[float], forward_only: bool):
+        self._engine = engine
+        self._pos = pos
+        self._data = data
+        self._forward_only = forward_only
+
+    def __getitem__(self, name: str) -> float:
+        engine = self._engine
+        if self._forward_only:
+            if not engine._fwd_clean:
+                engine._ensure_forward()
+        elif not engine._clean:
+            engine.refresh()
+        return self._data[self._pos[name]]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._pos)
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+
+class _Journal:
+    """Pre-transaction values of every overwritten array slot."""
+
+    __slots__ = ("arrival", "required", "load")
+
+    def __init__(self):
+        self.arrival: dict[int, float] = {}
+        self.required: dict[int, float] = {}
+        self.load: dict[int, float] = {}
+
+
+class IncrementalTiming:
+    """Incrementally-maintained arrival/required/slack over one network."""
+
+    def __init__(self, calculator: DelayCalculator, tspec: float):
+        self.calculator = calculator
+        self.network: Network = calculator.network
+        self.tspec = tspec
+        self._journal: _Journal | None = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        """Cache the topology and run one full sweep."""
+        network = self.network
+        self._order: list[str] = list(network.topological())
+        self._pos: dict[str, int] = network.topo_index()
+        self._fanouts: list[tuple[str, ...]] = [
+            tuple(network.fanouts(name)) for name in self._order
+        ]
+        self._reader_pins = network.reader_pins()
+        self._is_output = frozenset(network.outputs)
+        n = len(self._order)
+        self._arrival: list[float] = [0.0] * n
+        self._required: list[float] = [math.inf] * n
+        self._load: list[float] = [0.0] * n
+        self.arrival = _ArrayView(self, self._pos, self._arrival,
+                                  forward_only=True)
+        self.required = _ArrayView(self, self._pos, self._required,
+                                   forward_only=False)
+        self.load = _ArrayView(self, self._pos, self._load,
+                               forward_only=True)
+        self._dirty_nets: set[str] = set()
+        self._fwd_seeds: set[str] = set()
+        self._bwd_seeds: set[str] = set()
+        self._clean = True
+        self._fwd_clean = True
+
+        calc = self.calculator
+        for i, name in enumerate(self._order):
+            self._load[i] = calc.load(name)
+        for i, name in enumerate(self._order):
+            self._arrival[i] = self._compute_arrival(name)
+        for i in range(n - 1, -1, -1):
+            self._required[i] = self._compute_required(self._order[i])
+
+    def full_invalidate(self) -> None:
+        """Rebuild everything (only needed if the topology itself changed)."""
+        if self._journal is not None:
+            raise RuntimeError("cannot rebuild inside a transaction")
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Invalidation API
+    # ------------------------------------------------------------------
+
+    def note_variant_changed(self, name: str) -> None:
+        """The cell implementing ``name`` changed (voltage flip / resize)."""
+        self._fwd_seeds.add(name)
+        self._bwd_seeds.update(self.network.nodes[name].fanins)
+        self._clean = False
+        self._fwd_clean = False
+
+    def note_net_changed(self, name: str) -> None:
+        """The net driven by ``name`` changed (converters / reader caps)."""
+        self._dirty_nets.add(name)
+        self._fwd_seeds.add(name)
+        self._fwd_seeds.update(self._fanouts[self._pos[name]])
+        self._bwd_seeds.add(name)
+        self._bwd_seeds.update(self.network.nodes[name].fanins)
+        self._clean = False
+        self._fwd_clean = False
+
+    # ------------------------------------------------------------------
+    # Recompute kernels (bit-identical to TimingAnalysis._compute)
+    # ------------------------------------------------------------------
+
+    def _compute_arrival(self, name: str) -> float:
+        node = self.network.nodes[name]
+        if node.is_input:
+            return 0.0
+        calc = self.calculator
+        pos = self._pos
+        arrival = self._arrival
+        lc_edges = calc.lc_edges
+        cell = calc.variant(name)
+        load = self._load[pos[name]]
+        intrinsics = cell.intrinsics
+        drive_res = cell.drive_res
+        worst = 0.0
+        for pin, fanin in enumerate(node.fanins):
+            at_pin = arrival[pos[fanin]]
+            if (fanin, name) in lc_edges:
+                at_pin += calc.lc_delay(fanin, name)
+            at_pin += intrinsics[pin] + drive_res * load
+            if at_pin > worst:
+                worst = at_pin
+        return worst
+
+    def _compute_required(self, name: str) -> float:
+        calc = self.calculator
+        pos = self._pos
+        loads = self._load
+        reqs = self._required
+        lc_edges = calc.lc_edges
+        variant = calc.variant
+        required = math.inf
+        if name in self._is_output:
+            required = self.tspec - calc.edge_extra_delay(name, OUTPUT)
+        for reader, pin in self._reader_pins[name]:
+            j = pos[reader]
+            cell = variant(reader)
+            # Same float association as the oracle: req - pin_delay,
+            # then - extra.
+            term = reqs[j] - (cell.intrinsics[pin]
+                              + cell.drive_res * loads[j])
+            if (name, reader) in lc_edges:
+                term -= calc.lc_delay(name, reader)
+            if term < required:
+                required = term
+        return required
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def _ensure_forward(self) -> None:
+        """Repair loads and arrivals (what ``worst_delay`` needs)."""
+        if self._fwd_clean:
+            return
+        calc = self.calculator
+        pos = self._pos
+        journal = self._journal
+
+        for name in self._dirty_nets:
+            i = pos[name]
+            new = calc.load(name)
+            if new != self._load[i]:
+                if journal is not None and i not in journal.load:
+                    journal.load[i] = self._load[i]
+                self._load[i] = new
+        self._dirty_nets.clear()
+
+        if self._fwd_seeds:
+            arrival = self._arrival
+            scheduled = {pos[name] for name in self._fwd_seeds}
+            self._fwd_seeds.clear()
+            heap = list(scheduled)
+            heapq.heapify(heap)
+            while heap:
+                i = heapq.heappop(heap)
+                scheduled.discard(i)
+                new = self._compute_arrival(self._order[i])
+                if new != arrival[i]:
+                    if journal is not None and i not in journal.arrival:
+                        journal.arrival[i] = arrival[i]
+                    arrival[i] = new
+                    for reader in self._fanouts[i]:
+                        j = pos[reader]
+                        if j not in scheduled:
+                            scheduled.add(j)
+                            heapq.heappush(heap, j)
+        self._fwd_clean = True
+
+    def refresh(self) -> "IncrementalTiming":
+        """Repair every stale value; no-op when nothing is dirty.
+
+        The forward half (loads + arrivals) and the backward half
+        (required times) are independent; what-if probes that only ask
+        ``worst_delay`` / ``meets_timing`` trigger just the forward
+        repair, and the backward cascade of committed moves is paid once
+        at the next slack/required query instead of per move.
+        """
+        if self._clean:
+            return self
+        self._ensure_forward()
+        journal = self._journal
+        pos = self._pos
+
+        if self._bwd_seeds:
+            required = self._required
+            nodes = self.network.nodes
+            scheduled = {pos[name] for name in self._bwd_seeds}
+            self._bwd_seeds.clear()
+            heap = [-i for i in scheduled]
+            heapq.heapify(heap)
+            while heap:
+                i = -heapq.heappop(heap)
+                scheduled.discard(i)
+                name = self._order[i]
+                new = self._compute_required(name)
+                if new != required[i]:
+                    if journal is not None and i not in journal.required:
+                        journal.required[i] = required[i]
+                    required[i] = new
+                    for fanin in nodes[name].fanins:
+                        j = pos[fanin]
+                        if j not in scheduled:
+                            scheduled.add(j)
+                            heapq.heappush(heap, -j)
+
+        self._clean = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open a what-if transaction (flushes pending work first)."""
+        if self._journal is not None:
+            raise RuntimeError("a timing transaction is already active")
+        self.refresh()
+        self._journal = _Journal()
+
+    def commit(self) -> None:
+        """Keep every value computed since :meth:`begin`."""
+        if self._journal is None:
+            raise RuntimeError("no active timing transaction")
+        self._journal = None
+
+    def rollback(self) -> None:
+        """Restore the pre-transaction timing arrays.
+
+        Clears the pending seed sets: the caller reverts its own state
+        mutations around this call, after which the restored arrays are
+        exactly consistent with the restored state.
+        """
+        journal = self._journal
+        if journal is None:
+            raise RuntimeError("no active timing transaction")
+        self._journal = None
+        for i, value in journal.arrival.items():
+            self._arrival[i] = value
+        for i, value in journal.required.items():
+            self._required[i] = value
+        for i, value in journal.load.items():
+            self._load[i] = value
+        self._dirty_nets.clear()
+        self._fwd_seeds.clear()
+        self._bwd_seeds.clear()
+        self._clean = True
+        self._fwd_clean = True
+
+    # ------------------------------------------------------------------
+    # Queries (TimingAnalysis-compatible)
+    # ------------------------------------------------------------------
+
+    def arrival_snapshot(self) -> dict[str, float]:
+        """Plain-dict copy of all arrivals (frozen against later moves)."""
+        self._ensure_forward()
+        return dict(zip(self._order, self._arrival))
+
+    def required_snapshot(self) -> dict[str, float]:
+        """Plain-dict copy of all required times."""
+        self.refresh()
+        return dict(zip(self._order, self._required))
+
+    def slack(self, name: str) -> float:
+        if not self._clean:
+            self.refresh()
+        i = self._pos[name]
+        return self._required[i] - self._arrival[i]
+
+    def slacks(self) -> dict[str, float]:
+        self.refresh()
+        required = self._required
+        arrival = self._arrival
+        return {
+            name: required[i] - arrival[i]
+            for name, i in self._pos.items()
+        }
+
+    @property
+    def worst_delay(self) -> float:
+        """Latest arrival at any primary output, converters included."""
+        self._ensure_forward()
+        calc = self.calculator
+        arrival = self._arrival
+        pos = self._pos
+        return max(
+            (
+                arrival[pos[out]] + calc.edge_extra_delay(out, OUTPUT)
+                for out in self.network.outputs
+            ),
+            default=0.0,
+        )
+
+    @property
+    def worst_slack(self) -> float:
+        self.refresh()
+        required = self._required
+        arrival = self._arrival
+        return min(
+            (required[i] - arrival[i] for i in range(len(self._order))),
+            default=math.inf,
+        )
+
+    def meets_timing(self, tolerance: float = 1e-9) -> bool:
+        return self.worst_delay <= self.tspec + tolerance
+
+    def critical_path(self) -> list[str]:
+        """One worst input-to-output path (node names, PI first)."""
+        self._ensure_forward()
+        return trace_critical_path(self.calculator, self.arrival, self.load)
+
+    def nodes_with_slack(self, threshold: float) -> list[str]:
+        """Internal nodes whose slack strictly exceeds ``threshold``."""
+        self.refresh()
+        return [
+            name
+            for name in self.network.gates()
+            if self.slack(name) > threshold
+        ]
+
+
+__all__ = ["IncrementalTiming"]

@@ -2,10 +2,13 @@
 
 ``TimingAnalysis`` snapshots the timing of a mapped network under the
 *current* voltage levels and converter placement of a
-:class:`~repro.timing.delay.DelayCalculator`.  The dual-Vdd passes build
-a fresh analysis after every batch of accepted moves (the paper's
-``update_timing``) and use calculator queries for cheap what-if checks in
-between.
+:class:`~repro.timing.delay.DelayCalculator` in one full sweep.  The
+dual-Vdd hot loops now run on
+:class:`repro.timing.incremental.IncrementalTiming`, which repairs only
+the affected cone after each move; this full rebuild remains the ground
+truth the incremental engine is equivalence-tested against (see
+``tests/timing/test_incremental.py``) and the right tool for one-shot
+analyses outside an optimization loop.
 """
 
 from __future__ import annotations
@@ -14,6 +17,45 @@ import math
 
 from repro.netlist.network import Network
 from repro.timing.delay import DelayCalculator, OUTPUT
+
+
+def trace_critical_path(calc: DelayCalculator, arrival, load) -> list[str]:
+    """One worst input-to-output path (node names, PI first).
+
+    ``arrival`` / ``load`` are name-keyed mappings; shared by the full
+    analysis and the incremental engine so the backtracking logic lives
+    in exactly one place.
+    """
+    network = calc.network
+    if not network.outputs:
+        return []
+    end = max(
+        network.outputs,
+        key=lambda out: arrival[out] + calc.edge_extra_delay(out, OUTPUT),
+    )
+    path = [end]
+    current = end
+    while True:
+        node = network.nodes[current]
+        if node.is_input:
+            break
+        cell = calc.variant(current)
+        node_load = load[current]
+        best_fanin = None
+        best_at = -math.inf
+        for pin, fanin in enumerate(node.fanins):
+            at_pin = (
+                arrival[fanin]
+                + calc.edge_extra_delay(fanin, current)
+                + cell.pin_delay(pin, node_load)
+            )
+            if at_pin > best_at:
+                best_at = at_pin
+                best_fanin = fanin
+        path.append(best_fanin)
+        current = best_fanin
+    path.reverse()
+    return path
 
 
 class TimingAnalysis:
@@ -78,6 +120,14 @@ class TimingAnalysis:
     # Queries
     # ------------------------------------------------------------------
 
+    def arrival_snapshot(self) -> dict[str, float]:
+        """Copy of all arrivals (API parity with the incremental engine)."""
+        return dict(self.arrival)
+
+    def required_snapshot(self) -> dict[str, float]:
+        """Copy of all required times."""
+        return dict(self.required)
+
     def slack(self, name: str) -> float:
         return self.required[name] - self.arrival[name]
 
@@ -108,36 +158,7 @@ class TimingAnalysis:
 
     def critical_path(self) -> list[str]:
         """One worst input-to-output path (node names, PI first)."""
-        calc = self.calculator
-        if not self.network.outputs:
-            return []
-        end = max(
-            self.network.outputs,
-            key=lambda out: self.arrival[out] + calc.edge_extra_delay(out, OUTPUT),
-        )
-        path = [end]
-        current = end
-        while True:
-            node = self.network.nodes[current]
-            if node.is_input:
-                break
-            cell = calc.variant(current)
-            load = self.load[current]
-            best_fanin = None
-            best_at = -math.inf
-            for pin, fanin in enumerate(node.fanins):
-                at_pin = (
-                    self.arrival[fanin]
-                    + calc.edge_extra_delay(fanin, current)
-                    + cell.pin_delay(pin, load)
-                )
-                if at_pin > best_at:
-                    best_at = at_pin
-                    best_fanin = fanin
-            path.append(best_fanin)
-            current = best_fanin
-        path.reverse()
-        return path
+        return trace_critical_path(self.calculator, self.arrival, self.load)
 
     def nodes_with_slack(self, threshold: float) -> list[str]:
         """Internal nodes whose slack strictly exceeds ``threshold``."""
@@ -148,4 +169,4 @@ class TimingAnalysis:
         ]
 
 
-__all__ = ["TimingAnalysis"]
+__all__ = ["TimingAnalysis", "trace_critical_path"]

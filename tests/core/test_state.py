@@ -161,3 +161,70 @@ def test_power_and_area_reporting(mapped_adder, library):
     power = state.power()
     assert power.total > 0
     assert state.area() == pytest.approx(state.initial_area)
+
+
+def test_converter_index_tracks_edges(mapped_adder, library):
+    """The per-driver index stays in sync through every mutation path."""
+    state = make_state(mapped_adder, library)
+    victim = next(
+        n for n in mapped_adder.gates()
+        if mapped_adder.fanouts(n) and n not in mapped_adder.outputs
+    )
+    state.demote(victim)
+    assert set(state.lc_edges.readers_of(victim)) == {
+        r for d, r in state.lc_edges if d == victim
+    }
+    # Direct set mutations keep the index consistent too.
+    extra = next(iter(mapped_adder.fanouts(victim)))
+    state.lc_edges.discard((victim, extra))
+    assert extra not in state.lc_edges.readers_of(victim)
+    state.lc_edges.add((victim, extra))
+    assert extra in state.lc_edges.readers_of(victim)
+    state.promote(victim)
+    assert state.lc_edges.readers_of(victim) == ()
+    assert not state.lc_edges
+
+
+def test_sizing_area_delta_matches_full_rescan(mapped_adder, library):
+    """The memoized delta always equals the from-scratch dict scan."""
+    state = make_state(mapped_adder, library)
+
+    def rescan():
+        total = 0.0
+        for old, new in state.resized.values():
+            if old != new:
+                total += (library.cell(new).area - library.cell(old).area)
+        return total
+
+    assert state.sizing_area_delta == rescan() == 0.0
+    rng_gates = mapped_adder.gates()[:4]
+    for name in rng_gates:
+        cell = mapped_adder.nodes[name].cell
+        other = next(
+            (c for c in library.variants(cell.base) if c.size != cell.size),
+            None,
+        )
+        if other is not None:
+            state.resize(name, other)
+            assert state.sizing_area_delta == rescan()
+    # Round-tripping back to the original cells zeroes the delta.
+    for name in rng_gates:
+        old_name, _ = state.resized.get(
+            name, (mapped_adder.nodes[name].cell.name,) * 2
+        )
+        state.resize(name, library.cell(old_name))
+    assert state.sizing_area_delta == pytest.approx(0.0)
+
+
+def test_direct_level_write_invalidates_timing(mapped_adder, library):
+    """levels[...] writes reach the engine without demote()/promote()."""
+    state = make_state(mapped_adder, library)
+    victim = mapped_adder.gates()[-1]
+    before = state.timing().arrival[victim]
+    state.levels[victim] = True
+    after = state.timing().arrival[victim]
+    assert after > before
+    oracle = state.full_timing()
+    assert after == pytest.approx(oracle.arrival[victim], abs=1e-9)
+    state.levels[victim] = False
+    assert state.timing().arrival[victim] == pytest.approx(before, abs=1e-9)

@@ -194,3 +194,32 @@ class TestCopy:
         net = small_network()
         assert len(net) == 4
         assert [node.name for node in net] == net.topological()
+
+
+class TestCachedIndexes:
+    def test_topo_index_matches_topological(self):
+        net = small_network()
+        index = net.topo_index()
+        assert [name for name, _ in
+                sorted(index.items(), key=lambda kv: kv[1])] == net.topological()
+
+    def test_topo_index_invalidated_by_edits(self):
+        net = small_network()
+        net.topo_index()
+        net.add_input("z")
+        assert "z" in net.topo_index()
+
+    def test_reader_pins_cover_every_edge(self):
+        net = small_network()
+        pins = net.reader_pins()
+        for name, node in net.nodes.items():
+            for pin, fanin in enumerate(node.fanins):
+                assert (name, pin) in pins[fanin]
+        total = sum(len(v) for v in pins.values())
+        assert total == sum(len(n.fanins) for n in net.nodes.values())
+
+    def test_reader_pins_handle_duplicate_fanins(self):
+        net = small_network()
+        net.add_node("dup", ["a", "a"], _AND2)
+        pins = net.reader_pins()
+        assert ("dup", 0) in pins["a"] and ("dup", 1) in pins["a"]

@@ -1,0 +1,289 @@
+"""Incremental-engine equivalence tests against the full-STA oracle.
+
+Property-style: random generated networks x random demote / resize /
+promote / converter-edge sequences, asserting after every step that the
+incremental engine's arrival / required / load / slack / worst_delay
+agree with a rebuild-from-scratch :class:`TimingAnalysis` on an
+uncached calculator to 1e-9 (they are bit-identical in practice, since
+the engine recomputes with the same kernels).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.generators import (
+    mixed_datapath,
+    pla_control,
+    ripple_adder,
+    sec_decoder,
+)
+from repro.core.state import ScalingOptions, ScalingState
+from repro.flow.experiment import prepare_circuit
+from repro.mapping.match import MatchTable
+from repro.timing.delay import DelayCalculator, OUTPUT
+from repro.timing.incremental import IncrementalTiming
+from repro.timing.sta import TimingAnalysis
+
+GENERATORS = {
+    "adder": lambda: ripple_adder(width=6),
+    "mixed": lambda: mixed_datapath(width=6, n_control=4, n_products=10,
+                                    seed=11),
+    "pla": lambda: pla_control(n_inputs=12, n_outputs=6, n_products=14,
+                               seed=4),
+    "sec": lambda: sec_decoder(data_bits=8),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(GENERATORS))
+def scaling_state(request, library):
+    prepared = prepare_circuit(GENERATORS[request.param](), library,
+                               match_table=MatchTable(library))
+    return ScalingState(prepared.network, library, tspec=2.0 * prepared.tspec,
+                        activity=prepared.activity)
+
+
+def assert_equivalent(state, tolerance=1e-9):
+    """Engine values must match a fresh full analysis on every query."""
+    engine = state.timing()
+    oracle = state.full_timing()
+    assert isinstance(engine, IncrementalTiming)
+    for name in state.network.nodes:
+        assert engine.load[name] == pytest.approx(
+            oracle.load[name], abs=tolerance), name
+        assert engine.arrival[name] == pytest.approx(
+            oracle.arrival[name], abs=tolerance), name
+        assert engine.required[name] == pytest.approx(
+            oracle.required[name], abs=tolerance), name
+        assert engine.slack(name) == pytest.approx(
+            oracle.slack(name), abs=tolerance), name
+    assert engine.worst_delay == pytest.approx(oracle.worst_delay,
+                                               abs=tolerance)
+    assert engine.worst_slack == pytest.approx(oracle.worst_slack,
+                                               abs=tolerance)
+    assert engine.meets_timing() == oracle.meets_timing()
+
+
+def random_move(rng, state):
+    """Apply one random legal-ish mutation; returns a description."""
+    gates = state.network.gates()
+    kind = rng.choice(["demote", "promote", "resize", "edge", "direct"])
+    if kind == "demote":
+        high = [g for g in gates if not state.is_low(g)]
+        if not high:
+            return "noop"
+        state.demote(rng.choice(high))
+    elif kind == "promote":
+        low = state.low_nodes()
+        if not low:
+            return "noop"
+        state.promote(rng.choice(low))
+    elif kind == "resize":
+        name = rng.choice(gates)
+        cell = state.network.nodes[name].cell
+        variants = state.library.variants(cell.base)
+        state.resize(name, rng.choice(variants))
+    elif kind == "edge":
+        # Toggle a converter on a random low->high edge (or drop one).
+        if state.lc_edges and rng.random() < 0.5:
+            state.lc_edges.discard(rng.choice(sorted(state.lc_edges)))
+        else:
+            low = state.low_nodes()
+            if not low:
+                return "noop"
+            driver = rng.choice(low)
+            readers = sorted(state.network.fanouts(driver))
+            if not readers:
+                return "noop"
+            state.lc_edges.add((driver, rng.choice(readers)))
+    else:
+        # Direct side-table writes must invalidate through the observers.
+        name = rng.choice(gates)
+        state.levels[name] = not state.is_low(name)
+    return kind
+
+
+def test_initial_state_matches_oracle(scaling_state):
+    assert_equivalent(scaling_state)
+
+
+def test_random_move_sequences_match_oracle(scaling_state):
+    rng = random.Random(1999)
+    for step in range(60):
+        random_move(rng, scaling_state)
+        assert_equivalent(scaling_state)
+
+
+def test_interleaved_queries_and_batches(scaling_state):
+    """Batched mutations between queries converge to the same answer."""
+    rng = random.Random(7)
+    for _ in range(10):
+        for _ in range(rng.randint(1, 6)):
+            random_move(rng, scaling_state)
+        assert_equivalent(scaling_state)
+
+
+def _resizable_gate(state):
+    for name in state.network.gates():
+        bigger = state.library.next_size_up(state.network.nodes[name].cell)
+        if bigger is not None:
+            return name, bigger
+    return None, None
+
+
+def test_transaction_commit_matches_oracle(scaling_state):
+    state = scaling_state
+    name, bigger = _resizable_gate(state)
+    if name is None:
+        pytest.skip("no larger variant to try")
+    cell = state.network.nodes[name].cell
+    state.begin_move()
+    state.resize(name, bigger)
+    state.timing().refresh()
+    state.commit_move()
+    assert_equivalent(state)
+    state.resize(name, cell)  # leave the fixture as we found it
+    assert_equivalent(state)
+
+
+def test_transaction_rollback_restores_exact_values(scaling_state):
+    state = scaling_state
+    engine = state.timing()
+    before_arrival = dict(engine.arrival.items())
+    before_required = dict(engine.required.items())
+    before_load = dict(engine.load.items())
+
+    name, bigger = _resizable_gate(state)
+    if name is None:
+        pytest.skip("no larger variant to try")
+    cell = state.network.nodes[name].cell
+
+    state.begin_move()
+    state.resize(name, bigger)
+    assert state.timing().worst_delay >= 0  # force a refresh inside
+    state.resize(name, cell)
+    state.rollback_move()
+
+    after = state.timing()
+    assert dict(after.arrival.items()) == before_arrival
+    assert dict(after.required.items()) == before_required
+    assert dict(after.load.items()) == before_load
+    assert_equivalent(state)
+
+
+def test_rejected_demotion_rolls_back_cleanly(scaling_state):
+    state = scaling_state
+    high = [g for g in state.network.gates() if not state.is_low(g)]
+    if not high:
+        pytest.skip("every gate already low")
+    victim = high[0]
+    state.begin_move()
+    state.demote(victim)
+    state.timing().refresh()
+    state.promote(victim)
+    state.rollback_move()
+    assert_equivalent(state)
+
+
+def test_engine_matches_after_full_scaling_run(library):
+    """End-to-end: after run_dscale the engine still equals the oracle."""
+    from repro.core.dscale import run_dscale
+
+    prepared = prepare_circuit(
+        mixed_datapath(width=6, n_control=4, n_products=10, seed=23),
+        library, match_table=MatchTable(library))
+    state = ScalingState(prepared.network, library, tspec=prepared.tspec,
+                         activity=prepared.activity)
+    run_dscale(state)
+    assert_equivalent(state)
+
+
+def test_incremental_and_full_modes_agree_end_to_end(library):
+    """The two ScalingOptions modes produce identical scaling results."""
+    from repro.core.gscale import run_gscale
+
+    prepared = prepare_circuit(
+        mixed_datapath(width=6, n_control=4, n_products=10, seed=31),
+        library, match_table=MatchTable(library))
+
+    results = {}
+    for incremental in (False, True):
+        state = ScalingState(
+            prepared.fresh_copy(), library, tspec=prepared.tspec,
+            activity=prepared.activity,
+            options=ScalingOptions(incremental=incremental))
+        run_gscale(state)
+        results[incremental] = (
+            sorted(state.low_nodes()),
+            sorted(state.lc_edges),
+            {name: node.cell.name
+             for name, node in state.network.nodes.items()
+             if node.cell is not None},
+            state.power().total,
+        )
+    assert results[False] == results[True]
+
+
+def test_view_reads_refresh_after_mutation(scaling_state):
+    """Stale reads are impossible: views repair themselves on access."""
+    state = scaling_state
+    engine = state.timing()
+    high = [g for g in state.network.gates() if not state.is_low(g)]
+    if not high:
+        pytest.skip("every gate already low")
+    victim = high[-1]
+    before = engine.arrival[victim]
+    state.demote(victim)
+    after = engine.arrival[victim]  # no explicit refresh() call
+    assert after >= before  # Vlow twin is never faster
+    assert after == pytest.approx(state.full_timing().arrival[victim],
+                                  abs=1e-9)
+    state.promote(victim)
+
+
+def test_standalone_engine_tracks_manual_notes(mapped_adder, library):
+    """The engine works without ScalingState when notes are hand-routed."""
+    levels: dict[str, bool] = {}
+    lc_edges: set[tuple[str, str]] = set()
+    calc = DelayCalculator(mapped_adder, library, levels=levels,
+                           lc_edges=lc_edges)
+    engine = IncrementalTiming(calc, tspec=100.0)
+    victim = next(
+        n for n in mapped_adder.gates()
+        if mapped_adder.fanouts(n) and n not in mapped_adder.outputs
+    )
+    levels[victim] = True
+    for reader in mapped_adder.fanouts(victim):
+        lc_edges.add((victim, reader))
+    engine.note_variant_changed(victim)
+    engine.note_net_changed(victim)
+    oracle = TimingAnalysis(
+        DelayCalculator(mapped_adder, library, levels=levels,
+                        lc_edges=lc_edges), 100.0)
+    for name in mapped_adder.nodes:
+        assert engine.arrival[name] == pytest.approx(oracle.arrival[name],
+                                                     abs=1e-9)
+        assert engine.required[name] == pytest.approx(oracle.required[name],
+                                                      abs=1e-9)
+    assert engine.worst_delay == pytest.approx(oracle.worst_delay, abs=1e-9)
+
+
+def test_output_boundary_converter_equivalence(library):
+    """lc_at_outputs: the (out, OUTPUT) edge flows through the engine."""
+    prepared = prepare_circuit(ripple_adder(width=4), library,
+                               match_table=MatchTable(library))
+    state = ScalingState(
+        prepared.network, library, tspec=3.0 * prepared.tspec,
+        activity=prepared.activity,
+        options=ScalingOptions(lc_at_outputs=True))
+    out = next(
+        o for o in state.network.outputs
+        if not state.network.nodes[o].is_input
+    )
+    state.demote(out)
+    assert (out, OUTPUT) in state.lc_edges
+    assert_equivalent(state)
+    state.promote(out)
+    assert_equivalent(state)

@@ -20,7 +20,6 @@ from repro.mapping.mapper import map_network
 from repro.opt.script import rugged
 from repro.power.activity import random_activities
 from repro.power.estimate import estimate_power_calc
-from repro.timing.sta import TimingAnalysis
 
 CIRCUIT = "C432"
 

@@ -1,9 +1,11 @@
 """Table 1 regeneration: per-circuit power improvements of CVS/Dscale/Gscale.
 
 Each benchmark times one algorithm on one prepared circuit (the paper's
-CPU column analog) and records the measured improvement in
-``extra_info`` next to the paper's published number.  The final summary
-prints the assembled table in the paper's layout.
+CPU column analog), records the measured improvement in ``extra_info``
+next to the paper's published number, and appends the finished report
+to the session's campaign store.  The final summary aggregates the
+store (no recomputation) and prints the assembled table in the paper's
+layout.
 
 Run: ``pytest benchmarks/bench_table1.py --benchmark-only``
 (set ``REPRO_FULL_SUITE=1`` for all 39 circuits).
@@ -18,12 +20,11 @@ from repro.bench.paper_data import PAPER_TABLE1
 from repro.core.pipeline import scale_voltage
 from repro.flow.tables import format_table1, suite_averages
 
-_RESULTS = {}
-
 
 @pytest.mark.parametrize("name", benchmark_names())
 @pytest.mark.parametrize("method", ["cvs", "dscale", "gscale"])
-def test_table1_cell(benchmark, prepared_cache, library, name, method):
+def test_table1_cell(benchmark, prepared_cache, library, record_report,
+                     name, method):
     """One (circuit, algorithm) cell of Table 1."""
     prepared = prepared_cache(name)
 
@@ -46,7 +47,8 @@ def test_table1_cell(benchmark, prepared_cache, library, name, method):
     benchmark.extra_info["improvement_pct"] = round(report.improvement_pct, 2)
     benchmark.extra_info["paper_pct"] = paper_pct
     benchmark.extra_info["org_power_uw"] = round(report.power_before_uw, 2)
-    _RESULTS.setdefault(name, {})[method] = report
+    record_report(name, method, report,
+                  runtime_s=benchmark.stats.stats.min)
 
     assert report.worst_delay_ns <= report.tspec_ns + 1e-9
     assert report.improvement_pct >= -1e-9

@@ -3,6 +3,9 @@
 Each benchmark measures the profile-extraction cost on one circuit and
 records the low-voltage counts/ratios per algorithm plus Gscale's sizing
 numbers -- the columns of the paper's Table 2 -- in ``extra_info``.
+Results come from the session's campaign store: a circuit already
+benchmarked by ``bench_table1`` is aggregated from its stored rows
+rather than re-run.
 
 Run: ``pytest benchmarks/bench_table2.py --benchmark-only``
 """
@@ -15,8 +18,6 @@ from benchmarks.conftest import benchmark_names
 from repro.bench.paper_data import PAPER_TABLE2
 from repro.flow.tables import format_table2, suite_averages
 
-_ROWS = {}
-
 
 @pytest.mark.parametrize("name", benchmark_names())
 def test_table2_row(benchmark, results_cache, name):
@@ -25,7 +26,6 @@ def test_table2_row(benchmark, results_cache, name):
         return results_cache(name)
 
     row = benchmark.pedantic(run, rounds=1, iterations=1)
-    _ROWS[name] = row
     paper = PAPER_TABLE2[name]
     gscale = row.reports["gscale"]
     benchmark.extra_info.update({

@@ -8,10 +8,7 @@ achieved -- the fastest way to see the library's public API end to end.
 
 from repro import (
     build_compass_library,
-    load_circuit,
-    map_network,
     materialize_converters,
-    rugged,
     scale_voltage,
 )
 from repro.flow.experiment import prepare_circuit

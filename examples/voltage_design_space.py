@@ -9,26 +9,50 @@ demoted gate by the alpha-power law, shrinking how much of the circuit
 fits under the timing constraint -- so total saving is NOT monotone in
 the rail gap, and the sweep locates the sweet spot per circuit.
 
+The sweep itself runs through the campaign engine
+(:mod:`repro.flow.campaign`): one Gscale job per (circuit, Vlow) cell,
+streamed into a resumable JSONL store.  Re-running the example after an
+interrupt resumes where it stopped; pass ``--jobs N`` to shard the grid
+across worker processes.  The same workload at full scale is::
+
+    python -m repro campaign --sweep --jobs 8 --out sweep.jsonl
+
 Also demonstrates the DC-leakage model that motivates level restoration
 in the first place (section 1 of the paper).
 """
 
-from repro import build_compass_library, scale_voltage
-from repro.flow.experiment import prepare_circuit
+import argparse
+
+from repro.flow.campaign import build_jobs, rows_to_results, run_campaign
+from repro.flow.store import ResultStore
 from repro.library.characterize import dc_leakage_power, delay_scale
-from repro.mapping.match import MatchTable
 
 CIRCUITS = ["b9", "C432", "rot"]
 LOW_RAILS = [4.6, 4.3, 4.0, 3.7, 3.3, 2.9]
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="campaign worker processes")
+    parser.add_argument("--store", default="voltage_sweep.jsonl",
+                        help="resumable JSONL result store")
+    args = parser.parse_args()
+
     print("=== why level restoration is mandatory (sec. 1) ===")
     for vlow in (4.3, 3.7, 3.3):
         leak = dc_leakage_power(5.0, vlow)
         print(f"  unconverted low({vlow} V) -> high(5 V) crossing: "
               f"{leak:5.1f} uW static DC leakage per gate input")
 
+    jobs = build_jobs(CIRCUITS, methods=("gscale",), vdd_lows=LOW_RAILS)
+    store = ResultStore(args.store)
+    summary = run_campaign(jobs, store, n_jobs=args.jobs, resume=True)
+    print(f"\ncampaign: {summary.ok} ok / {summary.failed} failed / "
+          f"{summary.skipped} resumed from {args.store} "
+          f"in {summary.elapsed_s:.1f}s")
+
+    rows = store.load()
     print("\n=== the saving-vs-penalty trade-off ===")
     print(f"{'Vlow':>5} {'delay x':>8} {'ceiling %':>10}", end="")
     for name in CIRCUITS:
@@ -36,19 +60,19 @@ def main() -> None:
     print()
 
     for vlow in LOW_RAILS:
-        library = build_compass_library(vdd_low=vlow)
-        match_table = MatchTable(library)
         penalty = delay_scale(vlow, 5.0)
         ceiling = 100.0 * (1 - (vlow / 5.0) ** 2)
         print(f"{vlow:5.1f} {penalty:8.3f} {ceiling:10.2f}", end="")
+        results = {
+            r.name: r for r in rows_to_results(rows, vdd_low=vlow)
+        }
         for name in CIRCUITS:
-            prepared = prepare_circuit(name, library,
-                                       match_table=match_table)
-            _, report = scale_voltage(
-                prepared.fresh_copy(), library, prepared.tspec,
-                method="gscale", activity=prepared.activity,
-            )
-            print(f" {report.improvement_pct:10.2f}", end="")
+            result = results.get(name)
+            if result is None or "gscale" not in result.reports:
+                print(f" {'--':>10}", end="")
+            else:
+                pct = result.reports["gscale"].improvement_pct
+                print(f" {pct:10.2f}", end="")
         print()
 
     print("\nreading: the quadratic ceiling keeps growing, but past the "

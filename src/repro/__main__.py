@@ -4,9 +4,13 @@ Commands
 --------
 run CIRCUIT [--method M] [--slack F] [--vlow V]
     Full flow on one benchmark (or a BLIF file path); prints the report.
-tables [--subset] [--out PATH]
-    Regenerate the paper's Table 1 / Table 2 and write EXPERIMENTS-style
-    output.
+campaign [--subset | --circuits a,b,c] [--jobs N] [--resume]
+         [--out STORE.jsonl] [--sweep | --vlow V[,V...] --slack F[,F...]]
+    Shard the (circuit, method, vdd_low, slack) sweep across worker
+    processes, streaming rows into a resumable JSONL result store.
+tables [--subset] [--jobs N] [--from-store STORE.jsonl] [--out PATH]
+    Regenerate the paper's Table 1 / Table 2 (through a campaign store)
+    and write EXPERIMENTS-style output.
 circuits
     List the 39 benchmark names with family and paper gate counts.
 library [--vlow V]
@@ -47,23 +51,115 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_tables(args) -> int:
+def _select_circuits(args) -> list[str]:
     from repro.bench.mcnc import MCNC_NAMES
-    from repro.flow.experiment import run_suite
-    from repro.flow.tables import format_table1, format_table2, \
-        write_experiments_md
 
+    if getattr(args, "circuits", ""):
+        names = [n.strip() for n in args.circuits.split(",") if n.strip()]
+        unknown = [n for n in names if n not in MCNC_NAMES]
+        if unknown:
+            raise SystemExit(f"unknown circuit(s): {', '.join(unknown)}")
+        return names
     names = list(MCNC_NAMES)
     if args.subset:
         names = names[::3]
-    results = run_suite(names, verbose=True)
+    return names
+
+
+def _parse_floats(text: str) -> list[float]:
+    return [float(v) for v in text.split(",") if v.strip()]
+
+
+def _cmd_campaign(args) -> int:
+    from repro.core.pipeline import METHODS
+    from repro.flow.campaign import (
+        DEFAULT_VDD_LOW,
+        SWEEP_SLACKS,
+        SWEEP_VDD_LOWS,
+        build_jobs,
+        run_campaign,
+    )
+    from repro.flow.experiment import DEFAULT_SLACK_FACTOR
+    from repro.flow.store import ResultStore
+
+    circuits = _select_circuits(args)
+    methods = (
+        METHODS if args.methods == "all"
+        else tuple(m.strip() for m in args.methods.split(",") if m.strip())
+    )
+    if args.vlow:
+        vdd_lows = _parse_floats(args.vlow)
+    else:
+        vdd_lows = list(SWEEP_VDD_LOWS if args.sweep
+                        else [DEFAULT_VDD_LOW])
+    if args.slack:
+        slacks = _parse_floats(args.slack)
+    else:
+        slacks = list(SWEEP_SLACKS if args.sweep
+                      else [DEFAULT_SLACK_FACTOR])
+
+    jobs = build_jobs(circuits, methods=methods, vdd_lows=vdd_lows,
+                      slack_factors=slacks)
+    store = ResultStore(args.out)
+    print(f"campaign: {len(jobs)} jobs "
+          f"({len(circuits)} circuits x {len(methods)} methods x "
+          f"{len(vdd_lows)} vlow x {len(slacks)} slack) "
+          f"-> {args.out}  [jobs={args.jobs}"
+          f"{', resume' if args.resume else ''}]")
+    summary = run_campaign(
+        jobs, store, n_jobs=args.jobs, resume=args.resume,
+        progress=None if args.quiet else print,
+    )
+    print(f"campaign done: {summary.ok} ok, {summary.failed} failed, "
+          f"{summary.skipped} skipped (resume) in "
+          f"{summary.elapsed_s:.1f}s")
+    return 1 if summary.failed else 0
+
+
+def _cmd_tables(args) -> int:
+    import tempfile
+
+    from repro.flow.campaign import (
+        build_jobs,
+        rows_to_results,
+        run_campaign,
+    )
+    from repro.flow.store import ResultStore
+    from repro.flow.tables import (
+        format_table1,
+        format_table2,
+        write_experiments_md,
+    )
+
+    if args.from_store:
+        rows = ResultStore(args.from_store).load()
+        n_source = f"store {args.from_store}"
+    else:
+        names = _select_circuits(args)
+        store_path = args.store or os.path.join(
+            tempfile.mkdtemp(prefix="repro-tables-"), "tables.jsonl"
+        )
+        store = ResultStore(store_path)
+        jobs = build_jobs(names)
+        summary = run_campaign(jobs, store, n_jobs=args.jobs,
+                               resume=bool(args.store), progress=print)
+        if summary.failed:
+            print(f"warning: {summary.failed} job(s) failed; "
+                  f"their circuits are missing from the tables")
+        rows = store.load()
+        n_source = f"campaign over {len(names)} circuits"
+    results = rows_to_results(rows, vdd_low=args.vlow,
+                              slack_factor=args.slack_point)
+    if not results:
+        print("no completed rows to tabulate")
+        return 1
     print()
     print(format_table1(results))
     print()
     print(format_table2(results))
     if args.out:
         write_experiments_md(results, args.out,
-                             preamble=f"CLI run over {len(names)} circuits.")
+                             preamble=f"CLI run from {n_source}.")
         print(f"wrote {args.out}")
     return 0
 
@@ -115,9 +211,57 @@ def main(argv: list[str] | None = None) -> int:
                             help="low supply voltage (paper: 4.3)")
     run_parser.set_defaults(handler=_cmd_run)
 
+    campaign_parser = commands.add_parser(
+        "campaign",
+        help="parallel sweep into a resumable JSONL result store",
+    )
+    campaign_parser.add_argument("--circuits", default="",
+                                 help="comma-separated benchmark names "
+                                      "(default: all 39)")
+    campaign_parser.add_argument("--subset", action="store_true",
+                                 help="every third benchmark (CI subset)")
+    campaign_parser.add_argument("--methods", default="all",
+                                 help="comma-separated subset of "
+                                      "cvs,dscale,gscale")
+    campaign_parser.add_argument("--vlow", default="",
+                                 help="comma-separated low-rail voltages "
+                                      "(default 4.3; --sweep grid if "
+                                      "--sweep)")
+    campaign_parser.add_argument("--slack", default="",
+                                 help="comma-separated slack factors "
+                                      "(default 1.2; --sweep grid if "
+                                      "--sweep)")
+    campaign_parser.add_argument("--sweep", action="store_true",
+                                 help="default design-space grid over "
+                                      "vlow x slack")
+    campaign_parser.add_argument("--jobs", type=int, default=1,
+                                 help="worker processes (1 = in-process)")
+    campaign_parser.add_argument("--resume", action="store_true",
+                                 help="skip job ids already ok in --out")
+    campaign_parser.add_argument("--out", default="campaign.jsonl",
+                                 help="JSONL result store path")
+    campaign_parser.add_argument("--quiet", action="store_true",
+                                 help="suppress per-job progress lines")
+    campaign_parser.set_defaults(handler=_cmd_campaign)
+
     tables_parser = commands.add_parser("tables",
                                         help="regenerate Tables 1 and 2")
+    tables_parser.add_argument("--circuits", default="",
+                               help="comma-separated benchmark names")
     tables_parser.add_argument("--subset", action="store_true")
+    tables_parser.add_argument("--jobs", type=int, default=1,
+                               help="campaign worker processes")
+    tables_parser.add_argument("--from-store", default="",
+                               help="aggregate an existing campaign store "
+                                    "instead of running the flow")
+    tables_parser.add_argument("--store", default="",
+                               help="persist (and resume) the backing "
+                                    "campaign store at this path")
+    tables_parser.add_argument("--vlow", type=float, default=None,
+                               help="sweep stores: select this vdd_low")
+    tables_parser.add_argument("--slack-point", type=float, default=None,
+                               help="sweep stores: select this slack "
+                                    "factor")
     tables_parser.add_argument("--out", default="")
     tables_parser.set_defaults(handler=_cmd_tables)
 

@@ -23,7 +23,7 @@ Notes on specific substitutions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.bench import generators as g
 from repro.netlist.network import Network

@@ -14,7 +14,6 @@ ten) or when the area budget (the paper uses +10%) is exhausted.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.core.cvs import CvsResult, run_cvs

@@ -21,7 +21,7 @@ harness as the baseline and by anyone who wants the oracle in the loop).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.library.cells import Library
 from repro.netlist.network import Network

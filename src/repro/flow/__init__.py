@@ -7,15 +7,27 @@
   comparison, and EXPERIMENTS.md rendering.
 * :mod:`repro.flow.ablation`   -- parameter sweeps (maxIter, voltage
   pair, area budget, converter cost) beyond the paper's tables.
+* :mod:`repro.flow.campaign`   -- parallel fan-out of the sweep across
+  worker processes with per-worker library/circuit caches.
+* :mod:`repro.flow.store`      -- the append-only JSONL result store
+  campaigns stream into (and resume from).
 """
 
+from repro.flow.campaign import (
+    CampaignJob,
+    build_jobs,
+    rows_to_results,
+    run_campaign,
+)
 from repro.flow.experiment import (
     CircuitResult,
     PreparedCircuit,
     prepare_circuit,
     run_circuit,
+    run_prepared,
     run_suite,
 )
+from repro.flow.store import ResultStore
 from repro.flow.tables import (
     format_table1,
     format_table2,
@@ -24,10 +36,16 @@ from repro.flow.tables import (
 )
 
 __all__ = [
+    "CampaignJob",
     "CircuitResult",
     "PreparedCircuit",
+    "ResultStore",
+    "build_jobs",
     "prepare_circuit",
+    "rows_to_results",
+    "run_campaign",
     "run_circuit",
+    "run_prepared",
     "run_suite",
     "format_table1",
     "format_table2",

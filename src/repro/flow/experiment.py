@@ -106,18 +106,18 @@ def prepare_circuit(source: str | Network, library: Library,
     )
 
 
-def run_circuit(source: str | Network, library: Library | None = None,
-                methods: tuple[str, ...] = METHODS,
-                slack_factor: float = DEFAULT_SLACK_FACTOR,
-                match_table: MatchTable | None = None,
-                options: ScalingOptions | None = None,
-                max_iter: int = 10,
-                area_budget: float = 0.10) -> CircuitResult:
-    """The full paper flow on one circuit; returns one table row."""
-    library = library or build_compass_library()
-    prepared = prepare_circuit(source, library, slack_factor=slack_factor,
-                               match_table=match_table, options=options)
+def run_prepared(prepared: PreparedCircuit, library: Library,
+                 methods: tuple[str, ...] = METHODS,
+                 options: ScalingOptions | None = None,
+                 max_iter: int = 10,
+                 area_budget: float = 0.10) -> CircuitResult:
+    """Run the scaling algorithms on an already-prepared circuit.
 
+    Factored out of :func:`run_circuit` so callers that cache a
+    :class:`PreparedCircuit` (the campaign workers, the benchmark
+    fixtures) pay the optimize/map/constrain pipeline once per circuit
+    instead of once per method.
+    """
     result = CircuitResult(
         name=prepared.name,
         gates=sum(1 for n in prepared.network.nodes.values()
@@ -136,6 +136,22 @@ def run_circuit(source: str | Network, library: Library | None = None,
         result.reports[method] = report
         result.org_power_uw = report.power_before_uw
     return result
+
+
+def run_circuit(source: str | Network, library: Library | None = None,
+                methods: tuple[str, ...] = METHODS,
+                slack_factor: float = DEFAULT_SLACK_FACTOR,
+                match_table: MatchTable | None = None,
+                options: ScalingOptions | None = None,
+                max_iter: int = 10,
+                area_budget: float = 0.10) -> CircuitResult:
+    """The full paper flow on one circuit; returns one table row."""
+    library = library or build_compass_library()
+    prepared = prepare_circuit(source, library, slack_factor=slack_factor,
+                               match_table=match_table, options=options)
+    return run_prepared(prepared, library, methods=methods,
+                        options=options, max_iter=max_iter,
+                        area_budget=area_budget)
 
 
 def run_suite(names: list[str], library: Library | None = None,
@@ -168,6 +184,7 @@ __all__ = [
     "PreparedCircuit",
     "CircuitResult",
     "prepare_circuit",
+    "run_prepared",
     "run_circuit",
     "run_suite",
 ]

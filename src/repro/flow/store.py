@@ -1,0 +1,169 @@
+"""Append-only JSONL result store for campaign runs.
+
+Every finished (circuit, method, vdd_low, slack_factor) job becomes one
+JSON object on its own line, keyed by a deterministic ``job_id``.  The
+format is deliberately dumb so that a campaign interrupted by a crash,
+an OOM kill, or Ctrl-C loses at most the line being written: on resume
+the store is re-read, completed job ids are skipped, and a torn final
+line is ignored.
+
+Row schema (``SCHEMA_VERSION`` guards future migrations)::
+
+    {
+      "schema": 1,
+      "job_id": "C432:gscale:v4.3:s1.2",
+      "status": "ok" | "failed",
+      "circuit": "C432", "method": "gscale",
+      "vdd_low": 4.3, "slack_factor": 1.2,
+      # status == "ok":
+      "gates": 164, "org_power_uw": ..., "min_delay_ns": ...,
+      "tspec_ns": ..., "report": {<ScalingReport fields>},
+      # status == "failed":
+      "error": "ValueError: ...", "traceback": "...",
+      # volatile (excluded from row-equality comparisons):
+      "runtime_s": 0.41, "finished_at": "2026-07-28T12:00:00+00:00",
+      "worker_pid": 1234,
+    }
+
+Floats round-trip exactly through ``json`` (``repr``-based), so tables
+regenerated from a store are bit-identical to tables formatted from the
+in-memory results the rows were serialized from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+SCHEMA_VERSION = 1
+
+VOLATILE_FIELDS = ("runtime_s", "finished_at", "worker_pid")
+"""Row fields that legitimately differ between runs of the same job."""
+
+VOLATILE_REPORT_FIELDS = ("runtime_s",)
+"""ScalingReport fields that differ between runs (wall-clock)."""
+
+
+def normalize_row(row: dict[str, Any]) -> dict[str, Any]:
+    """A copy of ``row`` with every volatile field removed.
+
+    Two stores describe the same campaign outcome iff their normalized
+    row sets are equal -- this is the "identical modulo timestamps"
+    comparison the resume and parallel-equivalence tests use.
+    """
+    out = {k: v for k, v in row.items() if k not in VOLATILE_FIELDS}
+    if isinstance(out.get("report"), dict):
+        out["report"] = {
+            k: v
+            for k, v in out["report"].items()
+            if k not in VOLATILE_REPORT_FIELDS
+        }
+    return out
+
+
+class ResultStore:
+    """An append-only JSONL file of campaign result rows.
+
+    The store is single-writer (the campaign parent process appends;
+    workers hand rows back over the pool's result channel), so plain
+    line-buffered appends are atomic enough: a crash can only tear the
+    final line, and :meth:`load` tolerates exactly that.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = os.fspath(path)
+        self._handle = None
+
+    # -- writing -----------------------------------------------------
+
+    def open_append(self) -> None:
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        # A campaign killed mid-append leaves a torn, newline-less tail;
+        # terminate it so the next row starts on its own line instead of
+        # concatenating into (and thereby losing) the fragment.
+        if self._handle.tell() > 0:
+            with open(self.path, "rb") as peek:
+                peek.seek(-1, os.SEEK_END)
+                ends_with_newline = peek.read(1) == b"\n"
+            if not ends_with_newline:
+                self._handle.write("\n")
+                self._handle.flush()
+
+    def append(self, row: dict[str, Any]) -> None:
+        if self._handle is None:
+            self.open_append()
+        line = json.dumps(row, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> ResultStore:
+        self.open_append()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        """Yield rows in file order, skipping a torn trailing line."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append tears at most the final line;
+                    # treat it as never written (the job re-runs).
+                    continue
+                if isinstance(row, dict):
+                    yield row
+
+    def load(self) -> list[dict[str, Any]]:
+        return list(self.iter_rows())
+
+    def completed_ids(self) -> set[str]:
+        """Job ids that finished successfully (failed jobs re-run)."""
+        return {
+            row["job_id"]
+            for row in self.iter_rows()
+            if row.get("status") == "ok" and "job_id" in row
+        }
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_rows())
+
+
+def rows_equal(a: Iterable[dict], b: Iterable[dict]) -> bool:
+    """Order-insensitive row-set equality, ignoring volatile fields."""
+
+    def key(rows):
+        return sorted(
+            json.dumps(normalize_row(r), sort_keys=True) for r in rows
+        )
+
+    return key(a) == key(b)
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "VOLATILE_FIELDS",
+    "VOLATILE_REPORT_FIELDS",
+    "ResultStore",
+    "normalize_row",
+    "rows_equal",
+]

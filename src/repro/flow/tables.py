@@ -8,7 +8,7 @@ paper-vs-measured column for every circuit.
 from __future__ import annotations
 
 from statistics import mean
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.bench.paper_data import PAPER_AVERAGES, PAPER_TABLE1, PAPER_TABLE2
 from repro.flow.experiment import CircuitResult

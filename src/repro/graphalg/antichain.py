@@ -19,7 +19,7 @@ asserts -- strong duality doubles as a built-in self-check.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping
+from collections.abc import Hashable, Iterable, Mapping
 
 from repro.graphalg.maxflow import FlowNetwork, INFINITY
 

@@ -10,7 +10,7 @@ so that all flow arithmetic is exact.
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 INFINITY = 10 ** 15
 """Effectively unbounded integer capacity (safe against overflow in sums)."""

@@ -11,7 +11,7 @@ and the Edmonds-Karp max-flow from :mod:`repro.graphalg.maxflow`.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping
+from collections.abc import Hashable, Iterable, Mapping
 
 from repro.graphalg.maxflow import FlowNetwork, INFINITY
 

@@ -21,8 +21,7 @@ dual-Vdd library stores a separate :class:`Cell` per (base, size, vdd).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterable
+from dataclasses import dataclass
 
 from repro.netlist.functions import TruthTable
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Iterable, TextIO
+from collections.abc import Iterable
+from typing import TextIO
 
 from repro.netlist.functions import TruthTable
 from repro.netlist.network import Network

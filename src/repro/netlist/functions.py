@@ -14,8 +14,7 @@ hashable, allocation-free boolean algebra.
 
 from __future__ import annotations
 
-import itertools
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 MAX_INPUTS = 16
 """Hard cap on truth-table width (2**16 output bits)."""

@@ -15,7 +15,7 @@ but level-converter insertion and gate resizing do edit the network.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.netlist.functions import TruthTable
 
@@ -200,22 +200,28 @@ class Network:
         return self._fanouts[name]
 
     def topological(self) -> list[str]:
-        """Node names in topological order (fanins before fanouts)."""
+        """Node names in topological order (fanins before fanouts).
+
+        The order is a pure function of the network (insertion-ordered
+        adjacency, no set iteration), so identical networks produce
+        identical orders in every process regardless of hash
+        randomization -- campaign workers rely on this for
+        bit-reproducible rows.
+        """
         if self._topo is not None:
             return self._topo
         in_degree = {name: len(set(node.fanins)) for name, node in self.nodes.items()}
         # Count unique fanins only: a node may read the same signal twice.
         ready = [name for name, deg in in_degree.items() if deg == 0]
+        reader_pins = self.reader_pins()
         order: list[str] = []
         while ready:
             name = ready.pop()
             order.append(name)
-            for fanout in self.fanouts(name):
-                unique = set(self.nodes[fanout].fanins)
-                if name in unique:
-                    in_degree[fanout] -= 1
-                    if in_degree[fanout] == 0:
-                        ready.append(fanout)
+            for fanout in dict.fromkeys(r for r, _ in reader_pins[name]):
+                in_degree[fanout] -= 1
+                if in_degree[fanout] == 0:
+                    ready.append(fanout)
         if len(order) != len(self.nodes):
             cyclic = sorted(set(self.nodes) - set(order))
             raise ValueError(f"network has a combinational cycle through {cyclic[:5]}")

@@ -10,8 +10,8 @@ once per circuit and reuse them throughout.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Mapping
+from dataclasses import dataclass
+from collections.abc import Mapping
 
 from repro.netlist.network import Network
 

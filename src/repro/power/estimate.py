@@ -25,12 +25,12 @@ Units: fF * V^2 * MHz = 1e-3 uW, so totals are reported in uW directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Collection, Mapping
+from collections.abc import Collection, Mapping
 
 from repro.library.cells import Library
 from repro.netlist.network import Network
 from repro.power.activity import Activity
-from repro.timing.delay import DelayCalculator, OUTPUT, DEFAULT_PO_LOAD
+from repro.timing.delay import DEFAULT_PO_LOAD, DelayCalculator
 
 _UW = 1e-3
 """fF * V^2 * MHz to uW."""

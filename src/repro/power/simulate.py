@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.netlist.network import Network
 from repro.timing.delay import DelayCalculator

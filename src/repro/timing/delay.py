@@ -24,7 +24,7 @@ queries safe against the live-read contract.
 
 from __future__ import annotations
 
-from typing import Collection, Mapping
+from collections.abc import Collection, Mapping
 
 from repro.library.cells import Cell, Library
 from repro.netlist.network import Network

@@ -52,7 +52,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Iterator, Mapping
+from collections.abc import Iterator, Mapping
 
 from repro.netlist.network import Network
 from repro.timing.delay import DelayCalculator, OUTPUT

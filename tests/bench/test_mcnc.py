@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.mcnc import CIRCUITS, MCNC_NAMES, load_circuit
+from repro.bench.mcnc import CIRCUITS, load_circuit
 from repro.bench.paper_data import PAPER_AVERAGES, PAPER_TABLE1, PAPER_TABLE2
 from repro.netlist.validate import check_network
 

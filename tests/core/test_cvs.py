@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.generators import mixed_datapath, pla_control, ripple_adder
+from repro.bench.generators import mixed_datapath, ripple_adder
 from repro.core.cvs import run_cvs
 from repro.core.state import ScalingOptions, ScalingState
 from repro.flow.experiment import prepare_circuit

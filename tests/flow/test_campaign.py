@@ -1,0 +1,287 @@
+"""Campaign runner tests: sharding, resume, fault isolation, fidelity.
+
+The heavyweight properties the CI quality gate leans on:
+
+* serial and multi-process campaigns produce row-identical stores
+  (modulo the volatile timing fields);
+* an interrupted campaign resumed with ``--resume`` completes to a
+  store equal to an uninterrupted run's;
+* a raising job becomes a ``failed`` row without aborting the sweep;
+* tables regenerated from a store are byte-identical to tables
+  formatted from the same in-memory results.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.flow.campaign as campaign_mod
+from repro.__main__ import main
+from repro.core.pipeline import METHODS
+from repro.flow.campaign import (
+    CampaignJob,
+    build_jobs,
+    group_jobs,
+    rows_to_results,
+    run_campaign,
+    run_job_group,
+    sweep_points,
+)
+from repro.flow.experiment import run_suite
+from repro.flow.store import ResultStore, rows_equal
+from repro.flow.tables import format_table1, format_table2
+
+SMALL = ["z4ml", "x2"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_worker_caches():
+    campaign_mod.clear_worker_caches()
+    yield
+    campaign_mod.clear_worker_caches()
+
+
+# -- job construction -------------------------------------------------
+
+def test_build_jobs_cross_product():
+    jobs = build_jobs(SMALL, vdd_lows=[4.3, 4.0],
+                      slack_factors=[1.1, 1.2])
+    assert len(jobs) == 2 * 3 * 2 * 2
+    assert len({j.job_id for j in jobs}) == len(jobs)
+    # Deterministic order: all methods of one group are adjacent, so a
+    # group shares one prepared circuit.
+    assert [j.method for j in jobs[:3]] == list(METHODS)
+    assert len({j.group_key for j in jobs[:3]}) == 1
+
+
+def test_build_jobs_rejects_unknown_method():
+    with pytest.raises(ValueError, match="method"):
+        build_jobs(SMALL, methods=("warp",))
+
+
+def test_job_id_is_deterministic():
+    job = CampaignJob("C432", "gscale", 4.3, 1.2)
+    assert job.job_id == "C432:gscale:v4.3:s1.2"
+    assert CampaignJob("C432", "gscale", 4.3, 1.2).job_id == job.job_id
+
+
+def test_group_jobs_preserves_order():
+    jobs = build_jobs(SMALL)
+    groups = group_jobs(jobs)
+    assert [key[0] for key, _ in groups] == SMALL
+    assert all(len(group) == 3 for _, group in groups)
+
+
+# -- execution: serial, parallel, resume ------------------------------
+
+def test_serial_campaign_matches_run_suite(tmp_path, library):
+    store = ResultStore(tmp_path / "serial.jsonl")
+    summary = run_campaign(build_jobs(SMALL), store)
+    assert (summary.ok, summary.failed, summary.skipped) == (6, 0, 0)
+
+    results = {r.name: r for r in rows_to_results(store.load())}
+    expected = {r.name: r for r in run_suite(SMALL, library)}
+    assert set(results) == set(expected)
+    for name, got in results.items():
+        want = expected[name]
+        assert (got.gates, got.min_delay_ns, got.tspec_ns) == \
+            (want.gates, want.min_delay_ns, want.tspec_ns)
+        assert got.org_power_uw == want.org_power_uw
+        for method in METHODS:
+            a = dataclasses.replace(got.reports[method], runtime_s=0.0)
+            b = dataclasses.replace(want.reports[method], runtime_s=0.0)
+            assert a == b, (name, method)
+
+
+def test_parallel_store_row_identical_to_serial(tmp_path):
+    serial = ResultStore(tmp_path / "serial.jsonl")
+    run_campaign(build_jobs(SMALL), serial)
+    parallel = ResultStore(tmp_path / "parallel.jsonl")
+    summary = run_campaign(build_jobs(SMALL), parallel, n_jobs=2)
+    assert summary.ok == 6
+    assert rows_equal(serial.load(), parallel.load())
+
+
+def test_resume_skips_completed_job_ids(tmp_path):
+    jobs = build_jobs(SMALL)
+    reference = ResultStore(tmp_path / "reference.jsonl")
+    run_campaign(jobs, reference)
+    ref_rows = reference.load()
+
+    # Simulate a campaign killed mid-write: the first four rows landed
+    # whole, the fifth was torn by the crash.
+    partial_path = tmp_path / "partial.jsonl"
+    with open(partial_path, "w", encoding="utf-8") as handle:
+        for row in ref_rows[:4]:
+            handle.write(json.dumps(row, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        handle.write(json.dumps(ref_rows[4])[:25])
+
+    calls = []
+    original = campaign_mod.scale_voltage
+
+    def counting(network, library, tspec, method="gscale", **kwargs):
+        calls.append(method)
+        return original(network, library, tspec, method=method, **kwargs)
+
+    campaign_mod.scale_voltage = counting
+    try:
+        store = ResultStore(partial_path)
+        summary = run_campaign(jobs, store, resume=True)
+    finally:
+        campaign_mod.scale_voltage = original
+
+    assert summary.skipped == 4
+    assert summary.ok == 2
+    assert len(calls) == 2  # only the missing jobs re-ran
+    assert rows_equal(store.load(), ref_rows)
+
+
+def test_without_resume_the_store_is_truncated(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    run_campaign(build_jobs(["z4ml"]), store)
+    first = store.load()
+    run_campaign(build_jobs(["z4ml"]), store)
+    assert len(store.load()) == len(first)
+
+
+def test_failed_rows_are_retried_on_resume(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    with store:
+        store.append({
+            "schema": 1, "job_id": "z4ml:cvs:v4.3:s1.2",
+            "status": "failed", "circuit": "z4ml", "method": "cvs",
+            "vdd_low": 4.3, "slack_factor": 1.2,
+            "error": "RuntimeError: transient", "runtime_s": 0.0,
+        })
+    summary = run_campaign(build_jobs(["z4ml"]), store, resume=True)
+    assert summary.skipped == 0
+    assert summary.ok == 3
+    # Aggregation takes the fresh ok-row over the stale failed row.
+    results = rows_to_results(store.load())
+    assert set(results[0].reports) == set(METHODS)
+
+
+# -- fault isolation --------------------------------------------------
+
+def test_raising_job_yields_failed_row_not_abort(tmp_path):
+    original = campaign_mod.scale_voltage
+
+    def sabotaged(network, library, tspec, method="gscale", **kwargs):
+        if method == "dscale":
+            raise RuntimeError("injected dscale failure")
+        return original(network, library, tspec, method=method, **kwargs)
+
+    campaign_mod.scale_voltage = sabotaged
+    try:
+        store = ResultStore(tmp_path / "s.jsonl")
+        summary = run_campaign(build_jobs(SMALL), store)
+    finally:
+        campaign_mod.scale_voltage = original
+
+    assert summary.ok == 4
+    assert summary.failed == 2
+    failed = [r for r in store.load() if r["status"] == "failed"]
+    assert {r["method"] for r in failed} == {"dscale"}
+    assert all("injected dscale failure" in r["error"] for r in failed)
+    assert all("Traceback" in r["traceback"] for r in failed)
+    # The surviving methods still aggregate into results.
+    results = rows_to_results(store.load())
+    assert all(set(r.reports) == {"cvs", "gscale"} for r in results)
+
+
+def test_unknown_circuit_fails_whole_group_gracefully(tmp_path):
+    jobs = [CampaignJob("no_such_circuit", m) for m in METHODS]
+    rows = run_job_group(jobs)
+    assert len(rows) == 3
+    assert all(r["status"] == "failed" for r in rows)
+    assert all("no_such_circuit" in r["error"] for r in rows)
+
+
+def test_parallel_worker_failure_is_isolated(tmp_path):
+    jobs = build_jobs(["z4ml"]) + [CampaignJob("no_such_circuit", "cvs")]
+    store = ResultStore(tmp_path / "s.jsonl")
+    summary = run_campaign(jobs, store, n_jobs=2)
+    assert summary.ok == 3
+    assert summary.failed == 1
+
+
+# -- aggregation and sweeps -------------------------------------------
+
+def test_tables_from_store_byte_identical(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    run_campaign(build_jobs(SMALL), store)
+    results = rows_to_results(store.load())
+    # Re-load through a second store object (fresh JSON parse): the
+    # formatted tables must not change by a single byte.
+    reloaded = rows_to_results(ResultStore(store.path).load())
+    assert format_table1(reloaded) == format_table1(results)
+    assert format_table2(reloaded) == format_table2(results)
+
+
+def test_tables_cli_from_store_matches_direct(tmp_path, capsys):
+    store_path = str(tmp_path / "s.jsonl")
+    assert main(["tables", "--circuits", ",".join(SMALL),
+                 "--store", store_path]) == 0
+    direct = capsys.readouterr().out
+    assert main(["tables", "--from-store", store_path]) == 0
+    from_store = capsys.readouterr().out
+    # Strip the per-job progress prologue; the tables themselves (from
+    # "Table 1:" onward) must match byte for byte.
+    def table_of(text):
+        return text[text.index("Table 1:"):]
+
+    assert table_of(from_store) == table_of(direct)
+
+
+def test_duplicate_job_ids_last_row_wins(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    run_campaign(build_jobs(["z4ml"]), store)
+    rows = store.load()
+    stale = json.loads(json.dumps(rows[0]))
+    stale["gates"] = 9999
+    stale["report"] = dict(stale["report"], improvement_pct=-1.0)
+    # The stale duplicate precedes the fresh rows in file order.
+    (result,) = rows_to_results([stale] + rows)
+    assert result.gates == rows[0]["gates"]
+    method = rows[0]["method"]
+    assert result.reports[method].improvement_pct != -1.0
+
+
+def test_sweep_jobs_and_point_selection(tmp_path):
+    jobs = build_jobs(["z4ml"], vdd_lows=[4.3, 4.0],
+                      slack_factors=[1.2])
+    store = ResultStore(tmp_path / "sweep.jsonl")
+    summary = run_campaign(jobs, store)
+    assert summary.ok == 6
+    rows = store.load()
+    assert sweep_points(rows) == [(4.0, 1.2), (4.3, 1.2)]
+    with pytest.raises(ValueError, match="sweep"):
+        rows_to_results(rows)
+    low = rows_to_results(rows, vdd_low=4.0)
+    high = rows_to_results(rows, vdd_low=4.3)
+    assert len(low) == len(high) == 1
+    # A lower rail saves more per demoted gate on this tiny circuit.
+    assert low[0].reports["gscale"].improvement_pct != \
+        high[0].reports["gscale"].improvement_pct
+
+
+# -- CLI --------------------------------------------------------------
+
+def test_campaign_cli_runs_and_resumes(tmp_path, capsys):
+    out = str(tmp_path / "cli.jsonl")
+    assert main(["campaign", "--circuits", "z4ml", "--out", out]) == 0
+    text = capsys.readouterr().out
+    assert "3 jobs" in text and "3 ok" in text
+    assert main(["campaign", "--circuits", "z4ml", "--out", out,
+                 "--resume"]) == 0
+    text = capsys.readouterr().out
+    assert "3 skipped" in text
+    assert len(ResultStore(out).load()) == 3
+
+
+def test_campaign_cli_rejects_unknown_circuit(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--circuits", "nope",
+              "--out", str(tmp_path / "x.jsonl")])

@@ -1,0 +1,107 @@
+"""Result-store tests: append/load, crash tolerance, normalization."""
+
+import json
+
+from repro.flow.store import (
+    ResultStore,
+    normalize_row,
+    rows_equal,
+)
+
+
+def make_row(job_id="c:cvs:v4.3:s1.2", status="ok", **extra):
+    row = {
+        "schema": 1,
+        "job_id": job_id,
+        "status": status,
+        "circuit": "c",
+        "method": "cvs",
+        "vdd_low": 4.3,
+        "slack_factor": 1.2,
+        "runtime_s": 0.25,
+        "finished_at": "2026-07-28T00:00:00+00:00",
+        "worker_pid": 41,
+    }
+    row.update(extra)
+    return row
+
+
+def test_append_load_round_trip(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    rows = [make_row(job_id=f"c{i}:cvs:v4.3:s1.2") for i in range(3)]
+    with store:
+        for row in rows:
+            store.append(row)
+    assert store.load() == rows
+    assert len(store) == 3
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    store = ResultStore(tmp_path / "missing.jsonl")
+    assert store.load() == []
+    assert store.completed_ids() == set()
+
+
+def test_torn_trailing_line_is_ignored(tmp_path):
+    path = tmp_path / "s.jsonl"
+    store = ResultStore(path)
+    with store:
+        store.append(make_row(job_id="a"))
+        store.append(make_row(job_id="b"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"job_id": "c", "status": "o')  # killed mid-write
+    assert [r["job_id"] for r in store.load()] == ["a", "b"]
+    assert store.completed_ids() == {"a", "b"}
+
+
+def test_append_after_torn_tail_preserves_new_row(tmp_path):
+    path = tmp_path / "s.jsonl"
+    store = ResultStore(path)
+    with store:
+        store.append(make_row(job_id="a"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"job_id": "torn')  # no trailing newline
+    with ResultStore(path) as resumed:
+        resumed.append(make_row(job_id="b"))
+    assert [r["job_id"] for r in resumed.load()] == ["a", "b"]
+
+
+def test_completed_ids_exclude_failed_rows(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    with store:
+        store.append(make_row(job_id="ok-job"))
+        store.append(make_row(job_id="bad-job", status="failed",
+                              error="ValueError: boom"))
+    assert store.completed_ids() == {"ok-job"}
+
+
+def test_normalize_row_strips_volatile_fields():
+    row = make_row(report={"improvement_pct": 1.0, "runtime_s": 9.9})
+    normalized = normalize_row(row)
+    assert "runtime_s" not in normalized
+    assert "finished_at" not in normalized
+    assert "worker_pid" not in normalized
+    assert normalized["report"] == {"improvement_pct": 1.0}
+    # The input row is untouched.
+    assert row["runtime_s"] == 0.25
+    assert row["report"]["runtime_s"] == 9.9
+
+
+def test_rows_equal_ignores_order_and_timing():
+    a = [make_row(job_id="x", runtime_s=1.0),
+         make_row(job_id="y", runtime_s=2.0)]
+    b = [make_row(job_id="y", runtime_s=9.0, worker_pid=7),
+         make_row(job_id="x", runtime_s=8.0)]
+    assert rows_equal(a, b)
+    b[0]["vdd_low"] = 4.0
+    assert not rows_equal(a, b)
+
+
+def test_store_appends_compact_single_lines(tmp_path):
+    path = tmp_path / "s.jsonl"
+    with ResultStore(path) as store:
+        store.append(make_row())
+    text = path.read_text(encoding="utf-8")
+    assert text.endswith("\n")
+    assert text.count("\n") == 1
+    assert json.loads(text) == make_row()

@@ -1,7 +1,5 @@
 """Synthetic COMPASS library structure tests (paper section 4 setup)."""
 
-import pytest
-
 from repro.library.compass import build_compass_library
 from repro.netlist.functions import TruthTable
 

@@ -1,9 +1,6 @@
 """genlib export tests."""
 
-import pytest
-
 from repro.library.genlib import cell_expression, write_genlib
-from repro.netlist.functions import TruthTable
 
 
 def test_expression_for_simple_gates(library):

@@ -129,8 +129,6 @@ def test_recovery_preserves_function(mapped_adder, library):
 
 
 def test_tighter_tspec_keeps_more_area(mapped_control, library):
-    import copy
-
     dmin = speed_up_sizing(mapped_control, library)
     loose = mapped_control.copy()
     tight = mapped_control.copy()

@@ -1,7 +1,5 @@
 """Cell matching (function + permutation) tests."""
 
-import pytest
-
 from repro.netlist.functions import TruthTable
 
 

@@ -1,6 +1,5 @@
 """Quine-McCluskey minimization tests."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.netlist.functions import TruthTable, all_functions

@@ -1,7 +1,5 @@
 """Sweep (constant propagation / cleanup) tests."""
 
-import pytest
-
 from repro.netlist.functions import TruthTable
 from repro.netlist.network import Network
 from repro.netlist.validate import networks_equivalent

@@ -8,7 +8,7 @@ from repro.power.estimate import (
     estimate_power,
     estimate_power_calc,
 )
-from repro.timing.delay import DelayCalculator, OUTPUT
+from repro.timing.delay import DelayCalculator
 
 
 @pytest.fixture()

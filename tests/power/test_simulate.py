@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.netlist.functions import TruthTable
 from repro.netlist.network import Network
 from repro.power.activity import random_activities
 from repro.power.simulate import glitch_factor, timed_toggle_counts

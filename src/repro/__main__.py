@@ -2,18 +2,27 @@
 
 Commands
 --------
-run CIRCUIT [--method M] [--slack F] [--vlow V]
+run CIRCUIT [--method M] [--slack F] [--vlow V | --rails V0,V1,...]
     Full flow on one benchmark (or a BLIF file path); prints the report.
 campaign [--subset | --circuits a,b,c] [--jobs N] [--resume]
-         [--out STORE.jsonl] [--sweep | --vlow V[,V...] --slack F[,F...]]
-    Shard the (circuit, method, vdd_low, slack) sweep across worker
-    processes, streaming rows into a resumable JSONL result store.
-tables [--subset] [--jobs N] [--from-store STORE.jsonl] [--out PATH]
+         [--out STORE.jsonl] [--timeout S]
+         [--sweep | --vlow V[,V...] --slack F[,F...]]
+         [--rails V0,V1,...[;V0,V1,...]]
+    Shard the (circuit, method, rails-or-vdd_low, slack) sweep across
+    worker processes, streaming rows into a resumable JSONL result
+    store.  ``--rails`` opens the N-rail MSV grid (highest supply
+    first, e.g. ``--rails 1.8,1.0,0.6``); ``--timeout`` budgets each
+    job's wall clock, recording overruns as failed rows.
+tables [--subset] [--jobs N] [--from-store STORE.jsonl]
+       [--rails V0,V1,...] [--out PATH]
     Regenerate the paper's Table 1 / Table 2 (through a campaign store)
     and write EXPERIMENTS-style output.
+store compact STORE.jsonl [--out PATH]
+    Rewrite a result store dropping superseded duplicate job ids (and
+    any torn tail); atomic in place by default.
 circuits
     List the 39 benchmark names with family and paper gate counts.
-library [--vlow V]
+library [--vlow V | --rails V0,V1,...]
     Print the synthetic COMPASS library inventory.
 """
 
@@ -24,12 +33,24 @@ import os
 import sys
 
 
+def _parse_rails(text: str) -> tuple[float, ...]:
+    rails = tuple(float(v) for v in text.split(",") if v.strip())
+    if len(rails) < 2:
+        raise SystemExit(
+            f"--rails needs at least two supplies (highest first): {text!r}"
+        )
+    return rails
+
+
 def _cmd_run(args) -> int:
     from repro.flow.experiment import run_circuit
     from repro.library.compass import build_compass_library
     from repro.netlist.blif import read_blif
 
-    library = build_compass_library(vdd_low=args.vlow)
+    if args.rails:
+        library = build_compass_library(rails=_parse_rails(args.rails))
+    else:
+        library = build_compass_library(vdd_low=args.vlow)
     source = args.circuit
     if os.path.exists(source):
         source = read_blif(source)
@@ -87,6 +108,16 @@ def _cmd_campaign(args) -> int:
         METHODS if args.methods == "all"
         else tuple(m.strip() for m in args.methods.split(",") if m.strip())
     )
+    rails_sets = []
+    if args.rails:
+        if args.vlow or args.sweep:
+            raise SystemExit("--rails replaces --vlow/--sweep: a rail set "
+                             "fixes every supply, including the high one")
+        rails_sets = [
+            _parse_rails(part)
+            for part in args.rails.split(";")
+            if part.strip()
+        ]
     if args.vlow:
         vdd_lows = _parse_floats(args.vlow)
     else:
@@ -99,15 +130,19 @@ def _cmd_campaign(args) -> int:
                       else [DEFAULT_SLACK_FACTOR])
 
     jobs = build_jobs(circuits, methods=methods, vdd_lows=vdd_lows,
-                      slack_factors=slacks)
+                      slack_factors=slacks, rails_sets=rails_sets)
     store = ResultStore(args.out)
+    grid = (f"{len(rails_sets)} rail set(s)" if rails_sets
+            else f"{len(vdd_lows)} vlow")
     print(f"campaign: {len(jobs)} jobs "
           f"({len(circuits)} circuits x {len(methods)} methods x "
-          f"{len(vdd_lows)} vlow x {len(slacks)} slack) "
+          f"{grid} x {len(slacks)} slack) "
           f"-> {args.out}  [jobs={args.jobs}"
-          f"{', resume' if args.resume else ''}]")
+          f"{', resume' if args.resume else ''}"
+          f"{f', timeout={args.timeout:g}s' if args.timeout else ''}]")
     summary = run_campaign(
         jobs, store, n_jobs=args.jobs, resume=args.resume,
+        timeout_s=args.timeout,
         progress=None if args.quiet else print,
     )
     print(f"campaign done: {summary.ok} ok, {summary.failed} failed, "
@@ -148,8 +183,14 @@ def _cmd_tables(args) -> int:
                   f"their circuits are missing from the tables")
         rows = store.load()
         n_source = f"campaign over {len(names)} circuits"
+    rails = None
+    if args.rails:
+        # "dual" selects the classic dual-Vdd rows (empty rail set) of
+        # a store that also holds MSV points.
+        rails = () if args.rails == "dual" else _parse_rails(args.rails)
     results = rows_to_results(rows, vdd_low=args.vlow,
-                              slack_factor=args.slack_point)
+                              slack_factor=args.slack_point,
+                              rails=rails)
     if not results:
         print("no completed rows to tabulate")
         return 1
@@ -161,6 +202,20 @@ def _cmd_tables(args) -> int:
         write_experiments_md(results, args.out,
                              preamble=f"CLI run from {n_source}.")
         print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from repro.flow.store import ResultStore
+
+    if args.action != "compact":
+        raise SystemExit(f"unknown store action {args.action!r}")
+    if not os.path.exists(args.path):
+        raise SystemExit(f"no store at {args.path}")
+    stats = ResultStore(args.path).compact(out_path=args.out or None)
+    print(f"compacted {args.path} -> {stats.path}: "
+          f"kept {stats.kept_rows}/{stats.total_rows} rows, "
+          f"dropped {stats.dropped_rows} superseded")
     return 0
 
 
@@ -177,7 +232,10 @@ def _cmd_circuits(_args) -> int:
 def _cmd_library(args) -> int:
     from repro.library.compass import build_compass_library
 
-    library = build_compass_library(vdd_low=args.vlow)
+    if args.rails:
+        library = build_compass_library(rails=_parse_rails(args.rails))
+    else:
+        library = build_compass_library(vdd_low=args.vlow)
     print(library)
     for base in library.bases():
         variants = library.variants(base)
@@ -209,6 +267,9 @@ def main(argv: list[str] | None = None) -> int:
                             help="timing relaxation factor (paper: 1.2)")
     run_parser.add_argument("--vlow", type=float, default=4.3,
                             help="low supply voltage (paper: 4.3)")
+    run_parser.add_argument("--rails", default="",
+                            help="comma-separated multi-rail supply set, "
+                                 "highest first (replaces --vlow)")
     run_parser.set_defaults(handler=_cmd_run)
 
     campaign_parser = commands.add_parser(
@@ -234,6 +295,15 @@ def main(argv: list[str] | None = None) -> int:
     campaign_parser.add_argument("--sweep", action="store_true",
                                  help="default design-space grid over "
                                       "vlow x slack")
+    campaign_parser.add_argument("--rails", default="",
+                                 help="semicolon-separated rail sets, each "
+                                      "a comma list highest-first (e.g. "
+                                      "'5,4.3,3.6;1.8,1.0,0.6'); replaces "
+                                      "the --vlow axis")
+    campaign_parser.add_argument("--timeout", type=float, default=None,
+                                 help="per-job wall-clock budget in "
+                                      "seconds; overruns become failed "
+                                      "rows instead of hanging the pool")
     campaign_parser.add_argument("--jobs", type=int, default=1,
                                  help="worker processes (1 = in-process)")
     campaign_parser.add_argument("--resume", action="store_true",
@@ -262,8 +332,23 @@ def main(argv: list[str] | None = None) -> int:
     tables_parser.add_argument("--slack-point", type=float, default=None,
                                help="sweep stores: select this slack "
                                     "factor")
+    tables_parser.add_argument("--rails", default="",
+                               help="sweep stores: select this rail set "
+                                    "(comma list, highest first; 'dual' "
+                                    "selects the classic dual-Vdd rows)")
     tables_parser.add_argument("--out", default="")
     tables_parser.set_defaults(handler=_cmd_tables)
+
+    store_parser = commands.add_parser(
+        "store", help="result-store maintenance")
+    store_parser.add_argument("action", choices=["compact"],
+                              help="compact: drop superseded duplicate "
+                                   "job ids (atomic rewrite)")
+    store_parser.add_argument("path", help="JSONL result store path")
+    store_parser.add_argument("--out", default="",
+                              help="write the compacted store here "
+                                   "instead of replacing in place")
+    store_parser.set_defaults(handler=_cmd_store)
 
     circuits_parser = commands.add_parser("circuits",
                                           help="list benchmark circuits")
@@ -272,6 +357,9 @@ def main(argv: list[str] | None = None) -> int:
     library_parser = commands.add_parser("library",
                                          help="show the cell library")
     library_parser.add_argument("--vlow", type=float, default=4.3)
+    library_parser.add_argument("--rails", default="",
+                                help="comma-separated multi-rail supply "
+                                     "set, highest first")
     library_parser.set_defaults(handler=_cmd_library)
 
     args = parser.parse_args(argv)

@@ -1,29 +1,35 @@
 """Clustered voltage scaling (CVS) -- the Usami-Horowitz baseline [8].
 
-A gate may be assigned Vlow only when *every* fanout is already at Vlow
-(or it only feeds primary outputs), so the low-voltage gates form one
-cluster contingent to the outputs and no level converter is needed
-inside the logic -- only, optionally, at the block boundary where a low
-gate drives a primary output.
+A gate may be assigned a lower rail only when *every* fanout already
+sits at (or below) that rail (or it only feeds primary outputs), so each
+rail's gates form one cluster contingent to the outputs and no level
+converter is needed inside the logic -- only, optionally, at the block
+boundary where a low gate drives a primary output.
 
-Implementation: one reverse-topological pass (the paper's breadth-first
-traversal from the outputs, O(n+e)).  Required times start from the
-pass-start timing snapshot (the incremental engine's arrays, which
-already satisfy the required-time fixed point) and are repaired against
-*final* downstream decisions during the very same pass -- each demotion
-marks only its fanins stale and the repair propagates upstream exactly
-as far as values actually move.  Arrivals are taken from a snapshot at
-pass start; a node is demoted when its slowed-down, converter-adjusted
-output still meets its required time on every fanout edge.  The
-pass-start arrivals are safe because on any path the demoted node
-closest to the inputs is decided last, when its entire downstream
-suffix is final -- so the full path inequality it checks is exactly the
-final circuit's.
+Implementation: one reverse-topological pass per adjacent rail boundary
+(the paper's breadth-first traversal from the outputs, O(n+e) per
+rail).  Required times start from the pass-start timing snapshot (the
+incremental engine's arrays, which already satisfy the required-time
+fixed point) and are repaired against *final* downstream decisions
+during the very same pass -- each demotion marks only its fanins stale
+and the repair propagates upstream exactly as far as values actually
+move.  Arrivals are taken from a snapshot at pass start; a node is
+demoted when its slowed-down, converter-adjusted output still meets its
+required time on every fanout edge.  The pass-start arrivals are safe
+because on any path the demoted node closest to the inputs is decided
+last, when its entire downstream suffix is final -- so the full path
+inequality it checks is exactly the final circuit's.
 
-The pass also reports the time-critical boundary (TCB): gates that are
-topologically eligible (all fanouts low / primary output) but whose
-demotion would violate timing -- the frontier Gscale pushes toward the
-inputs.
+With a two-rail library there is a single pass and the procedure is
+bit-identical to the classic dual-Vdd CVS.  Deeper rails are harvested
+by re-running the same pass on the rail-1 cluster toward rail 2, and so
+on: each pass keeps the cluster property *per rail boundary*, which is
+what makes the multi-rail result converter-free inside the logic.
+
+The first (rail 0 -> 1) pass also reports the time-critical boundary
+(TCB): gates that are topologically eligible (all fanouts low / primary
+output) but whose demotion would violate timing -- the frontier Gscale
+pushes toward the inputs.
 """
 
 from __future__ import annotations
@@ -37,26 +43,26 @@ from repro.timing.delay import OUTPUT
 
 @dataclass
 class CvsResult:
-    """Outcome of one CVS pass."""
+    """Outcome of one CVS run (all rail boundaries)."""
 
     demoted: list[str] = field(default_factory=list)
     tcb: frozenset[str] = frozenset()
 
 
-def _hypothetical_low_check(state: ScalingState, name: str,
+def _hypothetical_low_check(state: ScalingState, name: str, target: int,
                             arrival: dict[str, float],
                             required: dict[str, float]) -> bool:
-    """Would demoting ``name`` (all fanouts low) still meet timing?
+    """Would dropping ``name`` to rail ``target`` still meet timing?
 
-    Exact given the snapshot arrivals: demotion changes only this gate's
-    stage delay (its load may change at the primary-output boundary when
-    a converter replaces the external load) and appends the converter's
-    delay on the output edge.
+    Exact given the snapshot arrivals: the demotion changes only this
+    gate's stage delay (its load may change at the primary-output
+    boundary when a converter replaces the external load) and appends
+    the converter's delay on the output edge.
     """
     network = state.network
     calc = state.calc
     node = network.nodes[name]
-    low_cell = calc.low_variant_of(node.cell)
+    low_cell = calc.rail_variant_of(node.cell, target)
     change = calc.demotion_net_change(name, state.options.lc_at_outputs)
 
     out_arrival = 0.0
@@ -69,18 +75,14 @@ def _hypothetical_low_check(state: ScalingState, name: str,
     tolerance = state.options.timing_tolerance
     deadline = required[name]
     if name in network.outputs and (name, OUTPUT) in change.new_edges:
-        po_extra = calc.lc_cell.pin_delay(0, change.converter_load)
+        po_extra = calc.new_converter_delays(change)[0]
         deadline = min(deadline, state.tspec - po_extra)
     return out_arrival <= deadline + tolerance
 
 
-def run_cvs(state: ScalingState) -> CvsResult:
-    """Extend the low cluster as far as timing allows; returns TCB too.
-
-    Idempotent and incremental: called on a fresh state it is the
-    classic CVS; called after Gscale resizes gates it extends the
-    existing cluster (the paper's "new CVS operates with every TCB").
-    """
+def _cvs_pass(state: ScalingState,
+              target: int) -> tuple[list[str], frozenset[str]]:
+    """One reverse-topological pass demoting rail ``target - 1`` gates."""
     network = state.network
     calc = state.calc
     order = network.topological()
@@ -101,8 +103,7 @@ def run_cvs(state: ScalingState) -> CvsResult:
     analysis = state.timing()
     arrival = analysis.arrival_snapshot()
     required = analysis.required_snapshot()
-    levels = state.levels
-    high_counts = state.high_fanout_counts
+    below_counts = state.fanout_counts_below(target)
 
     demoted: list[str] = []
     tcb: set[str] = set()
@@ -125,13 +126,13 @@ def run_cvs(state: ScalingState) -> CvsResult:
                 required[name] = req
                 stale.update(node.fanins)
 
-        if node.is_input or levels.get(name):
+        if node.is_input or state.rail_of(name) != target - 1:
             continue
-        if high_counts[name]:
-            continue  # some reader still at Vhigh: not cluster-eligible
+        if below_counts[name]:
+            continue  # some reader above the boundary: not eligible
         if name not in outputs and not network.fanouts(name):
             continue  # dangling node: nothing downstream to protect
-        if _hypothetical_low_check(state, name, arrival, required):
+        if _hypothetical_low_check(state, name, target, arrival, required):
             state.demote(name)
             demoted.append(name)
             stale.update(node.fanins)
@@ -145,7 +146,25 @@ def run_cvs(state: ScalingState) -> CvsResult:
         else:
             tcb.add(name)
 
-    return CvsResult(demoted=demoted, tcb=frozenset(tcb))
+    return demoted, frozenset(tcb)
+
+
+def run_cvs(state: ScalingState) -> CvsResult:
+    """Extend each rail's cluster as far as timing allows.
+
+    Idempotent and incremental: called on a fresh state it is the
+    classic CVS; called after Gscale resizes gates it extends the
+    existing clusters (the paper's "new CVS operates with every TCB").
+    The reported TCB is the rail 0 -> 1 frontier, the boundary Gscale's
+    sizing pushes toward the inputs.
+    """
+    result = CvsResult()
+    for target in range(1, state.n_rails):
+        demoted, frontier = _cvs_pass(state, target)
+        result.demoted.extend(demoted)
+        if target == 1:
+            result.tcb = frontier
+    return result
 
 
 __all__ = ["CvsResult", "run_cvs"]

@@ -3,10 +3,10 @@
 The paper's first contribution (section 2).  After a CVS pass has
 harvested the slack next to the primary outputs, Dscale repeatedly:
 
-1. runs static timing analysis and collects every Vhigh gate with
+1. runs static timing analysis and collects every demotable gate with
    positive slack (``getSlkSet``);
 2. keeps those whose *individual* demotion -- including the level
-   converters that must be spliced onto each new low-to-high edge --
+   converters that must be spliced onto each new up-crossing edge --
    still meets timing (``check_timing``), weighting each by the power it
    would save (``weight_with_power_gain``);
 3. selects a maximum-weight independent set of the candidates'
@@ -15,9 +15,12 @@ harvested the slack next to the primary outputs, Dscale repeatedly:
 4. applies the demotions, inserts the converters, updates timing, and
    repeats until no candidate survives.
 
-The per-candidate check here is *exact* for antichain application: a
-demotion only changes the gate's own stage delay plus its new converter
-edges, and two incomparable gates touch disjoint nets.
+A demotion always moves a gate to the *adjacent* lower rail; with more
+than two rails the same loop keeps harvesting until every gate is
+pinned by timing or sits on the lowest rail.  The per-candidate check
+here is *exact* for antichain application: a demotion only changes the
+gate's own stage delay plus its new converter edges, and two
+incomparable gates touch disjoint nets.
 """
 
 from __future__ import annotations
@@ -46,10 +49,28 @@ class DscaleResult:
     converters_removed: int = 0
 
 
+def _has_regrouping_edge(state: ScalingState, name: str) -> bool:
+    """True when a demotion of ``name`` would re-target an existing shifter.
+
+    An existing converter edge whose reader sits at or below the
+    driver's rail (a stale edge awaiting cleanup) changes destination
+    rail when the driver drops further; the exact per-candidate check
+    below does not model that, so such gates wait for the cleanup pass.
+    Impossible with two rails: a demotable gate is at rail 0 and a
+    valid state gives it no converter edges at all.
+    """
+    rail = state.rail_of(name)
+    for reader in state.lc_edges.readers_of(name):
+        reader_rail = 0 if reader == OUTPUT else state.rail_of(reader)
+        if reader_rail >= rail:
+            return True
+    return False
+
+
 def check_demotion(state: ScalingState,
                    analysis: TimingAnalysis | IncrementalTiming,
                    name: str) -> bool:
-    """Exact feasibility of demoting ``name`` under the current state.
+    """Exact feasibility of dropping ``name`` one rail right now.
 
     Verifies, for every fanout edge and the primary-output boundary,
     that the slowed gate plus any new converter still meets the edge's
@@ -58,13 +79,17 @@ def check_demotion(state: ScalingState,
     network = state.network
     calc = state.calc
     node = network.nodes[name]
-    low_cell = calc.low_variant_of(node.cell)
+    target = state.rail_of(name) + 1
+    low_cell = calc.rail_variant_of(node.cell, target)
     tolerance = state.options.timing_tolerance
     change = calc.demotion_net_change(name, state.options.lc_at_outputs)
     new_edges = set(change.new_edges)
-    converter_delay = 0.0
-    if change.needs_converter:
-        converter_delay = calc.lc_cell.pin_delay(0, change.converter_load)
+    # Post-demotion delays: new edges merge into any kept shifter of
+    # the same destination rail (a rail>=1 candidate can carry a kept
+    # primary-output shifter), so price the *surviving* groups, not the
+    # new loads in isolation.  Identical to new_converter_delays when
+    # the candidate has no shifters -- every dual-rail candidate.
+    converter_delays = calc.post_demotion_converter_delays(name, change)
 
     out_arrival = 0.0
     for pin, fanin in enumerate(node.fanins):
@@ -74,7 +99,14 @@ def check_demotion(state: ScalingState,
         )
 
     for reader in network.fanouts(name):
-        extra = converter_delay if (name, reader) in new_edges else 0.0
+        if (name, reader) in new_edges:
+            # A new edge's shifter targets the reader's own rail, which
+            # sits strictly above the destination rail by construction.
+            extra = converter_delays[calc.rail_of(reader)]
+        elif (name, reader) in state.lc_edges:
+            extra = converter_delays[calc.converter_rail(name, reader)]
+        else:
+            extra = 0.0
         reader_node = network.nodes[reader]
         reader_cell = calc.variant(reader)
         reader_load = analysis.load[reader]
@@ -88,7 +120,10 @@ def check_demotion(state: ScalingState,
             if out_arrival + extra > deadline + tolerance:
                 return False
     if name in network.outputs:
-        extra = converter_delay if (name, OUTPUT) in new_edges else 0.0
+        if (name, OUTPUT) in new_edges or (name, OUTPUT) in state.lc_edges:
+            extra = converter_delays[0]
+        else:
+            extra = 0.0
         if out_arrival + extra > state.tspec + tolerance:
             return False
     return True
@@ -138,7 +173,7 @@ def candidate_order_pairs(state: ScalingState,
 
 
 def cleanup_converters(state: ScalingState) -> int:
-    """Drop converters whose reader ended up at Vlow as well.
+    """Drop converters whose reader ended up at (or below) the driver's rail.
 
     Removing a converter always saves power but shifts load between the
     driver's net and the removed converter; each removal is verified as
@@ -150,8 +185,10 @@ def cleanup_converters(state: ScalingState) -> int:
     removed = 0
     for edge in sorted(state.lc_edges):
         driver, reader = edge
-        if reader == OUTPUT or not state.is_low(reader):
+        if reader == OUTPUT:
             continue
+        if state.rail_of(reader) < state.rail_of(driver):
+            continue  # still an up-crossing: the shifter is load-bearing
         state.begin_move()
         state.lc_edges.discard(edge)
         if state.timing().meets_timing(state.options.timing_tolerance):
@@ -166,18 +203,21 @@ def cleanup_converters(state: ScalingState) -> int:
 def run_dscale(state: ScalingState, max_rounds: int = 1000) -> DscaleResult:
     """The full Dscale loop of the paper's section 2 pseudo-code."""
     result = DscaleResult(cvs=run_cvs(state))
+    lowest = state.n_rails - 1
 
     while result.rounds < max_rounds:
         analysis = state.timing()
         slack_set = [
             name
             for name in state.network.gates()
-            if not state.is_low(name)
+            if state.rail_of(name) < lowest
             and analysis.slack(name) > state.options.timing_tolerance
         ]
         weights: dict[str, int] = {}
         candidates: list[str] = []
         for name in slack_set:
+            if _has_regrouping_edge(state, name):
+                continue
             if not check_demotion(state, analysis, name):
                 continue
             gain = demotion_gain(

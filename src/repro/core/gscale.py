@@ -53,7 +53,8 @@ def demotion_shortfall(state: ScalingState,
     network = state.network
     calc = state.calc
     node = network.nodes[name]
-    low_cell = calc.low_variant_of(node.cell)
+    target = state.rail_of(name) + 1
+    low_cell = calc.rail_variant_of(node.cell, target)
     change = calc.demotion_net_change(name, state.options.lc_at_outputs)
 
     out_arrival = max(
@@ -64,7 +65,7 @@ def demotion_shortfall(state: ScalingState,
     )
     deadline = analysis.required[name]
     if name in network.outputs and (name, OUTPUT) in change.new_edges:
-        po_extra = calc.lc_cell.pin_delay(0, change.converter_load)
+        po_extra = calc.new_converter_delays(change)[0]
         deadline = min(deadline, state.tspec - po_extra)
     return out_arrival - deadline
 
@@ -92,9 +93,7 @@ def resize_profile(state: ScalingState,
     calc = state.calc
     load = calc.load(name)
     current = calc.variant(name)
-    upsized = candidate if not state.is_low(name) else (
-        calc.low_variant_of(candidate)
-    )
+    upsized = calc.rail_variant_of(candidate, state.rail_of(name))
     own_gain = current.max_delay(load) - upsized.max_delay(load)
 
     driver_penalty = 0.0

@@ -3,7 +3,7 @@
 The scaling algorithms keep converters *virtual* (a set of edges) so
 that what-if checks never mutate the netlist.  This module turns a
 finished :class:`~repro.core.state.ScalingState` into a concrete
-network with converter cells spliced in -- the form a downstream
+network with shifter cells spliced in -- the form a downstream
 place-and-route flow would consume -- and checks that the materialized
 network is functionally identical and meets the same timing the virtual
 model promised.
@@ -21,35 +21,40 @@ from repro.timing.sta import TimingAnalysis
 
 @dataclass(frozen=True)
 class MaterializedDesign:
-    """A physical dual-Vdd netlist plus its per-gate voltage map."""
+    """A physical multi-Vdd netlist plus its per-gate rail map."""
 
     network: Network
-    levels: dict[str, bool]
+    levels: dict[str, int]
     converters: list[str]
 
 
 def materialize_converters(state: ScalingState) -> MaterializedDesign:
-    """Splice one converter cell per converted driver net.
+    """Splice one shifter cell per (converted driver net, destination rail).
 
     The virtual model amortizes a single converter across every
-    converted reader of a net (the Usami [8] per-net restoration scheme
-    :meth:`DelayCalculator.converted_readers` and ``lc_load`` price), so
-    the physical netlist gets exactly one converter node per driver,
-    feeding all of its recorded high readers and -- for a converted
-    primary output -- taking over the output slot.
+    converted reader of a net that targets one destination rail (the
+    Usami [8] per-net restoration scheme
+    :meth:`DelayCalculator.converter_groups` and ``lc_load`` price), so
+    the physical netlist gets exactly one shifter node per (driver,
+    destination rail) -- characterized at the destination supply --
+    feeding all of that group's recorded readers and, for a converted
+    primary output, taking over the output slot.  A dual-Vdd state has
+    one rail-0 group per driver, reproducing the classic layout.
     """
     network = state.network.copy(f"{state.network.name}_dualvdd")
+    calc = state.calc
     levels = dict(state.levels)
-    lc_cell = state.calc.lc_cell
     converters: list[str] = []
 
-    by_driver: dict[str, list[str]] = {}
+    by_group: dict[tuple[str, int], list[str]] = {}
     for driver, reader in sorted(state.lc_edges):
-        by_driver.setdefault(driver, []).append(reader)
-    for driver in sorted(by_driver):
+        rail = calc.converter_rail(driver, reader)
+        by_group.setdefault((driver, rail), []).append(reader)
+    for driver, rail in sorted(by_group):
+        lc_cell = calc.lc_cell_for(rail)
         name = network.fresh_name(f"lc_{driver}_")
         network.add_node(name, [driver], lc_cell.function, lc_cell)
-        for reader in by_driver[driver]:
+        for reader in by_group[(driver, rail)]:
             if reader == OUTPUT:
                 network.outputs = [
                     name if out == driver else out
@@ -57,21 +62,33 @@ def materialize_converters(state: ScalingState) -> MaterializedDesign:
                 ]
             else:
                 network.replace_fanin(reader, driver, name)
-        levels[name] = False  # converters live on the high rail
+        # The shifter's own supply is its destination rail; its bound
+        # cell is already that rail's characterization, so the rail
+        # entry keeps variant() the identity for it.
+        levels[name] = rail
         converters.append(name)
-    return MaterializedDesign(network=network, levels=levels,
-                              converters=converters)
+    return MaterializedDesign(
+        network=network, levels=levels, converters=converters
+    )
 
 
-def materialized_timing(state: ScalingState,
-                        design: MaterializedDesign) -> TimingAnalysis:
+def materialized_timing(
+    state: ScalingState, design: MaterializedDesign
+) -> TimingAnalysis:
     """Timing of the physical network (no virtual converter edges)."""
     calculator = DelayCalculator(
-        design.network, state.library, levels=design.levels,
-        lc_edges=set(), lc_kind=state.options.lc_kind,
+        design.network,
+        state.library,
+        levels=design.levels,
+        lc_edges=set(),
+        lc_kind=state.options.lc_kind,
         po_load=state.options.po_load,
     )
     return TimingAnalysis(calculator, state.tspec)
 
 
-__all__ = ["MaterializedDesign", "materialize_converters", "materialized_timing"]
+__all__ = [
+    "MaterializedDesign",
+    "materialize_converters",
+    "materialized_timing",
+]

@@ -1,11 +1,18 @@
-"""Shared mutable state for the dual-Vdd scaling algorithms.
+"""Shared mutable state for the multi-Vdd scaling algorithms.
 
 A :class:`ScalingState` owns the mapped network plus the two side tables
-every algorithm reads and writes: per-gate voltage levels and the set of
-edges carrying level converters.  The timing calculator and the power
+every algorithm reads and writes: per-gate rail assignments and the set
+of edges carrying level converters.  The timing calculator and the power
 estimator both observe these tables live, so a demotion is visible to
 the next query immediately -- no network surgery happens until
 :func:`repro.core.restore.materialize_converters` exports the result.
+
+``levels`` maps node name to *rail index* (0 = the high supply,
+:attr:`repro.library.cells.Library.rails`).  The classic dual-Vdd code
+wrote booleans into the table; that still works unchanged because
+``True == 1``, and with a two-rail library every code path below reduces
+bit-identically to the dual-Vdd original (enforced by
+``tests/core/test_rail_equivalence.py``).
 
 Both side tables are *observed* collections: every effective mutation
 (``demote`` / ``promote`` / direct ``levels[...] =`` / ``lc_edges.add``
@@ -69,25 +76,32 @@ class ScalingOptions:
 
 
 class _LevelTable(dict):
-    """``levels`` dict that reports every effective voltage flip."""
+    """``levels`` dict that reports every effective rail change.
+
+    The notify callback receives ``(name, old_rail, new_rail)``; values
+    are kept as written (bools from legacy callers, ints from the
+    rail-aware paths) and normalized to rail indices only for the
+    change comparison.
+    """
 
     __slots__ = ("_notify",)
 
-    def __init__(self, notify: Callable[[str], None]):
+    def __init__(self, notify: Callable[[str, int, int], None]):
         super().__init__()
         self._notify = notify
 
     def __setitem__(self, key, value):
-        changed = bool(value) != bool(dict.get(self, key, False))
+        old = int(dict.get(self, key, 0) or 0)
+        new = int(value or 0)
         dict.__setitem__(self, key, value)
-        if changed:
-            self._notify(key)
+        if new != old:
+            self._notify(key, old, new)
 
     def __delitem__(self, key):
-        was_low = bool(dict.get(self, key, False))
+        old = int(dict.get(self, key, 0) or 0)
         dict.__delitem__(self, key)
-        if was_low:
-            self._notify(key)
+        if old:
+            self._notify(key, old, 0)
 
     def update(self, *args, **kwargs):
         for key, value in dict(*args, **kwargs).items():
@@ -114,10 +128,14 @@ class _LevelTable(dict):
         return key, self.pop(key)
 
     def clear(self):
-        low = [key for key, value in self.items() if value]
+        assigned = [
+            (key, int(value or 0))
+            for key, value in self.items()
+            if value
+        ]
         dict.clear(self)
-        for key in low:
-            self._notify(key)
+        for key, old in assigned:
+            self._notify(key, old, 0)
 
     def __ior__(self, other):
         self.update(other)
@@ -215,7 +233,7 @@ class _ConverterSet(set):
 
 
 class ScalingState:
-    """Mapped network + voltage levels + converter placement."""
+    """Mapped network + rail assignments + converter placement."""
 
     def __init__(self, network: Network, library: Library, tspec: float,
                  activity: Activity | None = None,
@@ -228,13 +246,19 @@ class ScalingState:
         self.tspec = tspec
         self.options = options or ScalingOptions()
         self._engine: IncrementalTiming | None = None
-        # Per-driver count of fanout readers still at Vhigh; CVS reads
-        # this for O(1) cluster-eligibility checks instead of scanning
-        # every reader per visit.  Maintained by _on_level_changed.
-        self.high_fanout_counts: dict[str, int] = {
-            name: len(network.fanouts(name)) for name in network.nodes
+        self._multi_rail = library.n_rails > 2
+        # Per-driver count of fanout readers above each demotion
+        # boundary: ``_below_counts[t][name]`` is the number of readers
+        # of ``name`` assigned to a rail shallower than ``t``.  The CVS
+        # pass toward rail ``t`` reads it for O(1) cluster-eligibility
+        # checks instead of scanning every reader per visit; with two
+        # rails the single ``t=1`` table is the classic high-fanout
+        # count.  Maintained by _on_level_changed.
+        self._below_counts: dict[int, dict[str, int]] = {
+            t: {name: len(network.fanouts(name)) for name in network.nodes}
+            for t in range(1, library.n_rails)
         }
-        self.levels: dict[str, bool] = _LevelTable(self._on_level_changed)
+        self.levels: dict[str, int] = _LevelTable(self._on_level_changed)
         self.lc_edges: set[tuple[str, str]] = _ConverterSet(
             self._on_lc_edge_changed
         )
@@ -258,17 +282,39 @@ class ScalingState:
     # Mutation observers
     # ------------------------------------------------------------------
 
-    def _on_level_changed(self, name: str) -> None:
-        """A gate's supply flipped: its cell variant is stale."""
-        counts = self.high_fanout_counts
-        delta = -1 if self.levels.get(name) else 1
-        for fanin in set(self.network.nodes[name].fanins):
-            counts[fanin] += delta
+    def _on_level_changed(self, name: str, old: int, new: int) -> None:
+        """A gate's rail changed: its cell variant is stale."""
+        lo, hi = (old, new) if old < new else (new, old)
+        delta = -1 if new > old else 1
+        fanins = set(self.network.nodes[name].fanins)
+        for t in range(lo + 1, hi + 1):
+            counts = self._below_counts.get(t)
+            if counts is None:
+                continue
+            for fanin in fanins:
+                counts[fanin] += delta
         calc = getattr(self, "calc", None)
         if calc is not None:
             calc.invalidate_variant(name)
-        if self._engine is not None:
-            self._engine.note_variant_changed(name)
+        engine = self._engine
+        if engine is not None:
+            engine.note_variant_changed(name)
+        if self._multi_rail:
+            # Beyond two rails a reader's rail picks the *destination*
+            # of the shifters serving it, so a rail change can regroup
+            # converters on this gate's own net and on any fanin net
+            # that converts into it.  (With two rails every shifter
+            # targets rail 0 and none of this can move.)
+            if calc is not None:
+                calc.invalidate_net(name)
+            if engine is not None:
+                engine.note_net_changed(name)
+            for fanin in fanins:
+                if (fanin, name) in self.lc_edges:
+                    if calc is not None:
+                        calc.invalidate_net(fanin)
+                    if engine is not None:
+                        engine.note_net_changed(fanin)
 
     def _on_lc_edge_changed(self, edge: tuple[str, str]) -> None:
         """A converter edge (dis)appeared: the driver's net changed."""
@@ -283,15 +329,45 @@ class ScalingState:
     # Queries
     # ------------------------------------------------------------------
 
+    @property
+    def n_rails(self) -> int:
+        return self.library.n_rails
+
+    @property
+    def rails(self) -> tuple[float, ...]:
+        return self.library.rails
+
+    def rail_of(self, name: str) -> int:
+        """The rail index ``name`` is assigned to (0 = high supply)."""
+        return int(self.levels.get(name, 0) or 0)
+
     def is_low(self, name: str) -> bool:
-        return bool(self.levels.get(name, False))
+        return self.rail_of(name) > 0
 
     def low_nodes(self) -> list[str]:
-        return [name for name, low in self.levels.items() if low]
+        return [name for name, rail in self.levels.items() if rail]
+
+    def rail_histogram(self) -> dict[int, int]:
+        """Gate count per rail index (rail 0 included)."""
+        histogram = dict.fromkeys(range(self.n_rails), 0)
+        for name, node in self.network.nodes.items():
+            if node.is_input:
+                continue
+            histogram[self.rail_of(name)] += 1
+        return histogram
+
+    @property
+    def high_fanout_counts(self) -> dict[str, int]:
+        """Readers-still-at-Vhigh counts (the classic ``t=1`` table)."""
+        return self._below_counts[1]
+
+    def fanout_counts_below(self, target: int) -> dict[str, int]:
+        """Per-driver count of readers assigned shallower than ``target``."""
+        return self._below_counts[target]
 
     @property
     def n_low(self) -> int:
-        return sum(1 for low in self.levels.values() if low)
+        return sum(1 for rail in self.levels.values() if rail)
 
     @property
     def n_gates(self) -> int:
@@ -382,10 +458,12 @@ class ScalingState:
     # ------------------------------------------------------------------
 
     def new_lc_edges_for(self, name: str) -> list[tuple[str, str]]:
-        """Converter edges a demotion of ``name`` would have to add."""
+        """Converter edges a one-rail demotion of ``name`` would add."""
+        target = self.rail_of(name) + 1
         edges = []
         for reader in self.network.fanouts(name):
-            if not self.is_low(reader) and (name, reader) not in self.lc_edges:
+            if (self.rail_of(reader) < target
+                    and (name, reader) not in self.lc_edges):
                 edges.append((name, reader))
         if (
             self.options.lc_at_outputs
@@ -396,24 +474,29 @@ class ScalingState:
         return edges
 
     def demote(self, name: str) -> list[tuple[str, str]]:
-        """Assign ``name`` to Vlow and splice the required converters."""
+        """Drop ``name`` one rail and splice the required converters."""
         node = self.network.nodes[name]
         if node.is_input:
             raise ValueError("primary inputs cannot be demoted")
-        if self.is_low(name):
-            raise ValueError(f"{name!r} is already at Vlow")
+        target = self.rail_of(name) + 1
+        if target >= self.n_rails:
+            raise ValueError(f"{name!r} is already at the lowest rail")
         edges = self.new_lc_edges_for(name)
-        self.levels[name] = True
+        self.levels[name] = target
         self.lc_edges.update(edges)
         return edges
 
     def promote(self, name: str) -> None:
-        """Undo a demotion (rollback support); O(fanout of ``name``)."""
-        if not self.is_low(name):
-            raise ValueError(f"{name!r} is not at Vlow")
-        self.levels[name] = False
+        """Raise ``name`` one rail (rollback support); O(fanout)."""
+        rail = self.rail_of(name)
+        if rail == 0:
+            raise ValueError(f"{name!r} is already at the high rail")
+        new_rail = rail - 1
+        self.levels[name] = new_rail
         for reader in self.lc_edges.readers_of(name):
-            self.lc_edges.discard((name, reader))
+            reader_rail = 0 if reader == OUTPUT else self.rail_of(reader)
+            if reader_rail >= new_rail:
+                self.lc_edges.discard((name, reader))
 
     def resize(self, name: str, cell) -> None:
         """Swap a gate's bound cell (same base, other size)."""
@@ -475,19 +558,22 @@ class ScalingState:
     # ------------------------------------------------------------------
 
     def validate(self) -> None:
-        """Raise if the dual-Vdd legality invariant is broken.
+        """Raise if the multi-Vdd legality invariant is broken.
 
-        Every low-to-high crossing (including low-driven primary outputs
-        when ``lc_at_outputs`` is set) must carry a converter, no
-        converter may sit on a legal edge's record without its driver
-        being low, and the network must still meet ``tspec``.
+        Every up-crossing (a driver feeding a reader on a shallower
+        rail, including low-driven primary outputs when
+        ``lc_at_outputs`` is set) must carry a converter, no converter
+        may sit on a high-rail driver's net, and the network must still
+        meet ``tspec``.
         """
         network = self.network
-        for name, low in self.levels.items():
-            if not low:
+        for name, value in self.levels.items():
+            rail = int(value or 0)
+            if not rail:
                 continue
             for reader in network.fanouts(name):
-                if not self.is_low(reader) and (name, reader) not in self.lc_edges:
+                if (self.rail_of(reader) < rail
+                        and (name, reader) not in self.lc_edges):
                     raise AssertionError(
                         f"unconverted low->high edge {name!r} -> {reader!r}"
                     )

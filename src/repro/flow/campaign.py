@@ -5,17 +5,19 @@ The paper's evaluation is embarrassingly parallel -- 39 circuits x
 serial suite runner recomputes everything on any failure.  This module
 turns the sweep into a fault-tolerant campaign:
 
-* a **job** is one (circuit, method, vdd_low, slack_factor) cell with a
-  deterministic ``job_id``;
-* jobs are grouped by (circuit, vdd_low, slack_factor) so the expensive
-  optimize/map/constrain preparation runs once per group and is shared
-  by all three methods (and cached per worker across groups);
+* a **job** is one (circuit, method, rails-or-vdd_low, slack_factor)
+  cell with a deterministic ``job_id`` (``--rails`` opens the N-rail
+  MSV grid dimension);
+* jobs are grouped by (circuit, rail key, slack_factor) so the
+  expensive optimize/map/constrain preparation runs once per group and
+  is shared by all three methods (and cached per worker across groups);
 * each worker process lazily caches the COMPASS library / match table
-  per ``vdd_low`` and every :class:`PreparedCircuit` it builds;
+  per rail key and every :class:`PreparedCircuit` it builds;
 * finished rows stream into an append-only :class:`ResultStore`
   (JSONL), so an interrupted campaign **resumes** by skipping completed
-  job ids, and a worker exception becomes a ``status: "failed"`` row
-  instead of killing the sweep;
+  job ids, and a worker exception -- or a ``timeout_s`` wall-clock
+  overrun -- becomes a ``status: "failed"`` row instead of killing (or
+  hanging) the sweep;
 * ``rows_to_results`` folds ok-rows back into
   :class:`~repro.flow.experiment.CircuitResult` objects whose formatted
   Table 1 / Table 2 output is bit-identical to the serial path.
@@ -31,9 +33,12 @@ from __future__ import annotations
 
 import itertools
 import os
+import signal
+import threading
 import time
 import traceback
 from collections.abc import Callable, Iterable, Sequence
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from datetime import UTC, datetime
 from typing import Any
@@ -58,29 +63,84 @@ the paper's conclusion leaves open)."""
 SWEEP_SLACKS = (1.1, 1.2, 1.4)
 """Default ``--sweep`` grid for the timing-relaxation factor."""
 
-GroupKey = tuple[str, float, float]
-"""(circuit, vdd_low, slack_factor): jobs sharing one prepared circuit."""
+RailSet = tuple[float, ...]
+"""An ordered multi-rail supply set, highest first (``()`` = classic
+dual-Vdd with the job's ``vdd_low``)."""
+
+GroupKey = tuple[str, RailSet, float]
+"""(circuit, rail key, slack_factor): jobs sharing one prepared circuit.
+The rail key is ``rails`` for an MSV job and ``(vdd_low,)`` otherwise."""
+
+
+class JobTimeout(Exception):
+    """A campaign job exceeded its per-job wall-clock budget."""
+
+
+@contextmanager
+def job_deadline(seconds: float | None):
+    """Raise :class:`JobTimeout` inside the block after ``seconds``.
+
+    Implemented with ``SIGALRM``/``setitimer``, so it can interrupt a
+    pure-Python scaling loop mid-flight; on platforms without the
+    signal, or off the main thread, it degrades to a no-op (the job
+    simply runs unbudgeted).  Pool workers execute jobs on their main
+    thread, which is exactly where this arms.
+    """
+    if (
+        not seconds
+        or seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise JobTimeout(f"job exceeded its {seconds:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass(frozen=True)
 class CampaignJob:
-    """One cell of the sweep: circuit x method x voltage x slack."""
+    """One cell of the sweep: circuit x method x rails x slack.
+
+    ``rails=()`` is the classic dual-Vdd job at ``(5 V, vdd_low)``; a
+    non-empty ``rails`` tuple (ordered, highest first) runs the N-rail
+    flow, and ``vdd_low`` then mirrors ``rails[1]`` for aggregation.
+    """
 
     circuit: str
     method: str
     vdd_low: float = DEFAULT_VDD_LOW
     slack_factor: float = DEFAULT_SLACK_FACTOR
+    rails: RailSet = ()
 
     @property
     def job_id(self) -> str:
+        if self.rails:
+            grid = "r" + "-".join(f"{v:g}" for v in self.rails)
+        else:
+            grid = f"v{self.vdd_low:g}"
         return (
             f"{self.circuit}:{self.method}"
-            f":v{self.vdd_low:g}:s{self.slack_factor:g}"
+            f":{grid}:s{self.slack_factor:g}"
         )
 
     @property
+    def rail_key(self) -> RailSet:
+        """What the worker library cache keys on."""
+        return self.rails if self.rails else (self.vdd_low,)
+
+    @property
     def group_key(self) -> GroupKey:
-        return (self.circuit, self.vdd_low, self.slack_factor)
+        return (self.circuit, self.rail_key, self.slack_factor)
 
 
 def build_jobs(
@@ -88,13 +148,36 @@ def build_jobs(
     methods: Sequence[str] = METHODS,
     vdd_lows: Sequence[float] = (DEFAULT_VDD_LOW,),
     slack_factors: Sequence[float] = (DEFAULT_SLACK_FACTOR,),
+    rails_sets: Sequence[RailSet] = (),
 ) -> list[CampaignJob]:
-    """The full cross product, in deterministic order."""
+    """The full cross product, in deterministic order.
+
+    ``rails_sets`` opens the MSV grid dimension: when given, each rail
+    set replaces the ``vdd_lows`` axis (a rail set fixes every supply,
+    including the high one).
+    """
     for method in methods:
         if method not in METHODS:
             raise ValueError(
                 f"method must be one of {METHODS}, got {method!r}"
             )
+    if rails_sets:
+        normalized: list[RailSet] = []
+        for rails in rails_sets:
+            rails = tuple(float(v) for v in rails)
+            if len(rails) < 2:
+                raise ValueError(
+                    f"a rail set needs at least two supplies, got {rails}"
+                )
+            normalized.append(rails)
+        return [
+            CampaignJob(
+                circuit=c, method=m, vdd_low=r[1], slack_factor=s, rails=r
+            )
+            for c, r, s, m in itertools.product(
+                circuits, normalized, slack_factors, methods
+            )
+        ]
     return [
         CampaignJob(circuit=c, method=m, vdd_low=v, slack_factor=s)
         for c, v, s, m in itertools.product(
@@ -115,31 +198,34 @@ def group_jobs(
 
 # ---------------------------------------------------------------------
 # Worker side.  Each worker process keeps module-level caches so a
-# library is characterized once per vdd_low and a circuit is prepared
-# once per (circuit, vdd_low, slack_factor) -- for the default sweep
+# library is characterized once per rail key and a circuit is prepared
+# once per (circuit, rail key, slack_factor) -- for the default sweep
 # that amortizes the whole pipeline prefix across all three methods.
 # ---------------------------------------------------------------------
 
-_LIBRARY_CACHE: dict[float, tuple[Any, Any]] = {}
+_LIBRARY_CACHE: dict[RailSet, tuple[Any, Any]] = {}
 _PREPARED_CACHE: dict[GroupKey, PreparedCircuit] = {}
 
 
-def _get_library(vdd_low: float):
-    if vdd_low not in _LIBRARY_CACHE:
+def _get_library(rail_key: RailSet):
+    if rail_key not in _LIBRARY_CACHE:
         from repro.library.compass import build_compass_library
         from repro.mapping.match import MatchTable
 
-        library = build_compass_library(vdd_low=vdd_low)
-        _LIBRARY_CACHE[vdd_low] = (library, MatchTable(library))
-    return _LIBRARY_CACHE[vdd_low]
+        if len(rail_key) == 1:
+            library = build_compass_library(vdd_low=rail_key[0])
+        else:
+            library = build_compass_library(rails=rail_key)
+        _LIBRARY_CACHE[rail_key] = (library, MatchTable(library))
+    return _LIBRARY_CACHE[rail_key]
 
 
 def _get_prepared(
-    circuit: str, vdd_low: float, slack_factor: float
+    circuit: str, rail_key: RailSet, slack_factor: float
 ) -> PreparedCircuit:
-    key = (circuit, vdd_low, slack_factor)
+    key = (circuit, rail_key, slack_factor)
     if key not in _PREPARED_CACHE:
-        library, match_table = _get_library(vdd_low)
+        library, match_table = _get_library(rail_key)
         _PREPARED_CACHE[key] = prepare_circuit(
             circuit,
             library,
@@ -171,6 +257,7 @@ def make_row(
         "method": job.method,
         "vdd_low": job.vdd_low,
         "slack_factor": job.slack_factor,
+        "rails": list(job.rails),
         "gates": gates,
         "org_power_uw": report.power_before_uw,
         "min_delay_ns": prepared.min_delay,
@@ -193,7 +280,9 @@ def make_failed_row(
         "method": job.method,
         "vdd_low": job.vdd_low,
         "slack_factor": job.slack_factor,
+        "rails": list(job.rails),
         "error": f"{type(exc).__name__}: {exc}",
+        "timeout": isinstance(exc, JobTimeout),
         "traceback": "".join(
             traceback.format_exception(type(exc), exc, exc.__traceback__)
         ),
@@ -207,12 +296,18 @@ def run_job_group(
     group: Sequence[CampaignJob],
     max_iter: int = 10,
     area_budget: float = 0.10,
+    timeout_s: float | None = None,
 ) -> list[dict[str, Any]]:
-    """Run every job of one (circuit, vdd_low, slack) group.
+    """Run every job of one (circuit, rail key, slack) group.
 
     A failing job -- including a preparation failure, which dooms the
     whole group -- yields failed rows; it never raises, so one bad
-    circuit cannot take the campaign down.
+    circuit cannot take the campaign down.  ``timeout_s`` budgets wall
+    clock per *phase*: the group's shared preparation gets one budget
+    of its own, then every job's scaling run gets another, so a group's
+    worst case is ``(1 + len(group)) * timeout_s``.  An overrun becomes
+    a failed row with ``timeout: true`` (for a preparation overrun, one
+    per job in the group) while the rest of the campaign continues.
     """
     rows: list[dict[str, Any]] = []
     if not group:
@@ -220,32 +315,34 @@ def run_job_group(
     first = group[0]
     started = time.perf_counter()
     try:
-        library, _ = _get_library(first.vdd_low)
-        prepared = _get_prepared(
-            first.circuit, first.vdd_low, first.slack_factor
-        )
-    except Exception as exc:
+        with job_deadline(timeout_s):
+            library, _ = _get_library(first.rail_key)
+            prepared = _get_prepared(
+                first.circuit, first.rail_key, first.slack_factor
+            )
+    except Exception as exc:  # JobTimeout included
         elapsed = time.perf_counter() - started
         return [make_failed_row(job, exc, elapsed) for job in group]
     # Each group is dispatched exactly once per campaign, so keeping the
     # prepared circuit cached past this call is pure memory growth in a
-    # long-lived worker; evict it (the library cache, keyed by vdd_low,
+    # long-lived worker; evict it (the library cache, keyed by rail key,
     # is the one with real cross-group reuse).
     _PREPARED_CACHE.pop(first.group_key, None)
 
     for job in group:
         started = time.perf_counter()
         try:
-            _, report = scale_voltage(
-                prepared.fresh_copy(),
-                library,
-                prepared.tspec,
-                method=job.method,
-                activity=prepared.activity,
-                max_iter=max_iter,
-                area_budget=area_budget,
-            )
-        except Exception as exc:
+            with job_deadline(timeout_s):
+                _, report = scale_voltage(
+                    prepared.fresh_copy(),
+                    library,
+                    prepared.tspec,
+                    method=job.method,
+                    activity=prepared.activity,
+                    max_iter=max_iter,
+                    area_budget=area_budget,
+                )
+        except Exception as exc:  # JobTimeout included
             rows.append(
                 make_failed_row(job, exc, time.perf_counter() - started)
             )
@@ -258,8 +355,13 @@ def run_job_group(
 
 def _pool_worker(payload: tuple) -> list[dict[str, Any]]:
     """Top-level pool entry point (must be picklable)."""
-    group, max_iter, area_budget = payload
-    return run_job_group(group, max_iter=max_iter, area_budget=area_budget)
+    group, max_iter, area_budget, timeout_s = payload
+    return run_job_group(
+        group,
+        max_iter=max_iter,
+        area_budget=area_budget,
+        timeout_s=timeout_s,
+    )
 
 
 # ---------------------------------------------------------------------
@@ -289,6 +391,7 @@ def run_campaign(
     resume: bool = False,
     max_iter: int = 10,
     area_budget: float = 0.10,
+    timeout_s: float | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> CampaignSummary:
     """Execute ``jobs``, streaming rows into ``store``.
@@ -298,7 +401,9 @@ def run_campaign(
     existing store file is truncated.  ``n_jobs=1`` runs in-process;
     ``n_jobs>1`` fans job groups out over a ``multiprocessing`` pool.
     The parent is the only writer, so rows land whole even when workers
-    die mid-job.
+    die mid-job.  ``timeout_s`` gives every job a wall-clock budget: an
+    overrunning job is recorded as a failed (``timeout: true``) row
+    instead of stalling its pool slot forever.
     """
     say = progress or (lambda _msg: None)
     if resume:
@@ -323,7 +428,7 @@ def run_campaign(
     started = time.perf_counter()
     with store:
         for rows in _iter_group_results(
-            groups, n_jobs, max_iter, area_budget
+            groups, n_jobs, max_iter, area_budget, timeout_s
         ):
             for row in rows:
                 store.append(row)
@@ -341,17 +446,22 @@ def run_campaign(
     return summary
 
 
-def _iter_group_results(groups, n_jobs, max_iter, area_budget):
+def _iter_group_results(groups, n_jobs, max_iter, area_budget, timeout_s):
     if n_jobs <= 1:
         for _key, group in groups:
             yield run_job_group(
-                group, max_iter=max_iter, area_budget=area_budget
+                group,
+                max_iter=max_iter,
+                area_budget=area_budget,
+                timeout_s=timeout_s,
             )
         return
 
     import multiprocessing as mp
 
-    payloads = [(group, max_iter, area_budget) for _key, group in groups]
+    payloads = [
+        (group, max_iter, area_budget, timeout_s) for _key, group in groups
+    ]
     # Workers inherit nothing mutable they need; caches build lazily in
     # each process.  maxtasksperchild stays None: the caches are the
     # point of keeping workers alive.
@@ -364,32 +474,46 @@ def _iter_group_results(groups, n_jobs, max_iter, area_budget):
 # ---------------------------------------------------------------------
 
 
+def row_rails(row: dict[str, Any]) -> RailSet:
+    """A row's rail set; schema-1 rows (no ``rails`` field) are classic
+    dual-Vdd and normalize to the empty tuple."""
+    return tuple(row.get("rails") or ())
+
+
 def rows_to_results(
     rows: Iterable[dict[str, Any]],
     vdd_low: float | None = None,
     slack_factor: float | None = None,
+    rails: RailSet | None = None,
 ) -> list[CircuitResult]:
     """Fold ok-rows back into per-circuit results.
 
-    ``vdd_low`` / ``slack_factor`` filter a sweep store down to one
-    grid point (defaulting to the only point present; ambiguous stores
-    must be filtered explicitly).  Later rows win over earlier rows
-    with the same job id, so a store produced by repeated resumes
-    aggregates to the freshest run of every job.
+    ``vdd_low`` / ``slack_factor`` / ``rails`` filter a sweep store
+    down to one grid point (defaulting to the only point present;
+    ambiguous stores must be filtered explicitly; ``rails=()`` selects
+    the classic dual-Vdd rows).  Later rows win over earlier rows with
+    the same job id, so a store produced by repeated resumes aggregates
+    to the freshest run of every job.
     """
     ok_rows = [r for r in rows if r.get("status") == "ok"]
-    points = {(r["vdd_low"], r["slack_factor"]) for r in ok_rows}
+    points = {
+        (r["vdd_low"], r["slack_factor"], row_rails(r)) for r in ok_rows
+    }
     if vdd_low is not None:
         points = {p for p in points if p[0] == vdd_low}
         ok_rows = [r for r in ok_rows if r["vdd_low"] == vdd_low]
     if slack_factor is not None:
         points = {p for p in points if p[1] == slack_factor}
         ok_rows = [r for r in ok_rows if r["slack_factor"] == slack_factor]
+    if rails is not None:
+        rails = tuple(float(v) for v in rails)
+        points = {p for p in points if p[2] == rails}
+        ok_rows = [r for r in ok_rows if row_rails(r) == rails]
     if len(points) > 1:
         raise ValueError(
             "store holds a sweep over "
-            f"{sorted(points)}; pass vdd_low=/slack_factor= to select "
-            "one grid point"
+            f"{sorted(points)}; pass vdd_low=/slack_factor=/rails= to "
+            "select one grid point"
         )
 
     # Last row per job id wins (a store spanning repeated resumes keeps
@@ -432,19 +556,28 @@ def sweep_points(rows: Iterable[dict[str, Any]]) -> list[tuple[float, float]]:
     )
 
 
+def sweep_rail_sets(rows: Iterable[dict[str, Any]]) -> list[RailSet]:
+    """The distinct rail sets in a store (``()`` = classic dual-Vdd)."""
+    return sorted({row_rails(r) for r in rows if r.get("status") == "ok"})
+
+
 __all__ = [
     "DEFAULT_VDD_LOW",
     "SWEEP_VDD_LOWS",
     "SWEEP_SLACKS",
     "CampaignJob",
     "CampaignSummary",
+    "JobTimeout",
+    "job_deadline",
     "build_jobs",
     "group_jobs",
     "run_job_group",
     "run_campaign",
     "make_row",
     "make_failed_row",
+    "row_rails",
     "rows_to_results",
     "sweep_points",
+    "sweep_rail_sets",
     "clear_worker_caches",
 ]

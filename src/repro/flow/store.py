@@ -10,20 +10,25 @@ line is ignored.
 Row schema (``SCHEMA_VERSION`` guards future migrations)::
 
     {
-      "schema": 1,
-      "job_id": "C432:gscale:v4.3:s1.2",
+      "schema": 2,
+      "job_id": "C432:gscale:v4.3:s1.2",       # or ...:r5-4.3-3.6:s1.2
       "status": "ok" | "failed",
       "circuit": "C432", "method": "gscale",
       "vdd_low": 4.3, "slack_factor": 1.2,
+      "rails": [],                 # MSV rail set; [] = classic dual-Vdd
       # status == "ok":
       "gates": 164, "org_power_uw": ..., "min_delay_ns": ...,
       "tspec_ns": ..., "report": {<ScalingReport fields>},
       # status == "failed":
-      "error": "ValueError: ...", "traceback": "...",
+      "error": "ValueError: ...", "timeout": false, "traceback": "...",
       # volatile (excluded from row-equality comparisons):
       "runtime_s": 0.41, "finished_at": "2026-07-28T12:00:00+00:00",
       "worker_pid": 1234,
     }
+
+Schema history: version 1 had no ``rails`` / ``timeout`` fields; every
+reader here treats their absence as the classic dual-Vdd shape, so old
+stores keep loading, resuming, and aggregating unchanged.
 
 Floats round-trip exactly through ``json`` (``repr``-based), so tables
 regenerated from a store are bit-identical to tables formatted from the
@@ -37,7 +42,7 @@ import os
 from collections.abc import Iterable, Iterator
 from typing import Any
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 VOLATILE_FIELDS = ("runtime_s", "finished_at", "worker_pid")
 """Row fields that legitimately differ between runs of the same job."""
@@ -147,6 +152,84 @@ class ResultStore:
     def __len__(self) -> int:
         return sum(1 for _ in self.iter_rows())
 
+    # -- maintenance -------------------------------------------------
+
+    def compact(
+        self, out_path: str | os.PathLike[str] | None = None
+    ) -> CompactionStats:
+        """Rewrite the store keeping only each job id's freshest row.
+
+        A long-lived store accumulates superseded duplicates: every
+        resume retries failed jobs, and aggregation already applies
+        last-row-wins.  Compaction materializes that rule -- for each
+        ``job_id`` only the *last* row survives (rows without a job id
+        are all kept), in their original relative file order -- and
+        drops any torn trailing line along the way.
+
+        In place (the default) the rewrite goes through a temp file in
+        the same directory and an atomic ``os.replace``, so a crash
+        mid-compaction leaves either the old or the new store, never a
+        half-written one.  The store must not be open for appending.
+        """
+        if self._handle is not None:
+            raise RuntimeError("close the store before compacting it")
+        rows = self.load()
+        last_index: dict[str, int] = {}
+        for i, row in enumerate(rows):
+            job_id = row.get("job_id")
+            if job_id is not None:
+                last_index[job_id] = i
+        keep = {
+            i
+            for i, row in enumerate(rows)
+            if row.get("job_id") is None or last_index[row["job_id"]] == i
+        }
+        kept_rows = [row for i, row in enumerate(rows) if i in keep]
+
+        destination = (
+            os.fspath(out_path) if out_path is not None else self.path
+        )
+        parent = os.path.dirname(os.path.abspath(destination))
+        os.makedirs(parent, exist_ok=True)
+        tmp_path = os.path.join(
+            parent, f".{os.path.basename(destination)}.compact.tmp"
+        )
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for row in kept_rows:
+                handle.write(
+                    json.dumps(row, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, destination)
+        return CompactionStats(
+            total_rows=len(rows),
+            kept_rows=len(kept_rows),
+            dropped_rows=len(rows) - len(kept_rows),
+            path=destination,
+        )
+
+
+class CompactionStats:
+    """What :meth:`ResultStore.compact` did."""
+
+    __slots__ = ("total_rows", "kept_rows", "dropped_rows", "path")
+
+    def __init__(
+        self, total_rows: int, kept_rows: int, dropped_rows: int, path: str
+    ):
+        self.total_rows = total_rows
+        self.kept_rows = kept_rows
+        self.dropped_rows = dropped_rows
+        self.path = path
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactionStats(kept {self.kept_rows}/{self.total_rows}, "
+            f"dropped {self.dropped_rows}, path={self.path!r})"
+        )
+
 
 def rows_equal(a: Iterable[dict], b: Iterable[dict]) -> bool:
     """Order-insensitive row-set equality, ignoring volatile fields."""
@@ -163,6 +246,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "VOLATILE_FIELDS",
     "VOLATILE_REPORT_FIELDS",
+    "CompactionStats",
     "ResultStore",
     "normalize_row",
     "rows_equal",

@@ -91,7 +91,10 @@ class Library:
     The library is built at a *high* supply voltage; calling
     :meth:`enrich_low_voltage` adds a ``*_lv`` twin for every cell,
     mirroring the paper's "enrich the library by adding the low voltage
-    gates" step.
+    gates" step.  :meth:`enrich_rails` generalizes the enrichment to an
+    ordered multi-rail set (``rails[0]`` is always the high supply): one
+    derated twin per (cell, rail), plus level-shifter variants for every
+    destination rail a lower-rail signal can be converted up to.
     """
 
     def __init__(self, name: str, vdd_high: float,
@@ -99,10 +102,27 @@ class Library:
         self.name = name
         self.vdd_high = vdd_high
         self.vdd_low: float | None = None
+        self._rails: tuple[float, ...] = (vdd_high,)
         self.wire_model = wire_model or WireModel()
         self.cells: dict[str, Cell] = {}
         self._variants: dict[tuple[str, float], list[Cell]] = {}
         self._by_function: dict[tuple[TruthTable, float], list[Cell]] = {}
+
+    @property
+    def rails(self) -> tuple[float, ...]:
+        """Supply rails, descending; ``rails[0]`` is ``vdd_high``."""
+        return self._rails
+
+    @property
+    def n_rails(self) -> int:
+        return len(self._rails)
+
+    def rail_index(self, vdd: float) -> int:
+        """The rail index of a supply voltage (KeyError when absent)."""
+        try:
+            return self._rails.index(vdd)
+        except ValueError:
+            raise KeyError(f"no rail at {vdd} V in {self._rails}") from None
 
     def add(self, cell: Cell) -> Cell:
         if cell.name in self.cells:
@@ -168,15 +188,21 @@ class Library:
             if c.vdd == vdd and c.is_level_converter
         ]
 
-    def level_converter(self, kind: str = "pg") -> Cell:
-        """The low-to-high level restoration cell of the given kind."""
-        name = f"lc_{kind}"
-        if name not in self.cells:
-            raise KeyError(f"no level converter {name!r} in library")
-        return self.cells[name]
+    def level_converter(self, kind: str = "pg",
+                        vdd: float | None = None) -> Cell:
+        """The level restoration cell of ``kind`` whose output swings at
+        ``vdd`` (default: the high rail, the classic dual-Vdd shifter).
+        """
+        vdd = self.vdd_high if vdd is None else vdd
+        variants = self._variants.get((f"lc_{kind}", vdd))
+        if not variants:
+            raise KeyError(
+                f"no level converter lc_{kind!s} at {vdd} V in library"
+            )
+        return variants[0]
 
     # ------------------------------------------------------------------
-    # Dual-Vdd enrichment
+    # Multi-Vdd enrichment
     # ------------------------------------------------------------------
 
     def enrich_low_voltage(self, vdd_low: float, vth: float = 0.8,
@@ -186,28 +212,68 @@ class Library:
         Timing is derated with the alpha-power-law model of
         :mod:`repro.library.characterize`; switching/internal energy
         scales quadratically with voltage.  Level-converter cells are
-        *not* twinned: they exist only at the high rail, where their
-        output swings.
+        *not* twinned: with two rails they exist only at the high rail,
+        where their output swings.
         """
-        from repro.library.characterize import derate_cell
+        self.enrich_rails((vdd_low,), vth=vth, alpha=alpha)
 
-        if vdd_low >= self.vdd_high:
-            raise ValueError(
-                f"vdd_low {vdd_low} must be below vdd_high {self.vdd_high}"
-            )
+    def enrich_rails(self, lower_rails, vth: float = 0.8,
+                     alpha: float = 2.0) -> None:
+        """Enrich the high-voltage library with an ordered rail set.
+
+        ``lower_rails`` lists the additional supplies in strictly
+        descending order; the resulting :attr:`rails` tuple is
+        ``(vdd_high, *lower_rails)``.  Every combinational cell gains a
+        derated twin per rail (the first keeps the classic ``*_lv``
+        naming so the two-rail library is unchanged down to cell names),
+        and level-converter cells gain a variant at every destination
+        rail a deeper signal can be shifted up to (rails ``0..n-2``; the
+        lowest rail never receives an up-shift).
+        """
+        from repro.library.characterize import converter_for_pair, derate_cell
+
+        lower_rails = tuple(float(v) for v in lower_rails)
+        if not lower_rails:
+            raise ValueError("at least one lower rail is required")
         if self.vdd_low is not None:
             raise ValueError("library already enriched")
-        self.vdd_low = vdd_low
-        for cell in list(self.cells.values()):
-            if cell.is_level_converter or cell.vdd != self.vdd_high:
-                continue
-            self.add(derate_cell(cell, vdd_low, vth=vth, alpha=alpha))
+        previous = self.vdd_high
+        for vdd in lower_rails:
+            if vdd >= previous:
+                raise ValueError(
+                    f"rails must be strictly descending: {vdd} V does not "
+                    f"sit below {previous} V"
+                )
+            previous = vdd
+        self._rails = (self.vdd_high, *lower_rails)
+        self.vdd_low = lower_rails[0]
+        converters = [c for c in self.cells.values() if c.is_level_converter]
+        for k, vdd in enumerate(lower_rails, start=1):
+            suffix = None if k == 1 else f"_r{k}"
+            for cell in list(self.cells.values()):
+                if cell.is_level_converter or cell.vdd != self.vdd_high:
+                    continue
+                self.add(derate_cell(cell, vdd, vth=vth, alpha=alpha,
+                                     suffix=suffix))
+            # A shifter whose output swings at rail k exists only when a
+            # deeper rail can feed it; rail n-1 is never a destination.
+            if k < len(lower_rails):
+                for lc in converters:
+                    self.add(converter_for_pair(
+                        lc, from_vdd=self._rails[k + 1], to_vdd=vdd,
+                        vth=vth, alpha=alpha, suffix=f"_r{k}",
+                    ))
 
     def __repr__(self) -> str:
-        low = f", vlow={self.vdd_low}" if self.vdd_low is not None else ""
+        if len(self._rails) > 2:
+            tail = ", rails=" + "/".join(f"{v:g}" for v in self._rails)
+        elif self.vdd_low is not None:
+            tail = f", vlow={self.vdd_low}"
+        else:
+            tail = ""
         return (
             f"Library({self.name!r}, {len(self.cells)} cells, "
-            f"vhigh={self.vdd_high}{low})"
+            f"vhigh={self.vdd_high}{tail})"
         )
 
 

@@ -48,17 +48,21 @@ def energy_scale(vdd: float, vdd_ref: float) -> float:
 
 
 def derate_cell(cell: Cell, vdd: float, vth: float = DEFAULT_VTH,
-                alpha: float = DEFAULT_ALPHA) -> Cell:
+                alpha: float = DEFAULT_ALPHA,
+                suffix: str | None = None) -> Cell:
     """Produce the same cell characterized at a different supply.
 
     Intrinsic delays and drive resistance stretch by the alpha-power
     factor; internal energy shrinks quadratically; input capacitance and
-    area are voltage-independent (same transistors).  The twin is named
-    ``<name>_lv`` when slower than the original, ``<name>_hv`` otherwise.
+    area are voltage-independent (same transistors).  By default the
+    twin is named ``<name>_lv`` when slower than the original and
+    ``<name>_hv`` otherwise; libraries with more than two rails pass an
+    explicit ``suffix`` to keep per-rail names unique.
     """
     t_scale = delay_scale(vdd, cell.vdd, vth=vth, alpha=alpha)
     e_scale = energy_scale(vdd, cell.vdd)
-    suffix = "_lv" if t_scale >= 1.0 else "_hv"
+    if suffix is None:
+        suffix = "_lv" if t_scale >= 1.0 else "_hv"
     return replace(
         cell,
         name=cell.name + suffix,
@@ -67,6 +71,33 @@ def derate_cell(cell: Cell, vdd: float, vth: float = DEFAULT_VTH,
         internal_energy=cell.internal_energy * e_scale,
         vdd=vdd,
     )
+
+
+def converter_for_pair(cell: Cell, from_vdd: float, to_vdd: float,
+                       vth: float = DEFAULT_VTH,
+                       alpha: float = DEFAULT_ALPHA,
+                       suffix: str | None = None) -> Cell:
+    """Characterize a level shifter for one (driver rail, reader rail) pair.
+
+    A low-to-high shifter's output stage swings at the *destination*
+    rail, so its delay/energy derating is that of a cell supplied at
+    ``to_vdd``.  The source rail only sets the input overdrive of the
+    first stage; in the pass-gate/keeper and cross-coupled designs the
+    paper uses, the output stage dominates the pin-to-pin delay, so the
+    linear model is input-swing-independent and every ``(from, to)``
+    pair collapses to a characterization at ``to_vdd``.  The pair is
+    still validated here: a "shifter" that does not shift strictly
+    upward is a wiring bug.
+    """
+    if from_vdd >= to_vdd:
+        raise ValueError(
+            f"level shifter must convert upward: {from_vdd} V -> {to_vdd} V"
+        )
+    if not cell.is_level_converter:
+        raise ValueError(f"{cell.name!r} is not a level-converter cell")
+    if to_vdd == cell.vdd:
+        return cell
+    return derate_cell(cell, to_vdd, vth=vth, alpha=alpha, suffix=suffix)
 
 
 def dc_leakage_power(vdd_high: float, vdd_low: float, vth: float = DEFAULT_VTH,
@@ -95,5 +126,6 @@ __all__ = [
     "delay_scale",
     "energy_scale",
     "derate_cell",
+    "converter_for_pair",
     "dc_leakage_power",
 ]

@@ -123,16 +123,31 @@ def _make_cell(base: str, spec: tuple, size: int, vdd: float) -> Cell:
 
 def build_compass_library(vdd_high: float = 5.0,
                           vdd_low: float | None = 4.3,
-                          vth: float = 0.8,
-                          alpha: float = 2.0) -> Library:
-    """Build the enriched dual-Vdd library used throughout the flow.
+                          vth: float | None = None,
+                          alpha: float = 2.0,
+                          rails: tuple[float, ...] | None = None) -> Library:
+    """Build the enriched multi-Vdd library used throughout the flow.
 
     With the default arguments this reproduces the paper's setup: the
     (5 V, 4.3 V) pair "in accordance with our internal design project",
     72 combinational cells plus both level-converter designs, and
     low-voltage twins of every combinational cell.  Pass
-    ``vdd_low=None`` for a single-supply library.
+    ``vdd_low=None`` for a single-supply library, or ``rails`` (ordered
+    descending, highest first) for an N-rail MSV library --
+    ``rails=(5.0, 4.3)`` is exactly the paper's dual library.
+
+    ``vth`` defaults to the paper's 0.8 V at the 5 V process corner and
+    scales proportionally with ``vdd_high`` otherwise, so deep rail sets
+    like ``rails=(1.8, 1.0, 0.6)`` stay above threshold without manual
+    retuning.
     """
+    if rails is not None:
+        rails = tuple(float(v) for v in rails)
+        if len(rails) < 2:
+            raise ValueError("rails needs at least (vdd_high, vdd_low)")
+        vdd_high = rails[0]
+    if vth is None:
+        vth = 0.8 * (vdd_high / 5.0)
     library = Library("compass06", vdd_high, WireModel())
     for base, spec in _INVERTING.items():
         for size in (0, 1, 2):
@@ -159,7 +174,9 @@ def build_compass_library(vdd_high: float = 5.0,
             )
         )
 
-    if vdd_low is not None:
+    if rails is not None:
+        library.enrich_rails(rails[1:], vth=vth, alpha=alpha)
+    elif vdd_low is not None:
         library.enrich_low_voltage(vdd_low, vth=vth, alpha=alpha)
     return library
 

@@ -61,25 +61,30 @@ def _gate_lines(cell: Cell) -> list[str]:
 
 def write_genlib(library: Library,
                  target: TextIO | str | Path | None = None) -> str:
-    """Serialize the library (both rails) to genlib text."""
+    """Serialize the library (every rail) to genlib text."""
     lines = [
         f"# library {library.name}: {len(library.cells)} cells",
         f"# vdd_high = {library.vdd_high} V"
         + (f", vdd_low = {library.vdd_low} V"
            if library.vdd_low is not None else ""),
     ]
-    rails = [library.vdd_high]
-    if library.vdd_low is not None:
-        rails.append(library.vdd_low)
-    for vdd in rails:
+    if library.n_rails > 2:
+        lines.append(
+            "# rails = " + ", ".join(f"{v} V" for v in library.rails)
+        )
+    for vdd in library.rails:
         lines.append(f"# ---- cells characterized at {vdd} V ----")
         for cell in sorted(library.combinational_cells(vdd),
                            key=lambda c: c.name):
             lines.extend(_gate_lines(cell))
-    lines.append("# ---- level converters (high rail) ----")
-    for cell in sorted(library.level_converters(),
-                       key=lambda c: c.name):
-        lines.extend(_gate_lines(cell))
+        converters = sorted(library.level_converters(vdd),
+                            key=lambda c: c.name)
+        if converters:
+            lines.append(
+                f"# ---- level converters shifting up to {vdd} V ----"
+            )
+            for cell in converters:
+                lines.extend(_gate_lines(cell))
     text = "\n".join(lines) + "\n"
 
     if isinstance(target, (str, Path)):

@@ -78,8 +78,8 @@ def estimate_power_calc(calculator: DelayCalculator, activity: Activity,
     """Estimate power from an existing calculator (live state)."""
     network = calculator.network
     library = calculator.library
+    rails = library.rails
     vdd_high = library.vdd_high
-    lc_cell = calculator.lc_cell
 
     switching = 0.0
     internal = 0.0
@@ -107,10 +107,16 @@ def estimate_power_calc(calculator: DelayCalculator, activity: Activity,
 
         lc_power = 0.0
         if calculator.converted_readers(name):
-            lc_out_load = calculator.lc_load(name)
-            lc_power = a01 * clock_mhz * (
-                lc_cell.internal_energy + lc_out_load * vdd_high * vdd_high
-            ) * _UW
+            # One shifter per (net, destination rail); each swings its
+            # own output net at the destination supply.  A dual-Vdd
+            # state has exactly one group, on rail 0.
+            for rail in calculator.converter_groups(name):
+                lc_cell = calculator.lc_cell_for(rail)
+                lc_vdd = rails[rail]
+                lc_out_load = calculator.lc_load(name, rail)
+                lc_power += a01 * clock_mhz * (
+                    lc_cell.internal_energy + lc_out_load * lc_vdd * lc_vdd
+                ) * _UW
         converter += lc_power
         per_node[name] = node_switch + node_internal + lc_power
 
@@ -127,46 +133,50 @@ def estimate_power_calc(calculator: DelayCalculator, activity: Activity,
 def demotion_gain(calculator: DelayCalculator, activity: Activity, name: str,
                   clock_mhz: float = DEFAULT_CLOCK_MHZ,
                   lc_at_outputs: bool = False) -> float:
-    """Power saved (uW) by demoting gate ``name`` to Vlow right now.
+    """Power saved (uW) by dropping gate ``name`` one rail right now.
 
     Mirrors :func:`estimate_power_calc` term by term: the gate's own net
-    re-swings at Vlow with one converter pin replacing the high-reader
-    pins, the internal energy drops to the low twin's, and the (single,
-    per-net) converter adds its internal energy plus a high-swing output
-    net carrying the former high-reader pins.  Positive means the
-    demotion saves power.  The gate must currently be at Vhigh.
+    re-swings at the destination rail with one shifter pin per new
+    destination-rail group replacing the shallower readers' pins, the
+    internal energy drops to the destination twin's, and each new
+    (per-net, per-destination-rail) shifter adds its internal energy
+    plus an output net at its own swing carrying the former direct
+    pins.  Positive means the demotion saves power.  With two rails
+    this is exactly the classic Vhigh -> Vlow gain.
     """
     network = calculator.network
     library = calculator.library
-    if calculator.is_low(name):
-        raise ValueError(f"{name!r} is already at Vlow")
+    rails = library.rails
     node = network.nodes[name]
     if node.is_input:
         raise ValueError("primary inputs cannot be demoted")
-    if calculator.converted_readers(name):
-        raise ValueError(f"high gate {name!r} already has a converter")
+    source = calculator.rail_of(name)
+    target = source + 1
+    if target >= len(rails):
+        raise ValueError(f"{name!r} is already at the lowest rail")
 
-    vdd_high = library.vdd_high
-    vdd_low = library.vdd_low
-    lc_cell = calculator.lc_cell
     a01 = activity.rate01(name)
+    vdd_before = rails[source]
+    vdd_after = rails[target]
 
-    high_cell = calculator.variant(name)
-    low_cell = calculator.low_variant_of(node.cell)
+    cell_before = calculator.variant(name)
+    cell_after = calculator.rail_variant_of(node.cell, target)
     change = calculator.demotion_net_change(name, lc_at_outputs)
 
     load_before = calculator.load(name)
     gain = a01 * clock_mhz * (
-        load_before * vdd_high * vdd_high
-        - change.load_after * vdd_low * vdd_low
+        load_before * vdd_before * vdd_before
+        - change.load_after * vdd_after * vdd_after
     ) * _UW
     gain += a01 * clock_mhz * (
-        high_cell.internal_energy - low_cell.internal_energy
+        cell_before.internal_energy - cell_after.internal_energy
     ) * _UW
-    if change.needs_converter:
+    for rail, lc_out_load in change.converter_loads.items():
+        lc_cell = calculator.lc_cell_for(rail)
+        lc_vdd = rails[rail]
         gain -= a01 * clock_mhz * (
             lc_cell.internal_energy
-            + change.converter_load * vdd_high * vdd_high
+            + lc_out_load * lc_vdd * lc_vdd
         ) * _UW
     return gain
 

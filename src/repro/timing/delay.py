@@ -1,16 +1,25 @@
-"""Dual-Vdd-aware pin-to-pin delay calculation.
+"""Multi-Vdd-aware pin-to-pin delay calculation.
 
 Delay model (the paper's "simple static timing analysis" over a
 "pin-to-pin Elmore delay model"): a gate's pin-to-output delay is
 ``intrinsic[pin] + drive_res * C_load`` with the load summed from fanout
 pin capacitances, a fanout-count wire estimate, and the primary-output
-load.  A gate assigned to Vlow uses its derated library twin; an edge
-carrying a level converter inserts the converter's own stage delay and
-replaces the reader's pin capacitance with the converter's on the
+load.  A gate assigned to a lower rail uses its derated library twin; an
+edge carrying a level converter inserts the converter's own stage delay
+and replaces the reader's pin capacitance with the converter's on the
 driver's net.
 
+Rails are indexed: ``0`` is the high supply, larger indices are lower
+voltages (:attr:`repro.library.cells.Library.rails`).  The ``levels``
+table maps node name to rail index; the classic dual-Vdd code wrote
+booleans there, which still works because ``True == 1``.  Converted
+readers of one driver are grouped by destination rail -- one shifter per
+(net, destination rail), the N-rail generalization of the Usami [8]
+per-net restoration scheme.  With two rails every group lands on rail 0
+and the arithmetic reduces term for term to the dual-Vdd original.
+
 The calculator reads the caller's ``levels`` / ``lc_edges`` collections
-*live* -- the dual-Vdd algorithms mutate those as they decide, and every
+*live* -- the scaling algorithms mutate those as they decide, and every
 query reflects the current state.
 
 With ``cache=True`` the calculator memoizes per-net loads, per-driver
@@ -37,19 +46,30 @@ DEFAULT_PO_LOAD = 10.0
 
 
 class DemotionNetChange:
-    """Result of :meth:`DelayCalculator.demotion_net_change`."""
+    """Result of :meth:`DelayCalculator.demotion_net_change`.
 
-    __slots__ = ("load_after", "converter_load", "new_edges")
+    ``converter_loads`` maps each *new* shifter's destination rail to
+    its output load; edges already carrying a shifter keep theirs and
+    only contribute to ``load_after``.
+    """
 
-    def __init__(self, load_after: float, converter_load: float | None,
+    __slots__ = ("load_after", "converter_loads", "new_edges")
+
+    def __init__(self, load_after: float,
+                 converter_loads: dict[int, float],
                  new_edges: list[tuple[str, str]]):
         self.load_after = load_after
-        self.converter_load = converter_load
+        self.converter_loads = converter_loads
         self.new_edges = new_edges
 
     @property
     def needs_converter(self) -> bool:
-        return self.converter_load is not None
+        return bool(self.converter_loads)
+
+    @property
+    def converter_load(self) -> float | None:
+        """The classic dual-Vdd single-group load (rail-0 shifter)."""
+        return self.converter_loads.get(0)
 
 
 class DelayCalculator:
@@ -60,11 +80,11 @@ class DelayCalculator:
     network:
         A technology-mapped network (every gate carries a cell).
     library:
-        The enriched dual-Vdd library the cells came from.
+        The enriched multi-Vdd library the cells came from.
     levels:
-        Mapping from node name to ``True`` when the gate runs at Vlow.
-        Missing names (and primary inputs) are at Vhigh.  The mapping is
-        read live; callers mutate it as their algorithms decide.
+        Mapping from node name to rail index (``0`` / missing = the high
+        rail; booleans from the dual-Vdd era still work).  The mapping
+        is read live; callers mutate it as their algorithms decide.
     lc_edges:
         Collection of ``(driver, reader)`` pairs carrying a level
         converter, with ``reader == OUTPUT`` for a converter guarding a
@@ -78,7 +98,7 @@ class DelayCalculator:
     """
 
     def __init__(self, network: Network, library: Library,
-                 levels: Mapping[str, bool] | None = None,
+                 levels: Mapping[str, int] | None = None,
                  lc_edges: Collection[tuple[str, str]] | None = None,
                  lc_kind: str = "pg",
                  po_load: float = DEFAULT_PO_LOAD,
@@ -87,11 +107,21 @@ class DelayCalculator:
         self.library = library
         self.levels = levels if levels is not None else {}
         self.lc_edges = lc_edges if lc_edges is not None else set()
+        self.lc_kind = lc_kind
         self.lc_cell = library.level_converter(lc_kind)
+        # Shifter variants per destination rail; the lowest rail never
+        # receives an up-shift, so it has no entry.
+        self._lc_cells: dict[int, Cell] = {0: self.lc_cell}
+        for rail in range(1, len(library.rails) - 1):
+            self._lc_cells[rail] = library.level_converter(
+                lc_kind, library.rails[rail]
+            )
         self.po_load = po_load
         self._twin_cache: dict[tuple[str, float], Cell] = {}
         self._load_cache: dict[str, float] | None = {} if cache else None
-        self._lc_delay_cache: dict[str, float] | None = {} if cache else None
+        self._lc_delay_cache: dict[str, dict[int, float]] | None = (
+            {} if cache else None
+        )
         self._variant_cache: dict[str, Cell] | None = {} if cache else None
 
     # ------------------------------------------------------------------
@@ -99,7 +129,7 @@ class DelayCalculator:
     # ------------------------------------------------------------------
 
     def invalidate_net(self, name: str) -> None:
-        """Drop cached load and converter delay of the net ``name`` drives."""
+        """Drop cached load and converter delays of the net ``name`` drives."""
         if self._load_cache is not None:
             self._load_cache.pop(name, None)
             self._lc_delay_cache.pop(name, None)
@@ -110,14 +140,44 @@ class DelayCalculator:
             self._variant_cache.pop(name, None)
 
     # ------------------------------------------------------------------
-    # Cell selection
+    # Rails and cell selection
     # ------------------------------------------------------------------
 
+    @property
+    def n_rails(self) -> int:
+        return len(self.library.rails)
+
+    def rail_of(self, name: str) -> int:
+        """The rail index ``name`` is assigned to (0 = high supply)."""
+        return int(self.levels.get(name, 0) or 0)
+
     def is_low(self, name: str) -> bool:
-        return bool(self.levels.get(name, False))
+        return self.rail_of(name) > 0
+
+    def reader_rail(self, reader: str) -> int:
+        """Rail of a fanout connection (primary outputs swing high)."""
+        if reader == OUTPUT:
+            return 0
+        return self.rail_of(reader)
+
+    def converter_rail(self, driver: str, reader: str) -> int:
+        """Destination rail of the shifter on edge ``driver -> reader``.
+
+        A shifter lifts the driver's swing toward the reader's rail but
+        never *down*: an edge whose reader has meanwhile been demoted to
+        (or below) the driver's rail is priced as a shift to the next
+        rail up until the cleanup pass removes it.  With two rails this
+        is always rail 0, the dual-Vdd converter.
+        """
+        target = min(self.reader_rail(reader), self.rail_of(driver) - 1)
+        return target if target > 0 else 0
+
+    def lc_cell_for(self, rail: int) -> Cell:
+        """The shifter cell whose output swings at ``rail``."""
+        return self._lc_cells[rail]
 
     def variant(self, name: str) -> Cell:
-        """The cell implementing ``name`` at its current voltage."""
+        """The cell implementing ``name`` at its current rail."""
         cache = self._variant_cache
         if cache is not None:
             cell = cache.get(name)
@@ -126,23 +186,34 @@ class DelayCalculator:
         node = self.network.nodes[name]
         if node.cell is None:
             raise ValueError(f"node {name!r} is not mapped to a cell")
-        cell = node.cell if not self.is_low(name) else (
-            self.low_variant_of(node.cell)
+        rail = self.rail_of(name)
+        cell = node.cell if rail == 0 else self.rail_variant_of(
+            node.cell, rail
         )
         if cache is not None:
             cache[name] = cell
         return cell
 
-    def low_variant_of(self, cell: Cell) -> Cell:
-        """The Vlow twin of a Vhigh cell (cached)."""
-        if self.library.vdd_low is None:
-            raise ValueError("library has no low-voltage cells")
-        key = (cell.name, self.library.vdd_low)
+    def rail_variant_of(self, cell: Cell, rail: int) -> Cell:
+        """The twin of a high-rail cell at rail index ``rail`` (cached)."""
+        if rail == 0:
+            return cell
+        rails = self.library.rails
+        if rail >= len(rails):
+            raise ValueError(f"no rail {rail} in {rails}")
+        vdd = rails[rail]
+        key = (cell.name, vdd)
         twin = self._twin_cache.get(key)
         if twin is None:
-            twin = self.library.twin(cell, self.library.vdd_low)
+            twin = self.library.twin(cell, vdd)
             self._twin_cache[key] = twin
         return twin
+
+    def low_variant_of(self, cell: Cell) -> Cell:
+        """The rail-1 (classic Vlow) twin of a high-rail cell."""
+        if self.library.vdd_low is None:
+            raise ValueError("library has no low-voltage cells")
+        return self.rail_variant_of(cell, 1)
 
     # ------------------------------------------------------------------
     # Net loads
@@ -163,11 +234,12 @@ class DelayCalculator:
         )
 
     def converted_readers(self, name: str) -> list[str]:
-        """Readers of ``name`` reached through its level converter.
+        """Readers of ``name`` reached through its level shifters.
 
-        One converter per *net* (the Usami [8] restoration scheme): a
-        single converter on a low driver's output feeds every
-        high-voltage reader, so its cost is amortized across them.
+        One converter per *(net, destination rail)* (the Usami [8]
+        restoration scheme, generalized): a single shifter on a low
+        driver's output feeds every converted reader of one destination
+        rail, so its cost is amortized across them.
         """
         readers = [
             reader
@@ -178,6 +250,19 @@ class DelayCalculator:
             readers.append(OUTPUT)
         return readers
 
+    def converter_groups(self, name: str) -> dict[int, list[str]]:
+        """Converted readers of ``name`` grouped by destination rail.
+
+        Groups appear in first-converted-reader order (fanout order,
+        then the primary output), so iteration -- and therefore float
+        accumulation order -- is deterministic.
+        """
+        groups: dict[int, list[str]] = {}
+        for reader in self.converted_readers(name):
+            groups.setdefault(self.converter_rail(name, reader),
+                              []).append(reader)
+        return groups
+
     def load(self, name: str) -> float:
         """Total capacitance (fF) on the net driven by ``name``."""
         cache = self._load_cache
@@ -187,22 +272,25 @@ class DelayCalculator:
                 return cached
         total = 0.0
         connections = 0
-        converted = 0
+        converted_rails: list[int] = []
         for reader in self.network.fanouts(name):
             if (name, reader) in self.lc_edges:
-                converted += 1
+                rail = self.converter_rail(name, reader)
+                if rail not in converted_rails:
+                    converted_rails.append(rail)
             else:
                 connections += 1
                 total += self.reader_pin_cap(name, reader)
         if name in self.network.outputs:
             if (name, OUTPUT) in self.lc_edges:
-                converted += 1
+                if 0 not in converted_rails:
+                    converted_rails.append(0)
             else:
                 connections += 1
                 total += self.po_load
-        if converted:
+        for rail in converted_rails:
             connections += 1
-            total += self.lc_cell.input_caps[0]
+            total += self.lc_cell_for(rail).input_caps[0]
         # A level-converting receiver's output stays inside the
         # receiving gates (Usami [8] / Wang [10]), so a materialized
         # converter node's net carries no interconnect estimate --
@@ -214,8 +302,8 @@ class DelayCalculator:
             cache[name] = total
         return total
 
-    def lc_load(self, driver: str, reader: str = "") -> float:
-        """Load on the net driven by ``driver``'s level converter.
+    def lc_load(self, driver: str, rail: int = 0) -> float:
+        """Load on the net driven by ``driver``'s rail-``rail`` shifter.
 
         The Usami [8] / Wang [10] designs integrate the converter at the
         receiving gates (a level-converting receiver), so its output
@@ -224,6 +312,8 @@ class DelayCalculator:
         """
         total = 0.0
         for converted in self.converted_readers(driver):
+            if self.converter_rail(driver, converted) != rail:
+                continue
             if converted == OUTPUT:
                 total += self.po_load
             else:
@@ -249,15 +339,24 @@ class DelayCalculator:
         return cell.max_delay(load)
 
     def lc_delay(self, driver: str, reader: str = "") -> float:
-        """Stage delay of ``driver``'s level converter (one per net)."""
+        """Stage delay of the shifter serving ``driver -> reader``.
+
+        With no ``reader`` the rail-0 (dual-Vdd) shifter is assumed, the
+        only one a two-rail design ever has.
+        """
+        rail = self.converter_rail(driver, reader) if reader else 0
         cache = self._lc_delay_cache
         if cache is not None:
-            cached = cache.get(driver)
-            if cached is not None:
-                return cached
-        delay = self.lc_cell.pin_delay(0, self.lc_load(driver))
+            per_driver = cache.get(driver)
+            if per_driver is not None:
+                cached = per_driver.get(rail)
+                if cached is not None:
+                    return cached
+        delay = self.lc_cell_for(rail).pin_delay(
+            0, self.lc_load(driver, rail)
+        )
         if cache is not None:
-            cache[driver] = delay
+            cache.setdefault(driver, {})[rail] = delay
         return delay
 
     def edge_extra_delay(self, driver: str, reader: str) -> float:
@@ -268,47 +367,101 @@ class DelayCalculator:
 
     def demotion_net_change(self, name: str, lc_at_outputs: bool
                             ) -> "DemotionNetChange":
-        """Hypothetical net profile if ``name`` were demoted right now.
+        """Hypothetical net profile if ``name`` dropped one rail now.
 
-        Low readers (and the primary output, when boundary conversion is
-        off) stay directly on the driver's -- now low-swing -- net; high
-        readers move onto one new converter.  Returns the driver's new
-        load, the converter's output load (``None`` when no converter is
+        Readers at or below the destination rail (and the primary
+        output, when boundary conversion is off) stay directly on the
+        driver's -- now lower-swing -- net; each higher-rail reader
+        group moves onto one new shifter; readers already behind a
+        shifter keep it.  Returns the driver's new load, the new
+        shifters' output loads per destination rail (empty when none is
         needed), and the converter edges to record.
         """
         network = self.network
         wire = self.library.wire_model
+        target = self.rail_of(name) + 1
+        if target >= self.n_rails:
+            raise ValueError(f"{name!r} is already at the lowest rail")
         direct_cap = 0.0
         direct_count = 0
-        converted_cap = 0.0
+        converter_loads: dict[int, float] = {}
+        kept_rails: list[int] = []
         new_edges: list[tuple[str, str]] = []
         for reader in network.fanouts(name):
             pin_cap = self.reader_pin_cap(name, reader)
-            if self.is_low(reader):
+            if (name, reader) in self.lc_edges:
+                rail = min(self.reader_rail(reader), target - 1)
+                rail = rail if rail > 0 else 0
+                if rail not in kept_rails:
+                    kept_rails.append(rail)
+            elif self.rail_of(reader) >= target:
                 direct_cap += pin_cap
                 direct_count += 1
             else:
-                converted_cap += pin_cap
+                rail = self.rail_of(reader)
+                converter_loads[rail] = (
+                    converter_loads.get(rail, 0.0) + pin_cap
+                )
                 new_edges.append((name, reader))
         if name in network.outputs:
-            if lc_at_outputs:
-                converted_cap += self.po_load
+            if (name, OUTPUT) in self.lc_edges:
+                if 0 not in kept_rails:
+                    kept_rails.append(0)
+            elif lc_at_outputs:
+                converter_loads[0] = converter_loads.get(0, 0.0) + self.po_load
                 new_edges.append((name, OUTPUT))
             else:
                 direct_cap += self.po_load
                 direct_count += 1
 
-        connections = direct_count + (1 if new_edges else 0)
+        all_rails = list(kept_rails)
+        for rail in converter_loads:
+            if rail not in all_rails:
+                all_rails.append(rail)
+        connections = direct_count + len(all_rails)
         load_after = direct_cap + wire.cap(connections)
-        converter_load = None
-        if new_edges:
-            load_after += self.lc_cell.input_caps[0]
-            converter_load = converted_cap
+        for rail in all_rails:
+            load_after += self.lc_cell_for(rail).input_caps[0]
         return DemotionNetChange(
             load_after=load_after,
-            converter_load=converter_load,
+            converter_loads=converter_loads,
             new_edges=new_edges,
         )
+
+    def new_converter_delays(self, change: "DemotionNetChange"
+                             ) -> dict[int, float]:
+        """Stage delay of each *new* shifter a demotion would splice in.
+
+        Exact only when the driver has no existing shifter on the same
+        destination rail; CVS candidates satisfy that by construction
+        (no new reader edges at all), Dscale must use
+        :meth:`post_demotion_converter_delays` instead.
+        """
+        return {
+            rail: self.lc_cell_for(rail).pin_delay(0, load)
+            for rail, load in change.converter_loads.items()
+        }
+
+    def post_demotion_converter_delays(self, name: str,
+                                       change: "DemotionNetChange"
+                                       ) -> dict[int, float]:
+        """Per-destination-rail shifter delays *after* demoting ``name``.
+
+        One shifter serves each (net, destination rail), so a new edge
+        whose reader rail already has a shifter (e.g. a kept primary-
+        output shifter on rail 0) merges into it: the surviving
+        shifter's delay is priced at the combined output load, and a
+        kept group with no new members keeps its current delay.  With
+        no existing groups this reduces exactly to
+        :meth:`new_converter_delays`.
+        """
+        groups = self.converter_groups(name)
+        delays: dict[int, float] = {}
+        for rail in set(groups) | set(change.converter_loads):
+            load = self.lc_load(name, rail) if rail in groups else 0.0
+            load += change.converter_loads.get(rail, 0.0)
+            delays[rail] = self.lc_cell_for(rail).pin_delay(0, load)
+        return delays
 
     # ------------------------------------------------------------------
     # Area
@@ -321,8 +474,15 @@ class DelayCalculator:
             for node in self.network.nodes.values()
             if node.cell is not None
         )
-        converted_drivers = {driver for driver, _ in self.lc_edges}
-        area += self.lc_cell.area * len(converted_drivers)
+        group_counts: dict[int, int] = {}
+        seen: set[tuple[str, int]] = set()
+        for driver, reader in self.lc_edges:
+            group = (driver, self.converter_rail(driver, reader))
+            if group not in seen:
+                seen.add(group)
+                group_counts[group[1]] = group_counts.get(group[1], 0) + 1
+        for rail in sorted(group_counts):
+            area += self.lc_cell_for(rail).area * group_counts[rail]
         return area
 
 

@@ -159,3 +159,29 @@ def test_converter_cleanup_is_sound(prepared, library):
         if reader != "@output":
             assert not state.is_low(reader)
     assert result.converters_removed >= 0
+
+
+def test_multirail_po_shifter_demotion_respects_tspec():
+    """Regression: a rail>=1 primary-output driver carrying a kept
+    rail-0 shifter (lc_at_outputs) must charge that shifter's delay --
+    at its post-demotion merged load -- in check_demotion, or Dscale
+    approves demotions past tspec and validate() explodes."""
+    from repro.core.state import ScalingOptions
+    from repro.library.compass import build_compass_library
+    from repro.mapping.match import MatchTable
+
+    rails_library = build_compass_library(rails=(5.0, 4.3, 3.6))
+    network = mixed_datapath(width=4, n_control=3, n_products=6, seed=0)
+    prep = prepare_circuit(network, rails_library,
+                           match_table=MatchTable(rails_library))
+    state = ScalingState(
+        prep.network, rails_library, tspec=1.25 * prep.min_delay,
+        activity=prep.activity,
+        options=ScalingOptions(lc_at_outputs=True),
+    )
+    run_dscale(state)  # validates internally; must not raise
+    engine = state.timing()
+    oracle = state.full_timing()
+    assert engine.worst_delay == pytest.approx(oracle.worst_delay,
+                                               abs=1e-9)
+    assert oracle.meets_timing(state.options.timing_tolerance)

@@ -27,6 +27,7 @@ from repro.flow.campaign import (
     run_campaign,
     run_job_group,
     sweep_points,
+    sweep_rail_sets,
 )
 from repro.flow.experiment import run_suite
 from repro.flow.store import ResultStore, rows_equal
@@ -265,6 +266,177 @@ def test_sweep_jobs_and_point_selection(tmp_path):
     # A lower rail saves more per demoted gate on this tiny circuit.
     assert low[0].reports["gscale"].improvement_pct != \
         high[0].reports["gscale"].improvement_pct
+
+
+# -- per-job wall-clock timeouts --------------------------------------
+
+def test_slow_job_times_out_while_group_completes(tmp_path):
+    """A deliberately slow job becomes a timeout row; its group's other
+    jobs still finish ok (the pool never hangs)."""
+    import time as time_mod
+
+    original = campaign_mod.scale_voltage
+
+    def stalling(network, library, tspec, method="gscale", **kwargs):
+        if method == "dscale":
+            time_mod.sleep(30.0)  # far beyond the budget; SIGALRM cuts in
+        return original(network, library, tspec, method=method, **kwargs)
+
+    campaign_mod.scale_voltage = stalling
+    try:
+        store = ResultStore(tmp_path / "s.jsonl")
+        started = time_mod.perf_counter()
+        summary = run_campaign(build_jobs(["z4ml"]), store, timeout_s=1.0)
+        elapsed = time_mod.perf_counter() - started
+    finally:
+        campaign_mod.scale_voltage = original
+
+    assert elapsed < 15.0  # nowhere near the 30 s stall
+    assert (summary.ok, summary.failed) == (2, 1)
+    rows = {r["method"]: r for r in store.load()}
+    assert rows["cvs"]["status"] == "ok"
+    assert rows["gscale"]["status"] == "ok"
+    failed = rows["dscale"]
+    assert failed["status"] == "failed"
+    assert failed["timeout"] is True
+    assert "JobTimeout" in failed["error"]
+    # The overrun is retried on resume, exactly like any failed row.
+    assert store.completed_ids() == {
+        rows["cvs"]["job_id"], rows["gscale"]["job_id"]
+    }
+
+
+def test_generous_timeout_changes_nothing(tmp_path):
+    with_budget = ResultStore(tmp_path / "budget.jsonl")
+    run_campaign(build_jobs(["z4ml"]), with_budget, timeout_s=120.0)
+    without = ResultStore(tmp_path / "plain.jsonl")
+    run_campaign(build_jobs(["z4ml"]), without)
+    assert rows_equal(with_budget.load(), without.load())
+
+
+# -- the MSV rails grid dimension -------------------------------------
+
+RAILS3 = (5.0, 4.3, 3.6)
+
+
+def test_rails_jobs_have_rail_aware_ids():
+    jobs = build_jobs(["z4ml"], rails_sets=[RAILS3])
+    assert [j.job_id for j in jobs] == [
+        f"z4ml:{m}:r5-4.3-3.6:s1.2" for m in METHODS
+    ]
+    assert all(j.vdd_low == 4.3 for j in jobs)  # mirrors rails[1]
+    assert len({j.group_key for j in jobs}) == 1
+
+
+def test_build_jobs_rejects_short_rail_set():
+    with pytest.raises(ValueError, match="two supplies"):
+        build_jobs(["z4ml"], rails_sets=[(5.0,)])
+
+
+def test_three_rail_campaign_end_to_end_with_resume(tmp_path):
+    """The acceptance path: a 3-rail subset campaign runs through store
+    and tables, and an interrupted run resumes to the same rows."""
+    jobs = build_jobs(SMALL, rails_sets=[RAILS3])
+    reference = ResultStore(tmp_path / "ref.jsonl")
+    summary = run_campaign(jobs, reference)
+    assert (summary.ok, summary.failed) == (6, 0)
+    ref_rows = reference.load()
+    assert all(r["rails"] == list(RAILS3) for r in ref_rows)
+    assert sweep_rail_sets(ref_rows) == [RAILS3]
+
+    # Tables aggregate the MSV point like any other grid point.
+    results = rows_to_results(ref_rows, rails=RAILS3)
+    assert {r.name for r in results} == set(SMALL)
+    table = format_table1(results)
+    assert "z4ml" in table and "x2" in table
+
+    # Resume: first four rows landed, the fifth was torn mid-write.
+    partial_path = tmp_path / "partial.jsonl"
+    with open(partial_path, "w", encoding="utf-8") as handle:
+        for row in ref_rows[:4]:
+            handle.write(json.dumps(row, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        handle.write(json.dumps(ref_rows[4])[:25])
+    store = ResultStore(partial_path)
+    resumed = run_campaign(jobs, store, resume=True)
+    assert resumed.skipped == 4
+    assert resumed.ok == 2
+    assert rows_equal(store.load(), ref_rows)
+
+
+def test_mixed_rails_and_classic_store_needs_explicit_point(tmp_path):
+    store = ResultStore(tmp_path / "mixed.jsonl")
+    run_campaign(build_jobs(["z4ml"]), store)
+    run_campaign(build_jobs(["z4ml"], rails_sets=[RAILS3]), store,
+                 resume=True)
+    rows = store.load()
+    assert sweep_rail_sets(rows) == [(), RAILS3]
+    with pytest.raises(ValueError, match="rails"):
+        rows_to_results(rows)
+    classic = rows_to_results(rows, rails=())
+    msv = rows_to_results(rows, rails=RAILS3)
+    assert len(classic) == len(msv) == 1
+    # Deeper rails open savings the dual pair cannot reach.
+    assert msv[0].reports["gscale"].improvement_pct >= \
+        classic[0].reports["gscale"].improvement_pct
+
+
+def test_schema1_rows_without_rails_field_still_aggregate():
+    """Backward readability: a v1-era row (no rails/timeout keys) loads
+    as a classic dual-Vdd row."""
+    legacy = {
+        "schema": 1, "job_id": "z4ml:cvs:v4.3:s1.2", "status": "ok",
+        "circuit": "z4ml", "method": "cvs", "vdd_low": 4.3,
+        "slack_factor": 1.2, "gates": 20, "org_power_uw": 10.0,
+        "min_delay_ns": 1.0, "tspec_ns": 1.2,
+        "report": {
+            "method": "cvs", "power_before_uw": 10.0,
+            "power_after_uw": 9.0, "improvement_pct": 10.0,
+            "n_gates": 20, "n_low": 5, "low_ratio": 0.25,
+            "n_converters": 0, "n_resized": 0,
+            "area_increase_ratio": 0.0, "worst_delay_ns": 1.1,
+            "tspec_ns": 1.2, "runtime_s": 0.1,
+        },
+    }
+    (result,) = rows_to_results([legacy])
+    assert result.reports["cvs"].improvement_pct == 10.0
+    assert campaign_mod.row_rails(legacy) == ()
+
+
+def test_campaign_cli_rails_and_store_compact(tmp_path, capsys):
+    out = str(tmp_path / "msv.jsonl")
+    assert main(["campaign", "--circuits", "z4ml",
+                 "--rails", "5.0,4.3,3.6", "--out", out]) == 0
+    text = capsys.readouterr().out
+    assert "1 rail set(s)" in text and "3 ok" in text
+    # Rerun without resume appends nothing new after truncation; then a
+    # duplicate-producing resume cycle compacts back down.
+    assert main(["campaign", "--circuits", "z4ml",
+                 "--rails", "5.0,4.3,3.6", "--out", out]) == 0
+    capsys.readouterr()
+    assert main(["store", "compact", out]) == 0
+    assert "kept 3/3" in capsys.readouterr().out
+    assert main(["tables", "--from-store", out,
+                 "--rails", "5.0,4.3,3.6"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_tables_cli_rails_dual_selects_classic_rows(tmp_path, capsys):
+    """A mixed store's classic dual-Vdd point is reachable from the
+    CLI as --rails dual (the empty rail set has no comma spelling)."""
+    out = str(tmp_path / "mixed.jsonl")
+    assert main(["campaign", "--circuits", "z4ml", "--out", out]) == 0
+    assert main(["campaign", "--circuits", "z4ml",
+                 "--rails", "5.0,4.3,3.6", "--out", out, "--resume"]) == 0
+    capsys.readouterr()
+    assert main(["tables", "--from-store", out, "--rails", "dual"]) == 0
+    dual_text = capsys.readouterr().out
+    assert "Table 1" in dual_text
+    assert main(["tables", "--from-store", out,
+                 "--rails", "5.0,4.3,3.6"]) == 0
+    msv_text = capsys.readouterr().out
+    assert "Table 1" in msv_text
+    assert dual_text != msv_text  # genuinely different grid points
 
 
 # -- CLI --------------------------------------------------------------

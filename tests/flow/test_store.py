@@ -1,6 +1,9 @@
-"""Result-store tests: append/load, crash tolerance, normalization."""
+"""Result-store tests: append/load, crash tolerance, normalization,
+compaction."""
 
 import json
+
+import pytest
 
 from repro.flow.store import (
     ResultStore,
@@ -105,3 +108,82 @@ def test_store_appends_compact_single_lines(tmp_path):
     assert text.endswith("\n")
     assert text.count("\n") == 1
     assert json.loads(text) == make_row()
+
+
+# -- compaction -------------------------------------------------------
+
+def test_compact_round_trips_a_duplicate_free_store(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    rows = [make_row(job_id=f"c{i}:cvs:v4.3:s1.2") for i in range(3)]
+    with store:
+        for row in rows:
+            store.append(row)
+    stats = store.compact()
+    assert (stats.total_rows, stats.kept_rows, stats.dropped_rows) == (3, 3, 0)
+    assert store.load() == rows  # byte-level no-op for a clean store
+
+
+def test_compact_keeps_only_the_freshest_row_per_job(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    with store:
+        store.append(make_row(job_id="a", status="failed", error="boom"))
+        store.append(make_row(job_id="b", runtime_s=1.0))
+        store.append(make_row(job_id="a"))          # the resume's retry
+        store.append(make_row(job_id="b", runtime_s=9.0))  # fresher rerun
+    stats = store.compact()
+    assert stats.dropped_rows == 2
+    rows = store.load()
+    assert [r["job_id"] for r in rows] == ["a", "b"]
+    assert rows[0]["status"] == "ok"
+    assert rows[1]["runtime_s"] == 9.0
+    assert store.completed_ids() == {"a", "b"}
+
+
+def test_compact_drops_a_torn_tail(tmp_path):
+    path = tmp_path / "s.jsonl"
+    store = ResultStore(path)
+    with store:
+        store.append(make_row(job_id="a"))
+        store.append(make_row(job_id="a", runtime_s=5.0))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"job_id": "torn')  # killed mid-write
+    stats = store.compact()
+    assert (stats.total_rows, stats.kept_rows) == (2, 1)
+    text = path.read_text(encoding="utf-8")
+    assert text.endswith("\n")
+    assert "torn" not in text
+    (row,) = store.load()
+    assert row["runtime_s"] == 5.0
+
+
+def test_compact_to_out_path_leaves_source_untouched(tmp_path):
+    source = ResultStore(tmp_path / "src.jsonl")
+    with source:
+        source.append(make_row(job_id="a"))
+        source.append(make_row(job_id="a", runtime_s=2.0))
+    stats = source.compact(out_path=tmp_path / "dst.jsonl")
+    assert stats.path == str(tmp_path / "dst.jsonl")
+    assert len(source) == 2  # original untouched
+    assert [r["runtime_s"] for r in ResultStore(stats.path).load()] == [2.0]
+
+
+def test_compact_refuses_an_open_store(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    with store:
+        store.append(make_row(job_id="a"))
+        with pytest.raises(RuntimeError, match="close"):
+            store.compact()
+    store.compact()  # fine once closed
+
+
+def test_compact_preserves_rows_without_job_ids(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    anonymous = {"schema": 2, "note": "free-form row"}
+    with store:
+        store.append(make_row(job_id="a"))
+        store.append(anonymous)
+        store.append(make_row(job_id="a", runtime_s=3.0))
+    store.compact()
+    rows = store.load()
+    assert anonymous in rows
+    assert sum(1 for r in rows if r.get("job_id") == "a") == 1

@@ -13,6 +13,8 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.bench.generators import (
     mixed_datapath,
@@ -22,6 +24,7 @@ from repro.bench.generators import (
 )
 from repro.core.state import ScalingOptions, ScalingState
 from repro.flow.experiment import prepare_circuit
+from repro.library.compass import build_compass_library
 from repro.mapping.match import MatchTable
 from repro.timing.delay import DelayCalculator, OUTPUT
 from repro.timing.incremental import IncrementalTiming
@@ -268,6 +271,146 @@ def test_standalone_engine_tracks_manual_notes(mapped_adder, library):
         assert engine.required[name] == pytest.approx(oracle.required[name],
                                                       abs=1e-9)
     assert engine.worst_delay == pytest.approx(oracle.worst_delay, abs=1e-9)
+
+
+# ---------------------------------------------------------------------
+# Multi-rail (3 and 4 rails) oracle properties.  Hypothesis drives
+# random rail assignments and mutation sequences over the shared state;
+# after every step the incremental engine must equal a rebuilt
+# TimingAnalysis on an uncached calculator, including across what-if
+# rollbacks.  The state is module-scoped on purpose: every reachable
+# (levels, lc_edges, sizing) configuration is a valid input to the
+# equivalence property, so examples legitimately compound.
+# ---------------------------------------------------------------------
+
+MULTI_RAILS = {
+    "3rails": (5.0, 4.3, 3.6),
+    "4rails": (5.0, 4.3, 3.6, 3.0),
+}
+
+_MOVE_KINDS = ("demote", "promote", "assign", "resize", "edge")
+
+
+@pytest.fixture(scope="module", params=sorted(MULTI_RAILS))
+def multirail_state(request):
+    library = build_compass_library(rails=MULTI_RAILS[request.param])
+    prepared = prepare_circuit(
+        mixed_datapath(width=5, n_control=3, n_products=8, seed=13),
+        library, match_table=MatchTable(library))
+    return ScalingState(prepared.network, library,
+                        tspec=2.5 * prepared.tspec,
+                        activity=prepared.activity)
+
+
+def multirail_move(rng, state, kind):
+    """One random legal-ish multi-rail mutation through the observers."""
+    gates = state.network.gates()
+    lowest = state.n_rails - 1
+    if kind == "demote":
+        cands = [g for g in gates if state.rail_of(g) < lowest]
+        if not cands:
+            return
+        state.demote(rng.choice(cands))
+    elif kind == "promote":
+        cands = [g for g in gates if state.rail_of(g) > 0]
+        if not cands:
+            return
+        state.promote(rng.choice(cands))
+    elif kind == "assign":
+        # Direct rail-index writes must reach the engine via the
+        # observer, including multi-step jumps (0 -> 3, 2 -> 1, ...).
+        state.levels[rng.choice(gates)] = rng.randrange(state.n_rails)
+    elif kind == "resize":
+        name = rng.choice(gates)
+        cell = state.network.nodes[name].cell
+        state.resize(name, rng.choice(state.library.variants(cell.base)))
+    else:
+        if state.lc_edges and rng.random() < 0.5:
+            state.lc_edges.discard(rng.choice(sorted(state.lc_edges)))
+        else:
+            drivers = [g for g in gates
+                       if state.rail_of(g) > 0 and state.network.fanouts(g)]
+            if not drivers:
+                return
+            driver = rng.choice(drivers)
+            readers = sorted(state.network.fanouts(driver))
+            state.lc_edges.add((driver, rng.choice(readers)))
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**32 - 1),
+       kinds=st.lists(st.sampled_from(_MOVE_KINDS), min_size=1, max_size=8))
+def test_multirail_random_sequences_match_oracle(multirail_state, seed,
+                                                 kinds):
+    rng = random.Random(seed)
+    for kind in kinds:
+        multirail_move(rng, multirail_state, kind)
+        assert_equivalent(multirail_state)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**32 - 1),
+       kinds=st.lists(st.sampled_from(_MOVE_KINDS), min_size=1, max_size=4))
+def test_multirail_rollback_restores_exact_values(multirail_state, seed,
+                                                  kinds):
+    """A what-if window over random multi-rail moves rolls back exactly."""
+    state = multirail_state
+    engine = state.timing()
+    engine.refresh()
+    before_arrival = dict(engine.arrival.items())
+    before_required = dict(engine.required.items())
+    before_load = dict(engine.load.items())
+    levels_before = dict(state.levels)
+    edges_before = set(state.lc_edges)
+    cells_before = {name: node.cell
+                    for name, node in state.network.nodes.items()
+                    if node.cell is not None}
+
+    rng = random.Random(seed)
+    state.begin_move()
+    for kind in kinds:
+        multirail_move(rng, state, kind)
+    assert state.timing().worst_delay >= 0  # force a refresh inside
+
+    # Revert our own mutations (the journal only covers the arrays) ...
+    for name, cell in cells_before.items():
+        if state.network.nodes[name].cell is not cell:
+            state.resize(name, cell)
+    for name in list(state.levels):
+        state.levels[name] = levels_before.get(name, 0)
+    for edge in list(state.lc_edges):
+        if edge not in edges_before:
+            state.lc_edges.discard(edge)
+    state.lc_edges.update(edges_before)
+    # ... then restore the timing arrays from the journal.
+    state.rollback_move()
+
+    after = state.timing()
+    assert dict(after.arrival.items()) == before_arrival
+    assert dict(after.required.items()) == before_required
+    assert dict(after.load.items()) == before_load
+    assert_equivalent(state)
+
+
+def test_multirail_full_dscale_matches_oracle():
+    """End-to-end on three rails: Dscale leaves engine == oracle and a
+    legal state that actually uses the deepest rail."""
+    from repro.core.dscale import run_dscale
+
+    library = build_compass_library(rails=(5.0, 4.3, 3.6))
+    prepared = prepare_circuit(
+        mixed_datapath(width=6, n_control=4, n_products=10, seed=23),
+        library, match_table=MatchTable(library))
+    state = ScalingState(prepared.network, library,
+                         tspec=1.6 * prepared.tspec,
+                         activity=prepared.activity)
+    run_dscale(state)
+    assert_equivalent(state)
+    histogram = state.rail_histogram()
+    assert histogram[2] > 0  # the third rail is genuinely exercised
+    assert state.power().total > 0
 
 
 def test_output_boundary_converter_equivalence(library):

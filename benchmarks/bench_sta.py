@@ -33,7 +33,7 @@ from repro.core.cvs import run_cvs
 from repro.core.dscale import run_dscale
 from repro.core.gscale import run_gscale
 from repro.core.state import ScalingOptions, ScalingState
-from repro.flow.experiment import prepare_circuit
+from repro.api import Flow, FlowConfig
 from repro.library.compass import build_compass_library
 from repro.mapping.match import MatchTable
 from repro.timing.sta import TimingAnalysis
@@ -136,8 +136,8 @@ def main(argv=None):
     moves = min(args.moves, 20) if args.quick else args.moves
 
     library = build_compass_library()
-    prepared = prepare_circuit(circuit, library,
-                               match_table=MatchTable(library))
+    prepared = Flow(FlowConfig(circuit=circuit), library=library,
+                    match_table=MatchTable(library)).prepare()
     gates = sum(1 for n in prepared.network.nodes.values()
                 if not n.is_input)
 

@@ -18,10 +18,11 @@ import os
 
 import pytest
 
+from repro.api import Flow, FlowConfig
 from repro.bench.mcnc import MCNC_NAMES
 from repro.core.pipeline import METHODS
 from repro.flow.campaign import CampaignJob, make_row, rows_to_results
-from repro.flow.experiment import prepare_circuit, run_prepared
+from repro.flow.experiment import run_prepared
 from repro.flow.store import ResultStore
 from repro.library.compass import build_compass_library
 from repro.mapping.match import MatchTable
@@ -55,8 +56,9 @@ def prepared_cache(library, match_table):
 
     def get(name):
         if name not in cache:
-            cache[name] = prepare_circuit(name, library,
-                                          match_table=match_table)
+            flow = Flow(FlowConfig(circuit=name), library=library,
+                        match_table=match_table)
+            cache[name] = flow.prepare()
         return cache[name]
 
     return get

@@ -8,25 +8,22 @@ power saving, and inspect *where* the saved power lives (datapath versus
 control, converter overhead, per-net breakdown).
 """
 
-from repro import build_compass_library, scale_voltage
+from repro.api import Flow, FlowConfig
 from repro.bench.generators import alu_unit
-from repro.flow.experiment import prepare_circuit
 from repro.power.estimate import estimate_power_calc
 
 
 def main() -> None:
-    library = build_compass_library()
+    base = Flow(FlowConfig(method="gscale"))
     print("=== 16-bit ALU, dual-Vdd design space ===")
 
     # How much slack you grant the block decides how much of it can run
     # at 4.3 V: sweep the timing budget like a block integrator would.
+    # The budget is one FlowConfig field, so the sweep is a config grid.
     for slack_factor in (1.05, 1.1, 1.2, 1.4):
-        prepared = prepare_circuit(alu_unit(width=16), library,
-                                   slack_factor=slack_factor)
-        state, report = scale_voltage(
-            prepared.fresh_copy(), library, prepared.tspec,
-            method="gscale", activity=prepared.activity,
-        )
+        flow = base.replace(slack_factor=slack_factor)
+        prepared = flow.prepare(alu_unit(width=16))
+        report = flow.run(prepared=prepared).report
         print(f"budget = {slack_factor:4.2f} x Dmin "
               f"({prepared.tspec:6.2f} ns): "
               f"{report.improvement_pct:5.2f}% saved, "
@@ -34,11 +31,9 @@ def main() -> None:
               f"{report.n_resized} gates upsized")
 
     # Zoom into the paper's 1.2x budget: which nets still burn at 5 V?
-    prepared = prepare_circuit(alu_unit(width=16), library)
-    state, report = scale_voltage(
-        prepared.fresh_copy(), library, prepared.tspec, method="gscale",
-        activity=prepared.activity,
-    )
+    # execute() keeps the live ScalingState for post-mortem queries.
+    ctx = base.execute(alu_unit(width=16))
+    state = ctx.state
     power = estimate_power_calc(state.calc, state.activity)
     high_burners = sorted(
         (

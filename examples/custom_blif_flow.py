@@ -3,9 +3,12 @@
 
 Shows every stage a downstream user would drive individually: parse a
 BLIF block, optimize it, map it, time it, measure switching activity,
-scale voltages, verify legality, and write the dual-Vdd result back out
-as BLIF plus a rail assignment -- the artifacts a physical-design flow
-would consume.
+enter the ``repro.api.Flow`` at its ``scale`` stage, verify legality,
+and write the dual-Vdd result back out as BLIF plus a rail assignment
+-- the artifacts a physical-design flow would consume.  (For the
+one-call version of the same pipeline see ``examples/quickstart.py``;
+this example deliberately exercises the low-level substrate the Flow
+stages are made of.)
 """
 
 import io
@@ -18,9 +21,9 @@ from repro import (
     parse_blif,
     random_activities,
     rugged,
-    scale_voltage,
     write_blif,
 )
+from repro.api import Flow, FlowConfig
 from repro.mapping.mapper import recover_area, speed_up_sizing
 from repro.netlist.validate import networks_equivalent
 
@@ -70,11 +73,13 @@ def main() -> None:
     print(f"mapped:    {mapped}  (Dmin {min_delay:.2f} ns, "
           f"tspec {tspec:.2f} ns)")
 
-    # 4. Measure activity once, then scale voltages.
+    # 4. Measure activity once, then enter the Flow at its scale stage
+    #    with the pre-mapped network and the explicit budget.
     activity = random_activities(mapped, n_vectors=1024, seed=42)
-    state, report = scale_voltage(mapped, library, tspec, method="dscale",
-                                  activity=activity)
+    flow = Flow(FlowConfig(method="dscale"), library=library)
+    state, artifact = flow.scale(mapped, tspec, activity=activity)
     state.validate()
+    report = artifact.report
     print(f"scaled:    {report.improvement_pct:.2f}% power saved, "
           f"{report.n_low}/{report.n_gates} gates low, "
           f"{report.n_converters} converter edges")

@@ -1,53 +1,57 @@
 #!/usr/bin/env python
 """Quickstart: scale one circuit's supply voltages in a few lines.
 
-Builds the dual-Vdd library, loads a benchmark circuit, runs the full
-flow with each of the paper's three algorithms, and prints what each one
-achieved -- the fastest way to see the library's public API end to end.
+Everything goes through the ``repro.api`` front door: one declarative
+:class:`FlowConfig` names the circuit and the knobs, one
+:class:`Flow` runs the paper's staged pipeline (optimize -> map ->
+constrain -> scale -> restore -> measure), and every run returns a
+:class:`RunArtifact` -- the same object the campaign store serializes.
 """
 
-from repro import (
-    build_compass_library,
-    materialize_converters,
-    scale_voltage,
-)
-from repro.flow.experiment import prepare_circuit
+from repro.api import Flow, FlowConfig
 
 
 def main() -> None:
-    # 1. The enriched (5 V, 4.3 V) COMPASS-class library: 72 cells plus
-    #    low-voltage twins and two level-converter designs.
-    library = build_compass_library()
-    print(f"library: {library}")
+    # 1. One config describes the run: the C432-class benchmark under
+    #    the paper's "minimum delay + 20%" budget on the (5 V, 4.3 V)
+    #    pair.  Configs round-trip through JSON/TOML, so this object is
+    #    also what a campaign job or a checked-in experiment file holds.
+    config = FlowConfig(circuit="C432", slack_factor=1.2)
+    flow = Flow(config)
+    print(f"library: {flow.library}")
 
-    # 2. A benchmark circuit (the C432-class priority interrupt
-    #    controller), optimized and technology-mapped under the paper's
-    #    "minimum delay + 20%" timing constraint.
-    prepared = prepare_circuit("C432", library)
+    # 2. The expensive prefix (optimize, map, fix the timing budget,
+    #    measure switching activity) runs once and serves every method.
+    prepared = flow.prepare()
     print(f"mapped: {prepared.network}")
     print(f"minimum delay {prepared.min_delay:.2f} ns, "
           f"constraint {prepared.tspec:.2f} ns")
 
-    # 3. Run each algorithm on its own copy and compare.
+    # 3. Each registered scaling method is a config away.  (Your own
+    #    algorithm joins via repro.api.register_method and runs through
+    #    the identical line.)
     for method in ("cvs", "dscale", "gscale"):
-        state, report = scale_voltage(
-            prepared.fresh_copy(), library, prepared.tspec, method=method,
-            activity=prepared.activity,
-        )
+        artifact = flow.replace(method=method).run(prepared=prepared)
+        report = artifact.report
         print(f"{method:>7}: {report.improvement_pct:5.2f}% power saved, "
               f"{report.n_low}/{report.n_gates} gates at 4.3 V, "
               f"{report.n_converters} converter nets, "
               f"area +{100 * report.area_increase_ratio:.1f}%")
 
-    # 4. Export a scaled design as a physical netlist: Dscale's result
-    #    here, since its interior demotions carry real converter cells.
-    state, report = scale_voltage(
-        prepared.fresh_copy(), library, prepared.tspec, method="dscale",
-        activity=prepared.activity,
+    # 4. Export a scaled design as a physical netlist: ask the flow's
+    #    restore stage to materialize the level shifters (Dscale's
+    #    result here, since its interior demotions carry real cells).
+    ctx = flow.replace(method="dscale", materialize=True).execute(
+        prepared=prepared
     )
-    design = materialize_converters(state)
+    design = ctx.design
     print(f"materialized: {design.network} "
           f"(+{len(design.converters)} converter cells)")
+
+    # 5. The artifact serializes to exactly one campaign-store row.
+    row = ctx.artifact.to_row()
+    print(f"store row: job_id={row['job_id']} "
+          f"improvement={row['report']['improvement_pct']:.2f}%")
 
 
 if __name__ == "__main__":

@@ -13,9 +13,18 @@ The sweep itself runs through the campaign engine
 (:mod:`repro.flow.campaign`): one Gscale job per (circuit, Vlow) cell,
 streamed into a resumable JSONL store.  Re-running the example after an
 interrupt resumes where it stopped; pass ``--jobs N`` to shard the grid
-across worker processes.  The same workload at full scale is::
+across worker processes.  Each job is one declarative
+:class:`repro.api.FlowConfig` executed through ``repro.api.Flow``, so
+the sweep is literally a grid of configs.  The same workload at full
+scale is::
 
     python -m repro campaign --sweep --jobs 8 --out sweep.jsonl
+
+and across machines (merging the shard stores afterwards)::
+
+    python -m repro campaign --sweep --shard 1/2 --out shard1.jsonl
+    python -m repro campaign --sweep --shard 2/2 --out shard2.jsonl
+    python -m repro store compact shard1.jsonl shard2.jsonl --out sweep.jsonl
 
 Also demonstrates the DC-leakage model that motivates level restoration
 in the first place (section 1 of the paper).

@@ -14,12 +14,15 @@ independent optimization, cut-based technology mapping, the flow-based
 combinatorial solvers (max-weight antichain, min-weight separator), and
 synthetic equivalents of the 39 MCNC benchmark circuits.
 
-Quickstart::
+Quickstart (the ``repro.api`` front door)::
 
-    from repro import build_compass_library, run_circuit
+    from repro.api import Flow, FlowConfig
 
-    result = run_circuit("C432")
-    print(result.improvement("gscale"))
+    flow = Flow(FlowConfig(circuit="C432"))
+    prepared = flow.prepare()
+    for method in ("cvs", "dscale", "gscale"):
+        artifact = flow.replace(method=method).run(prepared=prepared)
+        print(method, artifact.report.improvement_pct)
 
 Lower-level use::
 
@@ -75,10 +78,17 @@ from repro.core import (
     run_gscale,
     scale_voltage,
 )
+from repro.api import (
+    Flow,
+    FlowConfig,
+    RunArtifact,
+    ScalingMethod,
+    register_method,
+)
 from repro.bench import CIRCUITS, load_circuit
 from repro.flow import run_circuit, run_suite
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Network",
@@ -119,6 +129,11 @@ __all__ = [
     "run_dscale",
     "run_gscale",
     "scale_voltage",
+    "Flow",
+    "FlowConfig",
+    "RunArtifact",
+    "ScalingMethod",
+    "register_method",
     "CIRCUITS",
     "load_circuit",
     "run_circuit",

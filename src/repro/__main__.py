@@ -1,25 +1,39 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every subcommand is a front end over :mod:`repro.api`: a
+:class:`~repro.api.config.FlowConfig` is assembled from the flags (or
+loaded verbatim with ``run --config``), executed through
+:class:`~repro.api.flow.Flow`, and reported as
+:class:`~repro.api.artifact.RunArtifact` rows.
+
 Commands
 --------
-run CIRCUIT [--method M] [--slack F] [--vlow V | --rails V0,V1,...]
+run [CIRCUIT] [--method M] [--slack F] [--vlow V | --rails V0,V1,...]
+    [--config FLOW.json|.toml] [--plugin MODULE]
     Full flow on one benchmark (or a BLIF file path); prints the report.
+    ``--config`` loads a declarative FlowConfig (JSON or TOML);
+    ``--plugin`` imports a module first, so methods it registers via
+    ``repro.api.register_method`` are runnable with ``--method``.
 campaign [--subset | --circuits a,b,c] [--jobs N] [--resume]
-         [--out STORE.jsonl] [--timeout S]
+         [--out STORE.jsonl] [--timeout S] [--shard K/N]
          [--sweep | --vlow V[,V...] --slack F[,F...]]
-         [--rails V0,V1,...[;V0,V1,...]]
+         [--rails V0,V1,...[;V0,V1,...]] [--plugin MODULE]
     Shard the (circuit, method, rails-or-vdd_low, slack) sweep across
     worker processes, streaming rows into a resumable JSONL result
     store.  ``--rails`` opens the N-rail MSV grid (highest supply
     first, e.g. ``--rails 1.8,1.0,0.6``); ``--timeout`` budgets each
-    job's wall clock, recording overruns as failed rows.
+    job's wall clock; ``--shard K/N`` keeps only the K-th of N
+    deterministic partitions so N machines can split one campaign and
+    merge their stores afterwards.
 tables [--subset] [--jobs N] [--from-store STORE.jsonl]
-       [--rails V0,V1,...] [--out PATH]
+       [--rails V0,V1,...|dual] [--out PATH]
     Regenerate the paper's Table 1 / Table 2 (through a campaign store)
     and write EXPERIMENTS-style output.
-store compact STORE.jsonl [--out PATH]
-    Rewrite a result store dropping superseded duplicate job ids (and
-    any torn tail); atomic in place by default.
+store compact STORE.jsonl [STORE2.jsonl ...] [--out PATH]
+    With one store: rewrite it dropping superseded duplicate job ids
+    (and any torn tail); atomic in place by default.  With several
+    stores (the shards of one campaign): merge them into ``--out``,
+    last row per job id winning across all inputs.
 circuits
     List the 39 benchmark names with family and paper gate counts.
 library [--vlow V | --rails V0,V1,...]
@@ -29,42 +43,184 @@ library [--vlow V | --rails V0,V1,...]
 from __future__ import annotations
 
 import argparse
+import importlib
 import os
 import sys
 
 
 def _parse_rails(text: str) -> tuple[float, ...]:
-    rails = tuple(float(v) for v in text.split(",") if v.strip())
+    """argparse type: one comma-separated rail set, highest first."""
+    try:
+        rails = tuple(float(v) for v in text.split(",") if v.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid rail voltage in {text!r} (expected a comma-"
+            f"separated list of numbers, highest first)"
+        ) from None
     if len(rails) < 2:
-        raise SystemExit(
-            f"--rails needs at least two supplies (highest first): {text!r}"
+        raise argparse.ArgumentTypeError(
+            f"a rail set needs at least two supplies (highest first), "
+            f"got {text!r}"
+        )
+    if len(set(rails)) != len(rails):
+        raise argparse.ArgumentTypeError(
+            f"duplicate supply voltage in {text!r}"
+        )
+    if any(b >= a for a, b in zip(rails, rails[1:])):
+        raise argparse.ArgumentTypeError(
+            f"supplies must be strictly descending (highest first), "
+            f"got {text!r}"
+        )
+    if rails[-1] <= 0:
+        raise argparse.ArgumentTypeError(
+            f"supply voltages must be positive, got {text!r}"
         )
     return rails
 
 
-def _cmd_run(args) -> int:
-    from repro.flow.experiment import run_circuit
-    from repro.library.compass import build_compass_library
-    from repro.netlist.blif import read_blif
+def _parse_rails_sets(text: str) -> list[tuple[float, ...]]:
+    """argparse type: semicolon-separated list of rail sets."""
+    sets = [
+        _parse_rails(part) for part in text.split(";") if part.strip()
+    ]
+    if not sets:
+        raise argparse.ArgumentTypeError(
+            "expected at least one rail set (e.g. '5,4.3,3.6')"
+        )
+    return sets
 
-    if args.rails:
-        library = build_compass_library(rails=_parse_rails(args.rails))
-    else:
-        library = build_compass_library(vdd_low=args.vlow)
-    source = args.circuit
-    if os.path.exists(source):
-        source = read_blif(source)
-    methods = (
-        ("cvs", "dscale", "gscale") if args.method == "all"
-        else (args.method,)
+
+def _parse_rails_filter(text: str) -> tuple[float, ...]:
+    """argparse type: a rail set, or 'dual' for the classic dual-Vdd
+    rows of a mixed store (the empty rail set)."""
+    if text == "dual":
+        return ()
+    return _parse_rails(text)
+
+
+def _parse_floats(text: str) -> list[float]:
+    """argparse type: comma-separated grid values (vlow / slack)."""
+    try:
+        values = [float(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid number in {text!r} (expected a comma-separated "
+            f"list of values)"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError(
+            f"expected at least one value, got {text!r}"
+        )
+    if len(set(values)) != len(values):
+        raise argparse.ArgumentTypeError(f"duplicate value in {text!r}")
+    return values
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    """argparse type: 'K/N' -> (K, N), 1 <= K <= N."""
+    try:
+        index_text, count_text = text.split("/")
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected K/N (e.g. 2/4), got {text!r}"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise argparse.ArgumentTypeError(
+            f"shard must satisfy 1 <= K <= N, got {text!r}"
+        )
+    return index, count
+
+
+def _load_plugins(args) -> None:
+    """Import --plugin modules so their register_method calls run."""
+    for module in getattr(args, "plugin", None) or []:
+        importlib.import_module(module)
+
+
+def _resolve_methods(method: str | None) -> tuple[str, ...]:
+    """A --method value -> the tuple of registered methods to run."""
+    from repro.api.registry import (
+        BUILTIN_METHODS,
+        is_registered,
+        registered_names,
     )
-    result = run_circuit(source, library, methods=methods,
-                         slack_factor=args.slack)
-    print(f"{result.name}: {result.gates} gates, "
-          f"{result.org_power_uw:.2f} uW original, "
-          f"tspec {result.tspec_ns:.2f} ns")
-    for method, report in result.reports.items():
-        print(f"  {method:>7}: {report.improvement_pct:6.2f}% saved  "
+
+    if method is None or method == "all":
+        return BUILTIN_METHODS
+    if not is_registered(method):
+        raise SystemExit(
+            f"unknown method {method!r}; registered methods: "
+            f"{', '.join(registered_names())}"
+        )
+    return (method,)
+
+
+def _cmd_run(args) -> int:
+    from repro.api import Flow, FlowConfig
+
+    _load_plugins(args)
+    config = None
+    if args.config:
+        with open(args.config, encoding="utf-8") as handle:
+            text = handle.read()
+        if args.config.endswith(".toml"):
+            config = FlowConfig.from_toml(text)
+        else:
+            config = FlowConfig.loads(text)
+
+    source = None
+    circuit = args.circuit or (config.circuit if config else "")
+    if not circuit:
+        raise SystemExit("run needs a CIRCUIT argument or a --config "
+                         "with a circuit")
+    if os.path.exists(circuit):
+        from repro.netlist.blif import read_blif
+
+        source = read_blif(circuit)
+        circuit = ""
+
+    from repro.api import DEFAULT_SLACK_FACTOR, DEFAULT_VDD_LOW
+
+    if config is None:
+        config = FlowConfig(
+            circuit=circuit,
+            slack_factor=(DEFAULT_SLACK_FACTOR if args.slack is None
+                          else args.slack),
+            vdd_low=DEFAULT_VDD_LOW if args.vlow is None else args.vlow,
+            rails=args.rails or (),
+        )
+    else:
+        # Explicit flags override the config file; omitted flags keep
+        # the file's values.
+        overrides = {"circuit": circuit}
+        if args.slack is not None:
+            overrides["slack_factor"] = args.slack
+        if args.vlow is not None:
+            overrides["vdd_low"] = args.vlow
+        if args.rails is not None:
+            overrides["rails"] = args.rails
+        config = config.replace(**overrides)
+
+    if args.method is None and args.config:
+        methods = _resolve_methods(config.method)
+    else:
+        methods = _resolve_methods(args.method)
+
+    flow = Flow(config)
+    prepared = flow.prepare(source)
+    artifacts = [
+        flow.replace(method=method).run(prepared=prepared)
+        for method in methods
+    ]
+    head = artifacts[0]
+    print(f"{head.circuit}: {head.gates} gates, "
+          f"{head.org_power_uw:.2f} uW original, "
+          f"tspec {head.tspec_ns:.2f} ns")
+    for artifact in artifacts:
+        report = artifact.report
+        print(f"  {artifact.method:>7}: {report.improvement_pct:6.2f}% "
+              f"saved  "
               f"low {report.n_low}/{report.n_gates}  "
               f"converters {report.n_converters}  "
               f"resized {report.n_resized}  "
@@ -87,62 +243,61 @@ def _select_circuits(args) -> list[str]:
     return names
 
 
-def _parse_floats(text: str) -> list[float]:
-    return [float(v) for v in text.split(",") if v.strip()]
-
-
 def _cmd_campaign(args) -> int:
-    from repro.core.pipeline import METHODS
     from repro.flow.campaign import (
         DEFAULT_VDD_LOW,
+        METHODS,
         SWEEP_SLACKS,
         SWEEP_VDD_LOWS,
         build_jobs,
         run_campaign,
+        shard_jobs,
     )
     from repro.flow.experiment import DEFAULT_SLACK_FACTOR
     from repro.flow.store import ResultStore
 
+    _load_plugins(args)
     circuits = _select_circuits(args)
     methods = (
         METHODS if args.methods == "all"
         else tuple(m.strip() for m in args.methods.split(",") if m.strip())
     )
-    rails_sets = []
-    if args.rails:
-        if args.vlow or args.sweep:
-            raise SystemExit("--rails replaces --vlow/--sweep: a rail set "
-                             "fixes every supply, including the high one")
-        rails_sets = [
-            _parse_rails(part)
-            for part in args.rails.split(";")
-            if part.strip()
-        ]
+    rails_sets = args.rails or []
+    if rails_sets and (args.vlow or args.sweep):
+        raise SystemExit("--rails replaces --vlow/--sweep: a rail set "
+                         "fixes every supply, including the high one")
     if args.vlow:
-        vdd_lows = _parse_floats(args.vlow)
+        vdd_lows = args.vlow
     else:
         vdd_lows = list(SWEEP_VDD_LOWS if args.sweep
                         else [DEFAULT_VDD_LOW])
     if args.slack:
-        slacks = _parse_floats(args.slack)
+        slacks = args.slack
     else:
         slacks = list(SWEEP_SLACKS if args.sweep
                       else [DEFAULT_SLACK_FACTOR])
 
     jobs = build_jobs(circuits, methods=methods, vdd_lows=vdd_lows,
                       slack_factors=slacks, rails_sets=rails_sets)
+    total = len(jobs)
+    shard_note = ""
+    if args.shard:
+        index, count = args.shard
+        jobs = shard_jobs(jobs, index, count)
+        shard_note = f", shard {index}/{count}: {len(jobs)}/{total} jobs"
     store = ResultStore(args.out)
     grid = (f"{len(rails_sets)} rail set(s)" if rails_sets
             else f"{len(vdd_lows)} vlow")
-    print(f"campaign: {len(jobs)} jobs "
+    print(f"campaign: {total} jobs "
           f"({len(circuits)} circuits x {len(methods)} methods x "
           f"{grid} x {len(slacks)} slack) "
           f"-> {args.out}  [jobs={args.jobs}"
           f"{', resume' if args.resume else ''}"
-          f"{f', timeout={args.timeout:g}s' if args.timeout else ''}]")
+          f"{f', timeout={args.timeout:g}s' if args.timeout else ''}"
+          f"{shard_note}]")
     summary = run_campaign(
         jobs, store, n_jobs=args.jobs, resume=args.resume,
-        timeout_s=args.timeout,
+        timeout_s=args.timeout, plugins=tuple(args.plugin),
         progress=None if args.quiet else print,
     )
     print(f"campaign done: {summary.ok} ok, {summary.failed} failed, "
@@ -183,14 +338,9 @@ def _cmd_tables(args) -> int:
                   f"their circuits are missing from the tables")
         rows = store.load()
         n_source = f"campaign over {len(names)} circuits"
-    rails = None
-    if args.rails:
-        # "dual" selects the classic dual-Vdd rows (empty rail set) of
-        # a store that also holds MSV points.
-        rails = () if args.rails == "dual" else _parse_rails(args.rails)
     results = rows_to_results(rows, vdd_low=args.vlow,
                               slack_factor=args.slack_point,
-                              rails=rails)
+                              rails=args.rails)
     if not results:
         print("no completed rows to tabulate")
         return 1
@@ -206,14 +356,24 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_store(args) -> int:
-    from repro.flow.store import ResultStore
+    from repro.flow.store import ResultStore, merge_stores
 
     if args.action != "compact":
         raise SystemExit(f"unknown store action {args.action!r}")
-    if not os.path.exists(args.path):
-        raise SystemExit(f"no store at {args.path}")
-    stats = ResultStore(args.path).compact(out_path=args.out or None)
-    print(f"compacted {args.path} -> {stats.path}: "
+    missing = [path for path in args.path if not os.path.exists(path)]
+    if missing:
+        raise SystemExit(f"no store at {', '.join(missing)}")
+    if len(args.path) > 1:
+        if not args.out:
+            raise SystemExit("merging several stores needs --out "
+                             "(the inputs are left untouched)")
+        stats = merge_stores(args.path, args.out)
+        print(f"merged {len(args.path)} stores -> {stats.path}: "
+              f"kept {stats.kept_rows}/{stats.total_rows} rows, "
+              f"dropped {stats.dropped_rows} superseded")
+        return 0
+    stats = ResultStore(args.path[0]).compact(out_path=args.out or None)
+    print(f"compacted {args.path[0]} -> {stats.path}: "
           f"kept {stats.kept_rows}/{stats.total_rows} rows, "
           f"dropped {stats.dropped_rows} superseded")
     return 0
@@ -233,7 +393,7 @@ def _cmd_library(args) -> int:
     from repro.library.compass import build_compass_library
 
     if args.rails:
-        library = build_compass_library(rails=_parse_rails(args.rails))
+        library = build_compass_library(rails=args.rails)
     else:
         library = build_compass_library(vdd_low=args.vlow)
     print(library)
@@ -259,17 +419,28 @@ def main(argv: list[str] | None = None) -> int:
     commands = parser.add_subparsers(dest="command", required=True)
 
     run_parser = commands.add_parser("run", help="full flow on one circuit")
-    run_parser.add_argument("circuit",
+    run_parser.add_argument("circuit", nargs="?", default="",
                             help="benchmark name or BLIF file path")
-    run_parser.add_argument("--method", default="all",
-                            choices=["all", "cvs", "dscale", "gscale"])
-    run_parser.add_argument("--slack", type=float, default=1.2,
+    run_parser.add_argument("--method", default=None,
+                            help="all (default), cvs, dscale, gscale, or "
+                                 "any method registered by a --plugin")
+    run_parser.add_argument("--slack", type=float, default=None,
                             help="timing relaxation factor (paper: 1.2)")
-    run_parser.add_argument("--vlow", type=float, default=4.3,
+    run_parser.add_argument("--vlow", type=float, default=None,
                             help="low supply voltage (paper: 4.3)")
-    run_parser.add_argument("--rails", default="",
+    run_parser.add_argument("--rails", type=_parse_rails, default=None,
                             help="comma-separated multi-rail supply set, "
                                  "highest first (replaces --vlow)")
+    run_parser.add_argument("--config", default="",
+                            help="load a declarative FlowConfig from a "
+                                 ".json or .toml file; explicitly "
+                                 "passed flags (circuit, --method, "
+                                 "--slack, --vlow, --rails) override "
+                                 "the file's values")
+    run_parser.add_argument("--plugin", action="append", default=[],
+                            help="import this module first (repeatable); "
+                                 "use it to register custom scaling "
+                                 "methods")
     run_parser.set_defaults(handler=_cmd_run)
 
     campaign_parser = commands.add_parser(
@@ -282,24 +453,34 @@ def main(argv: list[str] | None = None) -> int:
     campaign_parser.add_argument("--subset", action="store_true",
                                  help="every third benchmark (CI subset)")
     campaign_parser.add_argument("--methods", default="all",
-                                 help="comma-separated subset of "
-                                      "cvs,dscale,gscale")
-    campaign_parser.add_argument("--vlow", default="",
+                                 help="comma-separated subset of the "
+                                      "registered methods (default: "
+                                      "cvs,dscale,gscale)")
+    campaign_parser.add_argument("--vlow", type=_parse_floats,
+                                 default=None,
                                  help="comma-separated low-rail voltages "
                                       "(default 4.3; --sweep grid if "
                                       "--sweep)")
-    campaign_parser.add_argument("--slack", default="",
+    campaign_parser.add_argument("--slack", type=_parse_floats,
+                                 default=None,
                                  help="comma-separated slack factors "
                                       "(default 1.2; --sweep grid if "
                                       "--sweep)")
     campaign_parser.add_argument("--sweep", action="store_true",
                                  help="default design-space grid over "
                                       "vlow x slack")
-    campaign_parser.add_argument("--rails", default="",
+    campaign_parser.add_argument("--rails", type=_parse_rails_sets,
+                                 default=None,
                                  help="semicolon-separated rail sets, each "
                                       "a comma list highest-first (e.g. "
                                       "'5,4.3,3.6;1.8,1.0,0.6'); replaces "
                                       "the --vlow axis")
+    campaign_parser.add_argument("--shard", type=_parse_shard,
+                                 default=None, metavar="K/N",
+                                 help="run only the K-th of N "
+                                      "deterministic job partitions; "
+                                      "merge the per-shard stores with "
+                                      "'repro store compact ... --out'")
     campaign_parser.add_argument("--timeout", type=float, default=None,
                                  help="per-job wall-clock budget in "
                                       "seconds; overruns become failed "
@@ -312,6 +493,10 @@ def main(argv: list[str] | None = None) -> int:
                                  help="JSONL result store path")
     campaign_parser.add_argument("--quiet", action="store_true",
                                  help="suppress per-job progress lines")
+    campaign_parser.add_argument("--plugin", action="append", default=[],
+                                 help="import this module first "
+                                      "(repeatable); use it to register "
+                                      "custom scaling methods")
     campaign_parser.set_defaults(handler=_cmd_campaign)
 
     tables_parser = commands.add_parser("tables",
@@ -332,7 +517,8 @@ def main(argv: list[str] | None = None) -> int:
     tables_parser.add_argument("--slack-point", type=float, default=None,
                                help="sweep stores: select this slack "
                                     "factor")
-    tables_parser.add_argument("--rails", default="",
+    tables_parser.add_argument("--rails", type=_parse_rails_filter,
+                               default=None,
                                help="sweep stores: select this rail set "
                                     "(comma list, highest first; 'dual' "
                                     "selects the classic dual-Vdd rows)")
@@ -343,11 +529,15 @@ def main(argv: list[str] | None = None) -> int:
         "store", help="result-store maintenance")
     store_parser.add_argument("action", choices=["compact"],
                               help="compact: drop superseded duplicate "
-                                   "job ids (atomic rewrite)")
-    store_parser.add_argument("path", help="JSONL result store path")
+                                   "job ids (atomic rewrite); with "
+                                   "several stores, merge into --out")
+    store_parser.add_argument("path", nargs="+",
+                              help="JSONL result store path(s); several "
+                                   "paths (campaign shards) merge into "
+                                   "--out")
     store_parser.add_argument("--out", default="",
-                              help="write the compacted store here "
-                                   "instead of replacing in place")
+                              help="write the compacted/merged store "
+                                   "here instead of replacing in place")
     store_parser.set_defaults(handler=_cmd_store)
 
     circuits_parser = commands.add_parser("circuits",
@@ -357,7 +547,8 @@ def main(argv: list[str] | None = None) -> int:
     library_parser = commands.add_parser("library",
                                          help="show the cell library")
     library_parser.add_argument("--vlow", type=float, default=4.3)
-    library_parser.add_argument("--rails", default="",
+    library_parser.add_argument("--rails", type=_parse_rails,
+                                default=None,
                                 help="comma-separated multi-rail supply "
                                      "set, highest first")
     library_parser.set_defaults(handler=_cmd_library)

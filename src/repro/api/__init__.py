@@ -1,0 +1,81 @@
+"""repro.api -- the one front door to the dual-/multi-Vdd flow.
+
+Everything the package can do runs through three objects:
+
+* :class:`FlowConfig` -- one declarative, JSON/TOML-round-trippable
+  description of a run (circuit, rails, method, slack, options).
+* :class:`Flow` -- the pipeline itself: six named, swappable stages
+  (``optimize -> map -> constrain -> scale -> restore -> measure``)
+  executed over a config; returns a :class:`RunArtifact`.
+* the method registry -- CVS / Dscale / Gscale are registered
+  :class:`ScalingMethod` strategies, and third-party algorithms join
+  via :func:`register_method` without touching the pipeline.
+
+Quickstart::
+
+    from repro.api import Flow, FlowConfig
+
+    flow = Flow(FlowConfig(circuit="C432"))
+    prepared = flow.prepare()            # optimize + map + constrain once
+    for method in ("cvs", "dscale", "gscale"):
+        artifact = flow.replace(method=method).run(prepared=prepared)
+        print(method, artifact.report.improvement_pct)
+
+The legacy entry points (``repro.scale_voltage``,
+``repro.flow.experiment.prepare_circuit``) are thin deprecation shims
+over this module.
+"""
+
+from repro.api.artifact import (
+    SCHEMA_VERSION,
+    CircuitResult,
+    RunArtifact,
+    ScalingReport,
+    artifacts_to_results,
+    flow_job_id,
+)
+from repro.api.config import (
+    DEFAULT_SLACK_FACTOR,
+    DEFAULT_VDD_LOW,
+    FlowConfig,
+)
+from repro.api.flow import (
+    STAGES,
+    Flow,
+    FlowContext,
+    PreparedCircuit,
+)
+from repro.api.registry import (
+    BUILTIN_METHODS,
+    ScalingMethod,
+    get_method,
+    is_registered,
+    list_methods,
+    register_method,
+    registered_names,
+    unregister_method,
+)
+
+__all__ = [
+    "BUILTIN_METHODS",
+    "DEFAULT_SLACK_FACTOR",
+    "DEFAULT_VDD_LOW",
+    "SCHEMA_VERSION",
+    "STAGES",
+    "CircuitResult",
+    "Flow",
+    "FlowConfig",
+    "FlowContext",
+    "PreparedCircuit",
+    "RunArtifact",
+    "ScalingMethod",
+    "ScalingReport",
+    "artifacts_to_results",
+    "flow_job_id",
+    "get_method",
+    "is_registered",
+    "list_methods",
+    "register_method",
+    "registered_names",
+    "unregister_method",
+]

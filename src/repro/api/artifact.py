@@ -1,0 +1,288 @@
+"""Unified result artifacts: one shape from flow run to store row.
+
+Historically a scaling run had three disjoint result shapes -- the
+per-run :class:`ScalingReport`, the per-circuit :class:`CircuitResult`
+table row, and the campaign store's JSON row dict.  They collapse here:
+:class:`RunArtifact` is the canonical record of one flow run, its
+versioned :meth:`RunArtifact.to_row` / :meth:`RunArtifact.from_row`
+speak exactly the store's on-disk schema (``SCHEMA_VERSION``), the
+:class:`ScalingReport` survives as the artifact's nested metrics block,
+and :class:`CircuitResult` is an aggregation view assembled from
+artifacts by :func:`artifacts_to_results`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass, field
+from datetime import UTC, datetime
+from typing import Any
+
+from repro.api.config import DEFAULT_SLACK_FACTOR, DEFAULT_VDD_LOW
+
+SCHEMA_VERSION = 2
+"""Store-row schema version.  Version 1 had no ``rails`` / ``timeout``
+fields; readers treat their absence as the classic dual-Vdd shape."""
+
+
+def flow_job_id(
+    circuit: str,
+    method: str,
+    vdd_low: float = DEFAULT_VDD_LOW,
+    slack_factor: float = DEFAULT_SLACK_FACTOR,
+    rails: tuple[float, ...] = (),
+) -> str:
+    """The deterministic id one (circuit, method, grid-point) run keys on.
+
+    Campaign resume, store compaction, and shard partitioning all agree
+    on this format: ``C432:gscale:v4.3:s1.2`` for classic dual-Vdd jobs
+    and ``C432:gscale:r5-4.3-3.6:s1.2`` for explicit rail sets.
+    """
+    if rails:
+        grid = "r" + "-".join(f"{v:g}" for v in rails)
+    else:
+        grid = f"v{vdd_low:g}"
+    return f"{circuit}:{method}:{grid}:s{slack_factor:g}"
+
+
+@dataclass(frozen=True)
+class ScalingReport:
+    """Summary of one scaling run (a row of the paper's tables)."""
+
+    method: str
+    power_before_uw: float
+    power_after_uw: float
+    improvement_pct: float
+    n_gates: int
+    n_low: int
+    low_ratio: float
+    n_converters: int
+    n_resized: int
+    area_increase_ratio: float  # sizing-only (the paper's AreaInc column)
+    worst_delay_ns: float
+    tspec_ns: float
+    runtime_s: float
+
+
+@dataclass
+class CircuitResult:
+    """All three algorithms' results on one circuit (one table row)."""
+
+    name: str
+    gates: int
+    org_power_uw: float
+    min_delay_ns: float
+    tspec_ns: float
+    reports: dict[str, ScalingReport] = field(default_factory=dict)
+
+    def improvement(self, method: str) -> float:
+        return self.reports[method].improvement_pct
+
+
+@dataclass
+class RunArtifact:
+    """The complete record of one flow run: metrics plus provenance.
+
+    ``status == "ok"`` artifacts carry the preparation scalars and the
+    nested :class:`ScalingReport`; ``status == "failed"`` artifacts
+    carry the error / timeout fields instead.  ``runtime_s`` /
+    ``finished_at`` / ``worker_pid`` are volatile (excluded from row
+    equality by :func:`repro.flow.store.normalize_row`); ``to_row``
+    stamps the latter two at serialization time when unset, exactly as
+    the campaign workers always did.
+    """
+
+    circuit: str
+    method: str
+    vdd_low: float = DEFAULT_VDD_LOW
+    slack_factor: float = DEFAULT_SLACK_FACTOR
+    rails: tuple[float, ...] = ()
+    status: str = "ok"
+    gates: int = 0
+    org_power_uw: float = 0.0
+    min_delay_ns: float = 0.0
+    tspec_ns: float = 0.0
+    report: ScalingReport | None = None
+    error: str = ""
+    timeout: bool = False
+    traceback: str = ""
+    runtime_s: float = 0.0
+    finished_at: str = ""
+    worker_pid: int = 0
+    schema: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        self.rails = tuple(float(v) for v in self.rails)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def job_id(self) -> str:
+        return flow_job_id(
+            self.circuit,
+            self.method,
+            self.vdd_low,
+            self.slack_factor,
+            self.rails,
+        )
+
+    # -- the store schema -------------------------------------------
+
+    def to_row(self) -> dict[str, Any]:
+        """One store row (the JSONL dict campaigns append).
+
+        Emits the current ``SCHEMA_VERSION`` regardless of the schema a
+        ``from_row`` source row carried -- rewriting a v1 row upgrades
+        it.
+        """
+        row: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "status": self.status,
+            "circuit": self.circuit,
+            "method": self.method,
+            "vdd_low": self.vdd_low,
+            "slack_factor": self.slack_factor,
+            "rails": list(self.rails),
+        }
+        if self.status == "ok":
+            if self.report is None:
+                raise ValueError("an ok artifact needs a ScalingReport")
+            row.update(
+                {
+                    "gates": self.gates,
+                    "org_power_uw": self.org_power_uw,
+                    "min_delay_ns": self.min_delay_ns,
+                    "tspec_ns": self.tspec_ns,
+                    "report": asdict(self.report),
+                }
+            )
+        else:
+            row.update(
+                {
+                    "error": self.error,
+                    "timeout": self.timeout,
+                    "traceback": self.traceback,
+                }
+            )
+        row.update(
+            {
+                "runtime_s": self.runtime_s,
+                "finished_at": (
+                    self.finished_at or datetime.now(UTC).isoformat()
+                ),
+                "worker_pid": self.worker_pid or os.getpid(),
+            }
+        )
+        return row
+
+    @classmethod
+    def from_row(cls, row: dict[str, Any]) -> RunArtifact:
+        """Parse a store row of any supported schema version.
+
+        Schema-1 rows (no ``rails`` / ``timeout``) normalize to the
+        classic dual-Vdd shape; rows from a *newer* schema than this
+        reader are rejected rather than silently misread.
+        """
+        schema = int(row.get("schema", 1))
+        if schema > SCHEMA_VERSION:
+            raise ValueError(
+                f"store row schema {schema} is newer than this reader "
+                f"(schema {SCHEMA_VERSION}); upgrade repro to read it"
+            )
+        report = row.get("report")
+        return cls(
+            circuit=row.get("circuit", ""),
+            method=row.get("method", ""),
+            vdd_low=row.get("vdd_low", DEFAULT_VDD_LOW),
+            slack_factor=row.get("slack_factor", DEFAULT_SLACK_FACTOR),
+            rails=tuple(row.get("rails") or ()),
+            status=row.get("status", "ok"),
+            gates=row.get("gates", 0),
+            org_power_uw=row.get("org_power_uw", 0.0),
+            min_delay_ns=row.get("min_delay_ns", 0.0),
+            tspec_ns=row.get("tspec_ns", 0.0),
+            report=(
+                ScalingReport(**report) if isinstance(report, dict) else None
+            ),
+            error=row.get("error", ""),
+            timeout=bool(row.get("timeout", False)),
+            traceback=row.get("traceback", ""),
+            runtime_s=row.get("runtime_s", 0.0),
+            finished_at=row.get("finished_at", ""),
+            worker_pid=row.get("worker_pid", 0),
+            schema=schema,
+        )
+
+    @classmethod
+    def from_failure(
+        cls,
+        circuit: str,
+        method: str,
+        exc: BaseException,
+        *,
+        vdd_low: float = DEFAULT_VDD_LOW,
+        slack_factor: float = DEFAULT_SLACK_FACTOR,
+        rails: tuple[float, ...] = (),
+        timeout: bool = False,
+        runtime_s: float = 0.0,
+    ) -> RunArtifact:
+        import traceback as tb
+
+        return cls(
+            circuit=circuit,
+            method=method,
+            vdd_low=vdd_low,
+            slack_factor=slack_factor,
+            rails=rails,
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+            timeout=timeout,
+            traceback="".join(
+                tb.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            runtime_s=runtime_s,
+        )
+
+
+def artifacts_to_results(
+    artifacts: list[RunArtifact] | tuple[RunArtifact, ...],
+) -> list[CircuitResult]:
+    """Fold ok-artifacts into per-circuit results, in first-seen order.
+
+    Later artifacts for the same circuit refresh the per-circuit
+    scalars, so a mixed-generation sequence cannot pin stale
+    preparation numbers (the campaign's last-row-wins rule).
+    """
+    by_circuit: dict[str, CircuitResult] = {}
+    for artifact in artifacts:
+        if not artifact.ok:
+            continue
+        result = by_circuit.get(artifact.circuit)
+        if result is None:
+            result = CircuitResult(
+                name=artifact.circuit,
+                gates=artifact.gates,
+                org_power_uw=artifact.org_power_uw,
+                min_delay_ns=artifact.min_delay_ns,
+                tspec_ns=artifact.tspec_ns,
+            )
+            by_circuit[artifact.circuit] = result
+        result.reports[artifact.method] = artifact.report
+        result.gates = artifact.gates
+        result.org_power_uw = artifact.org_power_uw
+        result.min_delay_ns = artifact.min_delay_ns
+        result.tspec_ns = artifact.tspec_ns
+    return list(by_circuit.values())
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CircuitResult",
+    "RunArtifact",
+    "ScalingReport",
+    "artifacts_to_results",
+    "flow_job_id",
+]

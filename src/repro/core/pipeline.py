@@ -1,54 +1,37 @@
-"""High-level API: run CVS / Dscale / Gscale on a mapped network.
+"""Deprecated front door: ``scale_voltage`` now delegates to the Flow API.
 
-This is the library's front door for users who already have a mapped
-netlist and a timing budget::
+New code should use :mod:`repro.api` instead::
 
-    from repro import build_compass_library, scale_voltage
+    from repro.api import Flow, FlowConfig
 
-    state, report = scale_voltage(mapped, library, tspec, method="gscale")
+    flow = Flow(FlowConfig(method="gscale"), library=library)
+    state, artifact = flow.scale(mapped, tspec)
+    report = artifact.report
 
-For the full paper flow (optimize, map, derive the 20%-relaxed
-constraint, compare all three algorithms) see
-:mod:`repro.flow.experiment`.
+This module keeps the historical ``scale_voltage`` signature as a thin
+shim (one :class:`DeprecationWarning` per call, results bit-identical
+to the Flow path) so existing callers migrate gradually.
+``ScalingReport`` and ``METHODS`` live on in :mod:`repro.api` and are
+re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+import warnings
 
-from repro.core.cvs import run_cvs
-from repro.core.dscale import run_dscale
-from repro.core.gscale import (
-    DEFAULT_AREA_BUDGET,
-    DEFAULT_MAX_ITER,
-    run_gscale,
-)
+from repro.api.artifact import ScalingReport
+from repro.api.config import FlowConfig
+from repro.api.flow import Flow
+from repro.api.registry import BUILTIN_METHODS
+from repro.core.gscale import DEFAULT_AREA_BUDGET, DEFAULT_MAX_ITER
 from repro.core.state import ScalingOptions, ScalingState
 from repro.library.cells import Library
 from repro.netlist.network import Network
 from repro.power.activity import Activity
 
-METHODS = ("cvs", "dscale", "gscale")
-
-
-@dataclass(frozen=True)
-class ScalingReport:
-    """Summary of one scaling run (a row of the paper's tables)."""
-
-    method: str
-    power_before_uw: float
-    power_after_uw: float
-    improvement_pct: float
-    n_gates: int
-    n_low: int
-    low_ratio: float
-    n_converters: int
-    n_resized: int
-    area_increase_ratio: float  # sizing-only (the paper's AreaInc column)
-    worst_delay_ns: float
-    tspec_ns: float
-    runtime_s: float
+METHODS = BUILTIN_METHODS
+"""The paper's three algorithms (the full registry may hold more; see
+:func:`repro.api.registered_names`)."""
 
 
 def scale_voltage(network: Network, library: Library, tspec: float,
@@ -58,45 +41,34 @@ def scale_voltage(network: Network, library: Library, tspec: float,
                   max_iter: int = DEFAULT_MAX_ITER,
                   area_budget: float = DEFAULT_AREA_BUDGET,
                   ) -> tuple[ScalingState, ScalingReport]:
-    """Run one algorithm on a mapped network; returns (state, report).
+    """Deprecated: use ``repro.api.Flow(...).scale(network, tspec)``.
 
+    Runs one algorithm on a mapped network; returns (state, report).
     The network is modified in place only by Gscale's gate resizing;
     voltage levels and converters stay in the returned state (use
     :func:`repro.core.restore.materialize_converters` to export).
     """
-    if method not in METHODS:
-        raise ValueError(f"method must be one of {METHODS}, got {method!r}")
-
-    state = ScalingState(network, library, tspec, activity=activity,
-                         options=options)
-    power_before = state.power()
-    started = time.perf_counter()
-    if method == "cvs":
-        run_cvs(state)
-        state.validate()
-    elif method == "dscale":
-        run_dscale(state)
-    else:
-        run_gscale(state, max_iter=max_iter, area_budget=area_budget)
-    elapsed = time.perf_counter() - started
-
-    power_after = state.power()
-    report = ScalingReport(
-        method=method,
-        power_before_uw=power_before.total,
-        power_after_uw=power_after.total,
-        improvement_pct=power_after.improvement_over(power_before),
-        n_gates=state.n_gates,
-        n_low=state.n_low,
-        low_ratio=state.low_ratio,
-        n_converters=len(state.lc_edges),
-        n_resized=state.n_resized,
-        area_increase_ratio=state.sizing_area_increase_ratio,
-        worst_delay_ns=state.timing().worst_delay,
-        tspec_ns=tspec,
-        runtime_s=elapsed,
+    warnings.warn(
+        "scale_voltage() is deprecated; use repro.api.Flow: "
+        "Flow(FlowConfig(method=...), library=library)"
+        ".scale(network, tspec, activity=...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return state, report
+    rails = library.rails if library.n_rails > 2 else ()
+    config = FlowConfig(
+        circuit=network.name or "",
+        method=method,
+        vdd_low=library.rails[1] if library.n_rails >= 2 else 0.0,
+        rails=rails,
+        max_iter=max_iter,
+        area_budget=area_budget,
+        options=options or ScalingOptions(),
+    )
+    state, artifact = Flow(config, library=library).scale(
+        network, tspec, activity=activity
+    )
+    return state, artifact.report
 
 
 __all__ = ["METHODS", "ScalingReport", "scale_voltage"]

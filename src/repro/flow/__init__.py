@@ -1,16 +1,21 @@
 """Experiment driver: the paper's section 4 evaluation flow.
 
-* :mod:`repro.flow.experiment` -- per-circuit pipeline (optimize, map for
-  minimum delay, relax the constraint by 20%, recover area, then run
-  CVS / Dscale / Gscale) and suite runner.
+The pipeline itself lives behind :mod:`repro.api` (the ``Flow`` /
+``FlowConfig`` / registry front door); this package is the suite- and
+campaign-level machinery on top of it.
+
+* :mod:`repro.flow.experiment` -- per-circuit convenience runners
+  (``run_circuit`` / ``run_suite``) plus the deprecated
+  ``prepare_circuit`` shim.
 * :mod:`repro.flow.tables`     -- Table 1 / Table 2 assembly, paper
   comparison, and EXPERIMENTS.md rendering.
 * :mod:`repro.flow.ablation`   -- parameter sweeps (maxIter, voltage
   pair, area budget, converter cost) beyond the paper's tables.
 * :mod:`repro.flow.campaign`   -- parallel fan-out of the sweep across
-  worker processes with per-worker library/circuit caches.
+  worker processes (and machines, via ``--shard K/N``) with per-worker
+  library/circuit caches.
 * :mod:`repro.flow.store`      -- the append-only JSONL result store
-  campaigns stream into (and resume from).
+  campaigns stream into (and resume from / merge after sharding).
 """
 
 from repro.flow.campaign import (

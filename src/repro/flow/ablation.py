@@ -3,17 +3,19 @@
 The paper fixes ``maxIter = 10``, the (5 V, 4.3 V) pair, and a +10% area
 budget, and mentions two converter designs without comparing them.
 These sweeps quantify each choice on a circuit subset -- the analysis
-the paper's conclusion says it would like to explore.
+the paper's conclusion says it would like to explore.  Every sample is
+one :class:`~repro.api.flow.Flow` run whose knob lives on the
+:class:`~repro.api.config.FlowConfig`, so a sweep is just a config
+grid.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.pipeline import scale_voltage
+from repro.api.config import FlowConfig
+from repro.api.flow import Flow
 from repro.core.state import ScalingOptions
-from repro.flow.experiment import prepare_circuit
-from repro.library.compass import build_compass_library
 from repro.mapping.match import MatchTable
 
 
@@ -29,27 +31,35 @@ class AblationPoint:
     area_increase: float
 
 
+def _base_flow(config: FlowConfig) -> Flow:
+    """A flow with its library and match table built once for reuse."""
+    flow = Flow(config)
+    return Flow(config, library=flow.library,
+                match_table=MatchTable(flow.library))
+
+
+def _point(flow: Flow, name: str, parameter: str, value: float | str,
+           prepared) -> AblationPoint:
+    report = flow.run(prepared=prepared).report
+    return AblationPoint(
+        circuit=name, parameter=parameter, value=value,
+        improvement_pct=report.improvement_pct,
+        low_ratio=report.low_ratio,
+        area_increase=report.area_increase_ratio,
+    )
+
+
 def sweep_max_iter(names: list[str],
                    values: tuple[int, ...] = (0, 1, 2, 5, 10, 20),
                    ) -> list[AblationPoint]:
     """Gscale quality vs. the maxIter give-up threshold."""
-    library = build_compass_library()
-    match_table = MatchTable(library)
+    base = _base_flow(FlowConfig(method="gscale"))
     points = []
     for name in names:
-        prepared = prepare_circuit(name, library, match_table=match_table)
+        prepared = base.replace(circuit=name).prepare()
         for value in values:
-            working = prepared.fresh_copy()
-            _, report = scale_voltage(
-                working, library, prepared.tspec, method="gscale",
-                activity=prepared.activity, max_iter=value,
-            )
-            points.append(AblationPoint(
-                circuit=name, parameter="max_iter", value=value,
-                improvement_pct=report.improvement_pct,
-                low_ratio=report.low_ratio,
-                area_increase=report.area_increase_ratio,
-            ))
+            flow = base.replace(circuit=name, max_iter=value)
+            points.append(_point(flow, name, "max_iter", value, prepared))
     return points
 
 
@@ -64,22 +74,11 @@ def sweep_voltage_pairs(names: list[str],
     """
     points = []
     for vdd_low in lows:
-        library = build_compass_library(vdd_low=vdd_low)
-        match_table = MatchTable(library)
+        base = _base_flow(FlowConfig(method=method, vdd_low=vdd_low))
         for name in names:
-            prepared = prepare_circuit(name, library,
-                                       match_table=match_table)
-            working = prepared.fresh_copy()
-            _, report = scale_voltage(
-                working, library, prepared.tspec, method=method,
-                activity=prepared.activity,
-            )
-            points.append(AblationPoint(
-                circuit=name, parameter="vdd_low", value=vdd_low,
-                improvement_pct=report.improvement_pct,
-                low_ratio=report.low_ratio,
-                area_increase=report.area_increase_ratio,
-            ))
+            flow = base.replace(circuit=name)
+            prepared = flow.prepare()
+            points.append(_point(flow, name, "vdd_low", vdd_low, prepared))
     return points
 
 
@@ -88,23 +87,14 @@ def sweep_area_budget(names: list[str],
                                                     0.10, 0.20),
                       ) -> list[AblationPoint]:
     """Gscale quality vs. the allowed area increase."""
-    library = build_compass_library()
-    match_table = MatchTable(library)
+    base = _base_flow(FlowConfig(method="gscale"))
     points = []
     for name in names:
-        prepared = prepare_circuit(name, library, match_table=match_table)
+        prepared = base.replace(circuit=name).prepare()
         for budget in budgets:
-            working = prepared.fresh_copy()
-            _, report = scale_voltage(
-                working, library, prepared.tspec, method="gscale",
-                activity=prepared.activity, area_budget=budget,
-            )
-            points.append(AblationPoint(
-                circuit=name, parameter="area_budget", value=budget,
-                improvement_pct=report.improvement_pct,
-                low_ratio=report.low_ratio,
-                area_increase=report.area_increase_ratio,
-            ))
+            flow = base.replace(circuit=name, area_budget=budget)
+            points.append(_point(flow, name, "area_budget", budget,
+                                 prepared))
     return points
 
 
@@ -112,26 +102,15 @@ def sweep_converter_kind(names: list[str],
                          kinds: tuple[str, ...] = ("pg", "cm"),
                          method: str = "dscale") -> list[AblationPoint]:
     """Dscale quality under the two level-converter designs [8] vs [10]."""
-    library = build_compass_library()
-    match_table = MatchTable(library)
+    base = _base_flow(FlowConfig(method=method))
     points = []
     for name in names:
         for kind in kinds:
-            options = ScalingOptions(lc_kind=kind)
-            prepared = prepare_circuit(name, library,
-                                       match_table=match_table,
-                                       options=options)
-            working = prepared.fresh_copy()
-            _, report = scale_voltage(
-                working, library, prepared.tspec, method=method,
-                activity=prepared.activity, options=options,
+            flow = base.replace(
+                circuit=name, options=ScalingOptions(lc_kind=kind)
             )
-            points.append(AblationPoint(
-                circuit=name, parameter="lc_kind", value=kind,
-                improvement_pct=report.improvement_pct,
-                low_ratio=report.low_ratio,
-                area_increase=report.area_increase_ratio,
-            ))
+            prepared = flow.prepare()
+            points.append(_point(flow, name, "lc_kind", kind, prepared))
     return points
 
 

@@ -7,7 +7,14 @@ turns the sweep into a fault-tolerant campaign:
 
 * a **job** is one (circuit, method, rails-or-vdd_low, slack_factor)
   cell with a deterministic ``job_id`` (``--rails`` opens the N-rail
-  MSV grid dimension);
+  MSV grid dimension); a job is a serialized
+  :class:`~repro.api.config.FlowConfig` plus scheduling metadata, and
+  the workers execute it through :class:`~repro.api.flow.Flow`;
+* :func:`shard_jobs` splits one campaign across machines
+  (``--shard K/N``): jobs partition deterministically by group, each
+  shard resumes independently against its own store, and
+  ``repro store compact SHARD1 SHARD2 ... --out MERGED`` folds the
+  shard stores back together;
 * jobs are grouped by (circuit, rail key, slack_factor) so the
   expensive optimize/map/constrain preparation runs once per group and
   is shared by all three methods (and cached per worker across groups);
@@ -36,25 +43,31 @@ import os
 import signal
 import threading
 import time
-import traceback
 from collections.abc import Callable, Iterable, Sequence
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass
-from datetime import UTC, datetime
+from dataclasses import dataclass
 from typing import Any
 
-from repro.core.pipeline import METHODS, ScalingReport, scale_voltage
-from repro.flow.experiment import (
-    DEFAULT_SLACK_FACTOR,
+from repro.api.artifact import (
     CircuitResult,
-    PreparedCircuit,
-    prepare_circuit,
+    RunArtifact,
+    ScalingReport,
+    artifacts_to_results,
+    flow_job_id,
 )
-from repro.flow.store import SCHEMA_VERSION, ResultStore
-
-DEFAULT_VDD_LOW = 4.3
-"""The paper's low rail (chosen "in accordance with our internal
-design project")."""
+from repro.api.config import (
+    DEFAULT_SLACK_FACTOR,
+    DEFAULT_VDD_LOW,
+    FlowConfig,
+)
+from repro.api.flow import Flow, PreparedCircuit
+from repro.api.registry import (
+    BUILTIN_METHODS as METHODS,
+    is_registered,
+    registered_names,
+)
+from repro.core.gscale import DEFAULT_AREA_BUDGET, DEFAULT_MAX_ITER
+from repro.flow.store import ResultStore
 
 SWEEP_VDD_LOWS = (4.6, 4.3, 4.0, 3.7, 3.3)
 """Default ``--sweep`` grid for the low rail (the design-space question
@@ -124,13 +137,12 @@ class CampaignJob:
 
     @property
     def job_id(self) -> str:
-        if self.rails:
-            grid = "r" + "-".join(f"{v:g}" for v in self.rails)
-        else:
-            grid = f"v{self.vdd_low:g}"
-        return (
-            f"{self.circuit}:{self.method}"
-            f":{grid}:s{self.slack_factor:g}"
+        return flow_job_id(
+            self.circuit,
+            self.method,
+            self.vdd_low,
+            self.slack_factor,
+            self.rails,
         )
 
     @property
@@ -141,6 +153,27 @@ class CampaignJob:
     @property
     def group_key(self) -> GroupKey:
         return (self.circuit, self.rail_key, self.slack_factor)
+
+    def config(
+        self,
+        max_iter: int = DEFAULT_MAX_ITER,
+        area_budget: float = DEFAULT_AREA_BUDGET,
+    ) -> FlowConfig:
+        """This job as a declarative :class:`FlowConfig`.
+
+        The workers drive :class:`~repro.api.flow.Flow` with exactly
+        this config, so a campaign job *is* a serialized FlowConfig
+        plus scheduling metadata.
+        """
+        return FlowConfig(
+            circuit=self.circuit,
+            method=self.method,
+            vdd_low=self.vdd_low,
+            rails=self.rails,
+            slack_factor=self.slack_factor,
+            max_iter=max_iter,
+            area_budget=area_budget,
+        )
 
 
 def build_jobs(
@@ -157,9 +190,10 @@ def build_jobs(
     including the high one).
     """
     for method in methods:
-        if method not in METHODS:
+        if not is_registered(method):
             raise ValueError(
-                f"method must be one of {METHODS}, got {method!r}"
+                f"method must be one of the registered scaling methods "
+                f"{registered_names()}, got {method!r}"
             )
     if rails_sets:
         normalized: list[RailSet] = []
@@ -196,6 +230,46 @@ def group_jobs(
     return list(grouped.items())
 
 
+def shard_jobs(
+    jobs: Sequence[CampaignJob], index: int, count: int
+) -> list[CampaignJob]:
+    """Deterministically partition ``jobs`` and keep shard ``index``.
+
+    ``index`` is 1-based (the CLI's ``--shard 2/4`` keeps shard 2 of
+    4), every job id lands on exactly one shard, and the union over all
+    shards is the full job list -- so N machines can each run their
+    shard into their own store and ``repro store compact`` the stores
+    together afterwards.
+
+    The partition unit is the *group* (circuit, rail key, slack
+    factor), not the raw job id, so the methods sharing one prepared
+    circuit always land on the same shard and no machine recomputes
+    another's optimize/map/constrain prefix.  Groups are dealt
+    round-robin in job-list order, which balances shard sizes to
+    within one group; ``build_jobs`` emits a deterministic order, so
+    every machine invoked with the same grid arguments computes the
+    same partition.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if not 1 <= index <= count:
+        raise ValueError(
+            f"shard index must satisfy 1 <= index <= count, "
+            f"got {index}/{count}"
+        )
+    if count == 1:
+        return list(jobs)
+    group_shard: dict[GroupKey, int] = {}
+    keep = []
+    for job in jobs:
+        key = job.group_key
+        if key not in group_shard:
+            group_shard[key] = len(group_shard) % count
+        if group_shard[key] == index - 1:
+            keep.append(job)
+    return keep
+
+
 # ---------------------------------------------------------------------
 # Worker side.  Each worker process keeps module-level caches so a
 # library is characterized once per rail key and a circuit is prepared
@@ -226,12 +300,12 @@ def _get_prepared(
     key = (circuit, rail_key, slack_factor)
     if key not in _PREPARED_CACHE:
         library, match_table = _get_library(rail_key)
-        _PREPARED_CACHE[key] = prepare_circuit(
-            circuit,
-            library,
-            slack_factor=slack_factor,
+        flow = Flow(
+            FlowConfig(circuit=circuit, slack_factor=slack_factor),
+            library=library,
             match_table=match_table,
         )
+        _PREPARED_CACHE[key] = flow.prepare()
     return _PREPARED_CACHE[key]
 
 
@@ -249,47 +323,35 @@ def make_row(
 ) -> dict[str, Any]:
     """One ok-row of the store, from a finished scaling run."""
     gates = sum(1 for n in prepared.network.nodes.values() if not n.is_input)
-    return {
-        "schema": SCHEMA_VERSION,
-        "job_id": job.job_id,
-        "status": "ok",
-        "circuit": job.circuit,
-        "method": job.method,
-        "vdd_low": job.vdd_low,
-        "slack_factor": job.slack_factor,
-        "rails": list(job.rails),
-        "gates": gates,
-        "org_power_uw": report.power_before_uw,
-        "min_delay_ns": prepared.min_delay,
-        "tspec_ns": prepared.tspec,
-        "report": asdict(report),
-        "runtime_s": runtime_s,
-        "finished_at": datetime.now(UTC).isoformat(),
-        "worker_pid": os.getpid(),
-    }
+    return RunArtifact(
+        circuit=job.circuit,
+        method=job.method,
+        vdd_low=job.vdd_low,
+        slack_factor=job.slack_factor,
+        rails=job.rails,
+        status="ok",
+        gates=gates,
+        org_power_uw=report.power_before_uw,
+        min_delay_ns=prepared.min_delay,
+        tspec_ns=prepared.tspec,
+        report=report,
+        runtime_s=runtime_s,
+    ).to_row()
 
 
 def make_failed_row(
     job: CampaignJob, exc: BaseException, runtime_s: float
 ) -> dict[str, Any]:
-    return {
-        "schema": SCHEMA_VERSION,
-        "job_id": job.job_id,
-        "status": "failed",
-        "circuit": job.circuit,
-        "method": job.method,
-        "vdd_low": job.vdd_low,
-        "slack_factor": job.slack_factor,
-        "rails": list(job.rails),
-        "error": f"{type(exc).__name__}: {exc}",
-        "timeout": isinstance(exc, JobTimeout),
-        "traceback": "".join(
-            traceback.format_exception(type(exc), exc, exc.__traceback__)
-        ),
-        "runtime_s": runtime_s,
-        "finished_at": datetime.now(UTC).isoformat(),
-        "worker_pid": os.getpid(),
-    }
+    return RunArtifact.from_failure(
+        job.circuit,
+        job.method,
+        exc,
+        vdd_low=job.vdd_low,
+        slack_factor=job.slack_factor,
+        rails=job.rails,
+        timeout=isinstance(exc, JobTimeout),
+        runtime_s=runtime_s,
+    ).to_row()
 
 
 def run_job_group(
@@ -329,33 +391,46 @@ def run_job_group(
     # is the one with real cross-group reuse).
     _PREPARED_CACHE.pop(first.group_key, None)
 
+    base = Flow(
+        first.config(max_iter=max_iter, area_budget=area_budget),
+        library=library,
+        match_table=_get_library(first.rail_key)[1],
+    )
     for job in group:
         started = time.perf_counter()
         try:
             with job_deadline(timeout_s):
-                _, report = scale_voltage(
-                    prepared.fresh_copy(),
-                    library,
-                    prepared.tspec,
-                    method=job.method,
-                    activity=prepared.activity,
-                    max_iter=max_iter,
-                    area_budget=area_budget,
+                artifact = base.replace(method=job.method).run(
+                    prepared=prepared
                 )
         except Exception as exc:  # JobTimeout included
             rows.append(
                 make_failed_row(job, exc, time.perf_counter() - started)
             )
             continue
-        rows.append(
-            make_row(job, prepared, report, time.perf_counter() - started)
-        )
+        artifact.runtime_s = time.perf_counter() - started
+        rows.append(artifact.to_row())
     return rows
+
+
+def _import_plugins(plugins: Sequence[str]) -> None:
+    """Import plugin modules so their ``register_method`` calls run.
+
+    Worker processes do not inherit the parent's registry under the
+    ``spawn``/``forkserver`` start methods, so the plugin list rides
+    along in every pool payload and is (idempotently -- imports are
+    cached per process) re-imported before the group runs.
+    """
+    import importlib
+
+    for module in plugins:
+        importlib.import_module(module)
 
 
 def _pool_worker(payload: tuple) -> list[dict[str, Any]]:
     """Top-level pool entry point (must be picklable)."""
-    group, max_iter, area_budget, timeout_s = payload
+    group, max_iter, area_budget, timeout_s, plugins = payload
+    _import_plugins(plugins)
     return run_job_group(
         group,
         max_iter=max_iter,
@@ -392,6 +467,7 @@ def run_campaign(
     max_iter: int = 10,
     area_budget: float = 0.10,
     timeout_s: float | None = None,
+    plugins: Sequence[str] = (),
     progress: Callable[[str], None] | None = None,
 ) -> CampaignSummary:
     """Execute ``jobs``, streaming rows into ``store``.
@@ -403,7 +479,10 @@ def run_campaign(
     The parent is the only writer, so rows land whole even when workers
     die mid-job.  ``timeout_s`` gives every job a wall-clock budget: an
     overrunning job is recorded as a failed (``timeout: true``) row
-    instead of stalling its pool slot forever.
+    instead of stalling its pool slot forever.  ``plugins`` names
+    modules that register custom scaling methods; they are imported in
+    this process *and* in every pool worker (spawn-safe), so
+    registry-injected methods campaign like builtins.
     """
     say = progress or (lambda _msg: None)
     if resume:
@@ -425,10 +504,11 @@ def run_campaign(
     if summary.skipped:
         say(f"resume: skipping {summary.skipped} completed job(s)")
 
+    _import_plugins(plugins)
     started = time.perf_counter()
     with store:
         for rows in _iter_group_results(
-            groups, n_jobs, max_iter, area_budget, timeout_s
+            groups, n_jobs, max_iter, area_budget, timeout_s, plugins
         ):
             for row in rows:
                 store.append(row)
@@ -446,7 +526,9 @@ def run_campaign(
     return summary
 
 
-def _iter_group_results(groups, n_jobs, max_iter, area_budget, timeout_s):
+def _iter_group_results(
+    groups, n_jobs, max_iter, area_budget, timeout_s, plugins=()
+):
     if n_jobs <= 1:
         for _key, group in groups:
             yield run_job_group(
@@ -460,7 +542,8 @@ def _iter_group_results(groups, n_jobs, max_iter, area_budget, timeout_s):
     import multiprocessing as mp
 
     payloads = [
-        (group, max_iter, area_budget, timeout_s) for _key, group in groups
+        (group, max_iter, area_budget, timeout_s, tuple(plugins))
+        for _key, group in groups
     ]
     # Workers inherit nothing mutable they need; caches build lazily in
     # each process.  maxtasksperchild stays None: the caches are the
@@ -523,26 +606,9 @@ def rows_to_results(
     for row in ok_rows:
         by_job[row.get("job_id", id(row))] = row
 
-    by_circuit: dict[str, CircuitResult] = {}
-    for row in by_job.values():
-        result = by_circuit.get(row["circuit"])
-        if result is None:
-            result = CircuitResult(
-                name=row["circuit"],
-                gates=row["gates"],
-                org_power_uw=row["org_power_uw"],
-                min_delay_ns=row["min_delay_ns"],
-                tspec_ns=row["tspec_ns"],
-            )
-            by_circuit[row["circuit"]] = result
-        result.reports[row["method"]] = ScalingReport(**row["report"])
-        # Per-circuit scalars follow the freshest row as well, so a
-        # mixed-generation store cannot pin stale preparation numbers.
-        result.gates = row["gates"]
-        result.org_power_uw = row["org_power_uw"]
-        result.min_delay_ns = row["min_delay_ns"]
-        result.tspec_ns = row["tspec_ns"]
-    return list(by_circuit.values())
+    return artifacts_to_results(
+        [RunArtifact.from_row(row) for row in by_job.values()]
+    )
 
 
 def sweep_points(rows: Iterable[dict[str, Any]]) -> list[tuple[float, float]]:
@@ -571,6 +637,7 @@ __all__ = [
     "job_deadline",
     "build_jobs",
     "group_jobs",
+    "shard_jobs",
     "run_job_group",
     "run_campaign",
     "make_row",

@@ -1,108 +1,96 @@
 """Per-circuit experiment pipeline (the paper's section 4 setup).
 
-For every circuit: technology-independent optimization (the
-``script.rugged`` stand-in), minimum-delay mapping (``map -n1 -AFG``
-with zero required time), measurement of the minimum delay, relaxation
-of the constraint by 20% (``slack_factor = 1.2``), an area-recovery
-remap under the relaxed constraint, and finally the three scaling
-algorithms -- each on its own copy of the mapped netlist, sharing one
-switching-activity measurement, exactly as the paper compares them.
+For every circuit: technology-independent optimization, minimum-delay
+mapping, measurement of the minimum delay, relaxation of the constraint
+by 20% (``slack_factor = 1.2``), an area-recovery remap under the
+relaxed constraint, and finally the scaling algorithms -- each on its
+own copy of the mapped netlist, sharing one switching-activity
+measurement, exactly as the paper compares them.
+
+The pipeline itself lives in :mod:`repro.api.flow` now; this module is
+the suite-level convenience layer (:func:`run_circuit`,
+:func:`run_suite`) plus the deprecated :func:`prepare_circuit` shim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
-from repro.bench.mcnc import load_circuit
-from repro.core.pipeline import METHODS, ScalingReport, scale_voltage
+from repro.api.artifact import CircuitResult, artifacts_to_results
+from repro.api.config import DEFAULT_SLACK_FACTOR, FlowConfig
+from repro.api.flow import Flow, PreparedCircuit
+from repro.api.registry import BUILTIN_METHODS as METHODS
 from repro.core.state import ScalingOptions
 from repro.library.cells import Library
 from repro.library.compass import build_compass_library
 from repro.mapping.match import MatchTable
-from repro.mapping.mapper import map_network, recover_area, speed_up_sizing
 from repro.netlist.network import Network
-from repro.opt.script import rugged
-from repro.power.activity import Activity, random_activities
-from repro.timing.delay import DelayCalculator
-from repro.timing.sta import TimingAnalysis
 
-DEFAULT_SLACK_FACTOR = 1.2
-"""The paper loosens the minimum delay by 20%."""
-
-
-@dataclass
-class PreparedCircuit:
-    """A mapped circuit ready for voltage scaling."""
-
-    name: str
-    network: Network
-    tspec: float
-    min_delay: float
-    activity: Activity
-
-    def fresh_copy(self) -> Network:
-        return self.network.copy()
+__all__ = [
+    "DEFAULT_SLACK_FACTOR",
+    "PreparedCircuit",
+    "CircuitResult",
+    "prepare_circuit",
+    "run_prepared",
+    "run_circuit",
+    "run_suite",
+]
 
 
-@dataclass
-class CircuitResult:
-    """All three algorithms' results on one circuit (one table row)."""
-
-    name: str
-    gates: int
-    org_power_uw: float
-    min_delay_ns: float
-    tspec_ns: float
-    reports: dict[str, ScalingReport] = field(default_factory=dict)
-
-    def improvement(self, method: str) -> float:
-        return self.reports[method].improvement_pct
+def _make_flow(source: str | Network, library: Library,
+               slack_factor: float,
+               match_table: MatchTable | None,
+               options: ScalingOptions | None,
+               max_iter: int = 10,
+               area_budget: float = 0.10) -> tuple[Flow, Network | None]:
+    """A Flow for ``source`` plus the explicit network to feed it, if any."""
+    config = FlowConfig(
+        circuit=source if isinstance(source, str) else "",
+        slack_factor=slack_factor,
+        max_iter=max_iter,
+        area_budget=area_budget,
+        options=options or ScalingOptions(),
+    )
+    flow = Flow(config, library=library, match_table=match_table)
+    return flow, (source if isinstance(source, Network) else None)
 
 
 def prepare_circuit(source: str | Network, library: Library,
                     slack_factor: float = DEFAULT_SLACK_FACTOR,
                     match_table: MatchTable | None = None,
                     options: ScalingOptions | None = None) -> PreparedCircuit:
-    """Generate/optimize/map one circuit and fix its timing constraint."""
-    if isinstance(source, str):
-        network = load_circuit(source)
-    else:
-        network = source
-    options = options or ScalingOptions()
+    """Deprecated: use ``repro.api.Flow(...).prepare()``.
 
-    rugged(network)
-    mapped = map_network(network, library, match_table=match_table)
-    mapped.name = network.name
-
-    # The covering DP estimates loads, so its raw output is not the true
-    # minimum-delay circuit: a fanout-style speed-up sizing pass makes
-    # Dmin honest first ("map -n1 -AFG" with zero required time), and
-    # the relaxation anchors on the achievable minimum (ratcheting down
-    # when recovery itself uncovers a faster point).
-    min_delay = speed_up_sizing(mapped, library, po_load=options.po_load)
-    achieved = min_delay
-    for _ in range(4):
-        budget = slack_factor * min_delay
-        recover_area(mapped, library, budget, po_load=options.po_load)
-        achieved = TimingAnalysis(
-            DelayCalculator(mapped, library, po_load=options.po_load),
-            budget,
-        ).worst_delay
-        if achieved >= min_delay - 1e-9:
-            break
-        min_delay = achieved
-    # The paper's constraint is "the delay of the mapped circuit" after
-    # the relaxed remap -- the algorithms start with zero slack on the
-    # remapped critical paths, and only structurally short paths offer
-    # room.  (On balanced circuits this is what zeroes out CVS.)
-    tspec = achieved
-
-    activity = random_activities(
-        mapped, n_vectors=options.n_vectors, seed=options.activity_seed
+    Generate/optimize/map one circuit and fix its timing constraint.
+    """
+    warnings.warn(
+        "prepare_circuit() is deprecated; use repro.api.Flow: "
+        "Flow(FlowConfig(circuit=..., slack_factor=...), library=library)"
+        ".prepare()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return PreparedCircuit(
-        name=network.name, network=mapped, tspec=tspec,
-        min_delay=min_delay, activity=activity,
+    flow, network = _make_flow(source, library, slack_factor,
+                               match_table, options)
+    return flow.prepare(network)
+
+
+def _run_methods(flow: Flow, prepared: PreparedCircuit,
+                 methods: tuple[str, ...]) -> CircuitResult:
+    artifacts = [
+        flow.replace(method=method).run(prepared=prepared)
+        for method in methods
+    ]
+    results = artifacts_to_results(artifacts)
+    if results:
+        return results[0]
+    return CircuitResult(
+        name=prepared.name,
+        gates=sum(1 for n in prepared.network.nodes.values()
+                  if not n.is_input),
+        org_power_uw=0.0,
+        min_delay_ns=prepared.min_delay,
+        tspec_ns=prepared.tspec,
     )
 
 
@@ -113,29 +101,14 @@ def run_prepared(prepared: PreparedCircuit, library: Library,
                  area_budget: float = 0.10) -> CircuitResult:
     """Run the scaling algorithms on an already-prepared circuit.
 
-    Factored out of :func:`run_circuit` so callers that cache a
-    :class:`PreparedCircuit` (the campaign workers, the benchmark
-    fixtures) pay the optimize/map/constrain pipeline once per circuit
-    instead of once per method.
+    Callers that cache a :class:`PreparedCircuit` (the campaign
+    workers, the benchmark fixtures) pay the optimize/map/constrain
+    pipeline once per circuit instead of once per method.
     """
-    result = CircuitResult(
-        name=prepared.name,
-        gates=sum(1 for n in prepared.network.nodes.values()
-                  if not n.is_input),
-        org_power_uw=0.0,
-        min_delay_ns=prepared.min_delay,
-        tspec_ns=prepared.tspec,
-    )
-    for method in methods:
-        working = prepared.fresh_copy()
-        _, report = scale_voltage(
-            working, library, prepared.tspec, method=method,
-            activity=prepared.activity, options=options,
-            max_iter=max_iter, area_budget=area_budget,
-        )
-        result.reports[method] = report
-        result.org_power_uw = report.power_before_uw
-    return result
+    flow, _ = _make_flow(prepared.name, library, DEFAULT_SLACK_FACTOR,
+                         None, options, max_iter=max_iter,
+                         area_budget=area_budget)
+    return _run_methods(flow, prepared, tuple(methods))
 
 
 def run_circuit(source: str | Network, library: Library | None = None,
@@ -147,11 +120,11 @@ def run_circuit(source: str | Network, library: Library | None = None,
                 area_budget: float = 0.10) -> CircuitResult:
     """The full paper flow on one circuit; returns one table row."""
     library = library or build_compass_library()
-    prepared = prepare_circuit(source, library, slack_factor=slack_factor,
-                               match_table=match_table, options=options)
-    return run_prepared(prepared, library, methods=methods,
-                        options=options, max_iter=max_iter,
-                        area_budget=area_budget)
+    flow, network = _make_flow(source, library, slack_factor, match_table,
+                               options, max_iter=max_iter,
+                               area_budget=area_budget)
+    prepared = flow.prepare(network)
+    return _run_methods(flow, prepared, tuple(methods))
 
 
 def run_suite(names: list[str], library: Library | None = None,
@@ -177,14 +150,3 @@ def run_suite(names: list[str], library: Library | None = None,
             print(f"{result.name:>10}: {result.gates:5d} gates  "
                   f"{improvements}")
     return results
-
-
-__all__ = [
-    "DEFAULT_SLACK_FACTOR",
-    "PreparedCircuit",
-    "CircuitResult",
-    "prepare_circuit",
-    "run_prepared",
-    "run_circuit",
-    "run_suite",
-]

@@ -39,10 +39,10 @@ from __future__ import annotations
 
 import json
 import os
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
-SCHEMA_VERSION = 2
+from repro.api.artifact import SCHEMA_VERSION
 
 VOLATILE_FIELDS = ("runtime_s", "finished_at", "worker_pid")
 """Row fields that legitimately differ between runs of the same job."""
@@ -174,41 +174,74 @@ class ResultStore:
         if self._handle is not None:
             raise RuntimeError("close the store before compacting it")
         rows = self.load()
-        last_index: dict[str, int] = {}
-        for i, row in enumerate(rows):
-            job_id = row.get("job_id")
-            if job_id is not None:
-                last_index[job_id] = i
-        keep = {
-            i
-            for i, row in enumerate(rows)
-            if row.get("job_id") is None or last_index[row["job_id"]] == i
-        }
-        kept_rows = [row for i, row in enumerate(rows) if i in keep]
-
         destination = (
             os.fspath(out_path) if out_path is not None else self.path
         )
-        parent = os.path.dirname(os.path.abspath(destination))
-        os.makedirs(parent, exist_ok=True)
-        tmp_path = os.path.join(
-            parent, f".{os.path.basename(destination)}.compact.tmp"
-        )
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            for row in kept_rows:
-                handle.write(
-                    json.dumps(row, sort_keys=True, separators=(",", ":"))
-                    + "\n"
-                )
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, destination)
-        return CompactionStats(
-            total_rows=len(rows),
-            kept_rows=len(kept_rows),
-            dropped_rows=len(rows) - len(kept_rows),
-            path=destination,
-        )
+        return _write_compacted(rows, destination)
+
+
+def _compact_rows(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Keep each job id's *last* row (rows without an id all survive),
+    preserving the original relative order."""
+    last_index: dict[str, int] = {}
+    for i, row in enumerate(rows):
+        job_id = row.get("job_id")
+        if job_id is not None:
+            last_index[job_id] = i
+    return [
+        row
+        for i, row in enumerate(rows)
+        if row.get("job_id") is None or last_index[row["job_id"]] == i
+    ]
+
+
+def _write_compacted(
+    rows: list[dict[str, Any]], destination: str
+) -> CompactionStats:
+    """Write the last-row-wins compaction of ``rows`` atomically."""
+    kept_rows = _compact_rows(rows)
+    parent = os.path.dirname(os.path.abspath(destination))
+    os.makedirs(parent, exist_ok=True)
+    tmp_path = os.path.join(
+        parent, f".{os.path.basename(destination)}.compact.tmp"
+    )
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        for row in kept_rows:
+            handle.write(
+                json.dumps(row, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, destination)
+    return CompactionStats(
+        total_rows=len(rows),
+        kept_rows=len(kept_rows),
+        dropped_rows=len(rows) - len(kept_rows),
+        path=destination,
+    )
+
+
+def merge_stores(
+    paths: Sequence[str | os.PathLike[str]],
+    out_path: str | os.PathLike[str],
+) -> CompactionStats:
+    """Fold several stores into one, last-row-wins across all of them.
+
+    This is how a sharded campaign (``repro campaign --shard K/N``)
+    reassembles: each machine runs its shard into its own store, and
+    the merge concatenates the stores *in argument order* and keeps
+    each job id's freshest row -- so when the same job id appears in
+    several inputs (a re-run shard, an overlapping resume), the later
+    path wins, matching the single-store compaction rule.  The merged
+    store is written atomically; the inputs are never modified.
+    """
+    if not paths:
+        raise ValueError("merge_stores needs at least one input store")
+    rows: list[dict[str, Any]] = []
+    for path in paths:
+        rows.extend(ResultStore(path).load())
+    return _write_compacted(rows, os.fspath(out_path))
 
 
 class CompactionStats:
@@ -248,6 +281,7 @@ __all__ = [
     "VOLATILE_REPORT_FIELDS",
     "CompactionStats",
     "ResultStore",
+    "merge_stores",
     "normalize_row",
     "rows_equal",
 ]

@@ -10,8 +10,8 @@ from __future__ import annotations
 from statistics import mean
 from collections.abc import Iterable
 
+from repro.api.artifact import CircuitResult
 from repro.bench.paper_data import PAPER_AVERAGES, PAPER_TABLE1, PAPER_TABLE2
-from repro.flow.experiment import CircuitResult
 
 _METHOD_ORDER = ("cvs", "dscale", "gscale")
 

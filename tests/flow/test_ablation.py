@@ -42,3 +42,40 @@ def test_converter_kind_sweep_runs_both_designs():
     assert kinds == {"pg", "cm"}
     for point in points:
         assert point.improvement_pct >= -1e-9
+
+
+def test_voltage_sweep_other_method_and_multiple_circuits():
+    points = sweep_voltage_pairs(["z4ml", "pm1"], lows=(4.3,),
+                                 method="dscale")
+    assert len(points) == 2
+    assert {p.circuit for p in points} == {"z4ml", "pm1"}
+    for point in points:
+        assert point.parameter == "vdd_low"
+        assert point.value == 4.3
+        assert point.improvement_pct >= -1e-9
+        # Dscale never resizes, so the sizing area increase is zero.
+        assert point.area_increase == pytest.approx(0.0)
+
+
+def test_sweeps_share_one_preparation_per_circuit():
+    """The knob grid reuses one prepared circuit: every max_iter point
+    of a circuit reports the same physical baseline behavior (improving
+    monotonically in opportunity, never jumping baselines)."""
+    points = sweep_max_iter(CIRCUIT, values=(0, 1, 2))
+    assert [p.value for p in points] == [0, 1, 2]
+    improvements = [p.improvement_pct for p in points]
+    assert improvements == sorted(improvements)
+
+
+def test_area_budget_zero_forbids_resizing():
+    (point,) = sweep_area_budget(CIRCUIT, budgets=(0.0,))
+    assert point.area_increase == pytest.approx(0.0)
+
+
+def test_converter_kind_changes_the_cost_model():
+    pg, cm = sweep_converter_kind(CIRCUIT)
+    assert (pg.value, cm.value) == ("pg", "cm")
+    # Both designs yield a legal (non-negative) saving; the sweep's
+    # point is that the numbers may differ, not which one wins.
+    assert pg.improvement_pct >= -1e-9
+    assert cm.improvement_pct >= -1e-9

@@ -120,18 +120,18 @@ def test_resume_skips_completed_job_ids(tmp_path):
         handle.write(json.dumps(ref_rows[4])[:25])
 
     calls = []
-    original = campaign_mod.scale_voltage
+    original = campaign_mod.Flow.run
 
-    def counting(network, library, tspec, method="gscale", **kwargs):
-        calls.append(method)
-        return original(network, library, tspec, method=method, **kwargs)
+    def counting(self, source=None, *, prepared=None):
+        calls.append(self.config.method)
+        return original(self, source, prepared=prepared)
 
-    campaign_mod.scale_voltage = counting
+    campaign_mod.Flow.run = counting
     try:
         store = ResultStore(partial_path)
         summary = run_campaign(jobs, store, resume=True)
     finally:
-        campaign_mod.scale_voltage = original
+        campaign_mod.Flow.run = original
 
     assert summary.skipped == 4
     assert summary.ok == 2
@@ -167,19 +167,19 @@ def test_failed_rows_are_retried_on_resume(tmp_path):
 # -- fault isolation --------------------------------------------------
 
 def test_raising_job_yields_failed_row_not_abort(tmp_path):
-    original = campaign_mod.scale_voltage
+    original = campaign_mod.Flow.run
 
-    def sabotaged(network, library, tspec, method="gscale", **kwargs):
-        if method == "dscale":
+    def sabotaged(self, source=None, *, prepared=None):
+        if self.config.method == "dscale":
             raise RuntimeError("injected dscale failure")
-        return original(network, library, tspec, method=method, **kwargs)
+        return original(self, source, prepared=prepared)
 
-    campaign_mod.scale_voltage = sabotaged
+    campaign_mod.Flow.run = sabotaged
     try:
         store = ResultStore(tmp_path / "s.jsonl")
         summary = run_campaign(build_jobs(SMALL), store)
     finally:
-        campaign_mod.scale_voltage = original
+        campaign_mod.Flow.run = original
 
     assert summary.ok == 4
     assert summary.failed == 2
@@ -275,21 +275,21 @@ def test_slow_job_times_out_while_group_completes(tmp_path):
     jobs still finish ok (the pool never hangs)."""
     import time as time_mod
 
-    original = campaign_mod.scale_voltage
+    original = campaign_mod.Flow.run
 
-    def stalling(network, library, tspec, method="gscale", **kwargs):
-        if method == "dscale":
+    def stalling(self, source=None, *, prepared=None):
+        if self.config.method == "dscale":
             time_mod.sleep(30.0)  # far beyond the budget; SIGALRM cuts in
-        return original(network, library, tspec, method=method, **kwargs)
+        return original(self, source, prepared=prepared)
 
-    campaign_mod.scale_voltage = stalling
+    campaign_mod.Flow.run = stalling
     try:
         store = ResultStore(tmp_path / "s.jsonl")
         started = time_mod.perf_counter()
         summary = run_campaign(build_jobs(["z4ml"]), store, timeout_s=1.0)
         elapsed = time_mod.perf_counter() - started
     finally:
-        campaign_mod.scale_voltage = original
+        campaign_mod.Flow.run = original
 
     assert elapsed < 15.0  # nowhere near the 30 s stall
     assert (summary.ok, summary.failed) == (2, 1)
@@ -457,3 +457,160 @@ def test_campaign_cli_rejects_unknown_circuit(tmp_path):
     with pytest.raises(SystemExit):
         main(["campaign", "--circuits", "nope",
               "--out", str(tmp_path / "x.jsonl")])
+
+
+# -- sharding across machines -----------------------------------------
+
+def test_shard_jobs_partition_is_exact_and_deterministic():
+    from repro.flow.campaign import shard_jobs
+
+    jobs = build_jobs(["z4ml", "pm1", "x2", "b9"], vdd_lows=[4.3, 4.0])
+    n = 3
+    shards = [shard_jobs(jobs, k, n) for k in range(1, n + 1)]
+    # disjoint, exhaustive, order-preserving
+    all_ids = [j.job_id for shard in shards for j in shard]
+    assert sorted(all_ids) == sorted(j.job_id for j in jobs)
+    assert len(set(all_ids)) == len(jobs)
+    for shard in shards:
+        ids = [j.job_id for j in shard]
+        assert ids == [j.job_id for j in jobs if j.job_id in set(ids)]
+    # stable across calls (derived from the job-list order, not a
+    # seeded hash), and balanced to within one group per shard
+    assert [j.job_id for j in shard_jobs(jobs, 2, n)] \
+        == [j.job_id for j in shards[1]]
+    sizes = sorted(len(s) for s in shards)
+    assert sizes[-1] - sizes[0] <= 3  # one group = 3 method jobs
+
+
+def test_shard_jobs_keeps_groups_whole():
+    """All methods of one prepared circuit land on the same shard, so
+    no shard recomputes another shard's optimize/map/constrain work."""
+    from repro.flow.campaign import shard_jobs
+
+    jobs = build_jobs(SMALL, vdd_lows=[4.3, 4.0], slack_factors=[1.1, 1.2])
+    for k in (1, 2, 3):
+        shard = shard_jobs(jobs, k, 3)
+        groups = {}
+        for job in shard:
+            groups.setdefault(job.group_key, []).append(job)
+        assert all(len(members) == 3 for members in groups.values())
+
+
+def test_shard_jobs_validates_bounds():
+    from repro.flow.campaign import shard_jobs
+
+    jobs = build_jobs(["z4ml"])
+    assert shard_jobs(jobs, 1, 1) == jobs
+    with pytest.raises(ValueError, match="shard"):
+        shard_jobs(jobs, 0, 2)
+    with pytest.raises(ValueError, match="shard"):
+        shard_jobs(jobs, 3, 2)
+    with pytest.raises(ValueError, match="shard"):
+        shard_jobs(jobs, 1, 0)
+
+
+def test_sharded_campaign_merges_back_to_the_full_store(tmp_path):
+    """Two shards run independently; their merged stores equal one
+    unsharded campaign (modulo volatile fields)."""
+    from repro.flow.campaign import shard_jobs
+    from repro.flow.store import merge_stores
+
+    jobs = build_jobs(SMALL)
+    full = ResultStore(tmp_path / "full.jsonl")
+    run_campaign(jobs, full)
+
+    shard_paths = []
+    for k in (1, 2):
+        path = tmp_path / f"shard{k}.jsonl"
+        shard_paths.append(path)
+        run_campaign(shard_jobs(jobs, k, 2), ResultStore(path))
+    merged = tmp_path / "merged.jsonl"
+    merge_stores(shard_paths, merged)
+    assert rows_equal(ResultStore(merged).load(), full.load())
+    # and the merged store aggregates to the same tables
+    a = format_table1(rows_to_results(full.load()))
+    b = format_table1(rows_to_results(ResultStore(merged).load()))
+    assert a == b
+
+
+def test_campaign_cli_shard_and_merge(tmp_path, capsys):
+    outs = [str(tmp_path / f"shard{k}.jsonl") for k in (1, 2)]
+    for k, out in enumerate(outs, start=1):
+        assert main(["campaign", "--circuits", "z4ml,pm1",
+                     "--shard", f"{k}/2", "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert f"shard {k}/2" in text
+    merged = str(tmp_path / "merged.jsonl")
+    assert main(["store", "compact", *outs, "--out", merged]) == 0
+    assert "merged 2 stores" in capsys.readouterr().out
+    rows = ResultStore(merged).load()
+    assert {r["circuit"] for r in rows} == {"z4ml", "pm1"}
+    assert len(rows) == 6
+
+
+def test_campaign_cli_merge_requires_out(tmp_path, capsys):
+    paths = []
+    for k in (1, 2):
+        store = ResultStore(tmp_path / f"s{k}.jsonl")
+        with store:
+            store.append({"schema": 2, "job_id": f"j{k}", "status": "ok"})
+        paths.append(str(store.path))
+    with pytest.raises(SystemExit, match="--out"):
+        main(["store", "compact", *paths])
+
+
+def test_campaign_cli_rejects_bad_shard(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--circuits", "z4ml", "--shard", "3/2",
+              "--out", str(tmp_path / "x.jsonl")])
+    assert "shard" in capsys.readouterr().err
+
+
+def test_pool_worker_imports_plugins_for_custom_methods(tmp_path,
+                                                        monkeypatch):
+    """Pool payloads carry the plugin list, so a spawn-started worker
+    (fresh interpreter, builtin-only registry) can still resolve
+    registry-injected methods.  Simulated in-process with a plugin
+    module that has never been imported here."""
+    from repro.api.registry import is_registered, unregister_method
+    from repro.flow.campaign import _pool_worker
+
+    plugin = tmp_path / "worker_plugin_mod.py"
+    plugin.write_text(
+        "from repro.api import ScalingMethod, register_method\n"
+        "register_method(ScalingMethod(\n"
+        "    'worker_plugin_method', lambda state, config: None))\n"
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    assert not is_registered("worker_plugin_method")
+
+    job = CampaignJob("z4ml", "worker_plugin_method")
+    payload = ([job], 10, 0.10, None, ("worker_plugin_mod",))
+    try:
+        (row,) = _pool_worker(payload)
+        assert row["status"] == "ok"
+        assert row["method"] == "worker_plugin_method"
+    finally:
+        unregister_method("worker_plugin_method")
+
+
+def test_run_campaign_imports_plugins_in_process(tmp_path, monkeypatch):
+    from repro.api.registry import is_registered, unregister_method
+
+    plugin = tmp_path / "campaign_plugin_mod.py"
+    plugin.write_text(
+        "from repro.api import ScalingMethod, register_method\n"
+        "register_method(ScalingMethod(\n"
+        "    'campaign_plugin_method', lambda state, config: None))\n"
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    assert not is_registered("campaign_plugin_method")
+
+    store = ResultStore(tmp_path / "s.jsonl")
+    jobs = [CampaignJob("z4ml", "campaign_plugin_method")]
+    try:
+        summary = run_campaign(jobs, store,
+                               plugins=("campaign_plugin_mod",))
+        assert (summary.ok, summary.failed) == (1, 0)
+    finally:
+        unregister_method("campaign_plugin_method")

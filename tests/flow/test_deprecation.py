@@ -1,0 +1,83 @@
+"""Deprecation shims: warn once per call, results bit-identical to Flow."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.api import Flow, FlowConfig
+from repro.core.pipeline import scale_voltage
+from repro.flow.experiment import prepare_circuit
+
+
+@pytest.fixture(scope="module")
+def prepared(library, match_table):
+    flow = Flow(FlowConfig(circuit="pm1"), library=library,
+                match_table=match_table)
+    return flow.prepare()
+
+
+def test_prepare_circuit_warns_exactly_once(library, match_table):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        prepare_circuit("pm1", library, match_table=match_table)
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "prepare_circuit" in str(deprecations[0].message)
+    assert "repro.api.Flow" in str(deprecations[0].message)
+
+
+def test_scale_voltage_warns_exactly_once(library, prepared):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        scale_voltage(prepared.fresh_copy(), library, prepared.tspec,
+                      method="cvs", activity=prepared.activity)
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "scale_voltage" in str(deprecations[0].message)
+
+
+def test_prepare_circuit_bit_identical_to_flow(library, match_table,
+                                               prepared):
+    with pytest.warns(DeprecationWarning):
+        legacy = prepare_circuit("pm1", library, match_table=match_table)
+    assert legacy.name == prepared.name
+    assert legacy.tspec == prepared.tspec
+    assert legacy.min_delay == prepared.min_delay
+    assert legacy.activity.toggles == prepared.activity.toggles
+    legacy_cells = {name: node.cell.name
+                    for name, node in legacy.network.nodes.items()
+                    if node.cell is not None}
+    flow_cells = {name: node.cell.name
+                  for name, node in prepared.network.nodes.items()
+                  if node.cell is not None}
+    assert legacy_cells == flow_cells
+
+
+@pytest.mark.parametrize("method", ["cvs", "dscale", "gscale"])
+def test_scale_voltage_bit_identical_to_flow(library, prepared, method):
+    with pytest.warns(DeprecationWarning):
+        state, report = scale_voltage(
+            prepared.fresh_copy(), library, prepared.tspec,
+            method=method, activity=prepared.activity,
+        )
+    flow = Flow(FlowConfig(method=method), library=library)
+    flow_state, artifact = flow.scale(
+        prepared.fresh_copy(), prepared.tspec,
+        activity=prepared.activity,
+    )
+    a = dataclasses.asdict(report)
+    b = dataclasses.asdict(artifact.report)
+    a.pop("runtime_s"), b.pop("runtime_s")
+    assert a == b
+    assert dict(state.levels) == dict(flow_state.levels)
+    assert set(state.lc_edges) == set(flow_state.lc_edges)
+
+
+def test_scale_voltage_still_rejects_unknown_method(library, prepared):
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="method"):
+            scale_voltage(prepared.fresh_copy(), library,
+                          prepared.tspec, method="magic")

@@ -187,3 +187,54 @@ def test_compact_preserves_rows_without_job_ids(tmp_path):
     rows = store.load()
     assert anonymous in rows
     assert sum(1 for r in rows if r.get("job_id") == "a") == 1
+
+
+# -- merging shard stores ---------------------------------------------
+
+def test_merge_stores_concatenates_disjoint_shards(tmp_path):
+    from repro.flow.store import merge_stores
+
+    shard1 = ResultStore(tmp_path / "shard1.jsonl")
+    shard2 = ResultStore(tmp_path / "shard2.jsonl")
+    rows1 = [make_row(job_id=f"a{i}:cvs:v4.3:s1.2") for i in range(2)]
+    rows2 = [make_row(job_id=f"b{i}:cvs:v4.3:s1.2") for i in range(3)]
+    with shard1:
+        for row in rows1:
+            shard1.append(row)
+    with shard2:
+        for row in rows2:
+            shard2.append(row)
+
+    out = tmp_path / "merged.jsonl"
+    stats = merge_stores([shard1.path, shard2.path], out)
+    assert (stats.total_rows, stats.kept_rows, stats.dropped_rows) \
+        == (5, 5, 0)
+    assert ResultStore(out).load() == rows1 + rows2
+    # inputs untouched
+    assert shard1.load() == rows1 and shard2.load() == rows2
+
+
+def test_merge_stores_later_path_wins_duplicate_job_ids(tmp_path):
+    from repro.flow.store import merge_stores
+
+    old = ResultStore(tmp_path / "old.jsonl")
+    new = ResultStore(tmp_path / "new.jsonl")
+    with old:
+        old.append(make_row(job_id="x", runtime_s=1.0))
+        old.append(make_row(job_id="y"))
+    with new:
+        new.append(make_row(job_id="x", runtime_s=2.0))
+
+    out = tmp_path / "merged.jsonl"
+    stats = merge_stores([old.path, new.path], out)
+    assert stats.dropped_rows == 1
+    merged = {r["job_id"]: r for r in ResultStore(out).load()}
+    assert merged["x"]["runtime_s"] == 2.0  # the later path's row
+    assert set(merged) == {"x", "y"}
+
+
+def test_merge_stores_needs_inputs(tmp_path):
+    from repro.flow.store import merge_stores
+
+    with pytest.raises(ValueError, match="at least one"):
+        merge_stores([], tmp_path / "out.jsonl")

@@ -79,3 +79,48 @@ def test_needs_two_vectors(mapped_adder, library):
 
 def test_glitch_factor_of_empty_activity():
     assert glitch_factor({}, {}) == 1.0
+
+
+def test_frozen_inputs_produce_no_activity(mapped_adder, library):
+    calculator = DelayCalculator(mapped_adder, library)
+    frozen = timed_toggle_counts(mapped_adder, calculator, n_vectors=16,
+                                 seed=11, input_probability=0.0)
+    assert all(rate == 0.0 for rate in frozen.values())
+
+
+def test_always_on_inputs_settle_after_first_cycle(mapped_adder, library):
+    calculator = DelayCalculator(mapped_adder, library)
+    rates = timed_toggle_counts(mapped_adder, calculator, n_vectors=64,
+                                seed=11, input_probability=1.0)
+    # After the first vector every input is constant 1: nothing toggles.
+    for name in mapped_adder.inputs:
+        assert rates[name] == 0.0
+    assert sum(rates.values()) == pytest.approx(0.0)
+
+
+def test_converter_edges_fold_into_timed_simulation(mapped_adder, library):
+    """A demoted driver's converter stage delay rides on its reader
+    edges (edge_extra_delay > 0) without breaking event ordering."""
+    from repro.core.state import ScalingState
+
+    state = ScalingState(mapped_adder, library, tspec=1e9)
+    gates = list(mapped_adder.gates())
+    driver = next(g for g in gates if mapped_adder.fanouts(g))
+    state.demote(driver)
+    calculator = state.calc
+    reader = next(iter(mapped_adder.fanouts(driver)))
+    assert calculator.edge_extra_delay(driver, reader) > 0.0
+    timed = timed_toggle_counts(mapped_adder, calculator, n_vectors=64,
+                                seed=13)
+    plain = timed_toggle_counts(
+        mapped_adder, DelayCalculator(mapped_adder, library),
+        n_vectors=64, seed=13,
+    )
+    # Same logic, same vectors: total activity stays plausible; only
+    # event timing (and hence glitching) may shift.
+    assert set(timed) == set(plain)
+    assert all(rate >= 0.0 for rate in timed.values())
+
+
+def test_glitch_factor_against_partial_overlap():
+    assert glitch_factor({"a": 2.0}, {"a": 3.0}) == pytest.approx(1.5)

@@ -87,9 +87,17 @@ def bench_sta_updates(prepared, library, n_moves):
 
 
 def bench_end_to_end(prepared, library, runner, label):
-    """One algorithm, both modes; asserts identical outcomes."""
+    """One algorithm, both modes; asserts identical outcomes.
+
+    The per-move-kind counters (attempted / committed / rolled back,
+    from the state's :class:`MoveStats`) join the equivalence check --
+    the two timing modes must make identical move decisions -- and the
+    report, so a perf regression is attributable to the move mix that
+    produced it.
+    """
     timings = {}
     outcomes = {}
+    moves = {}
     for incremental in (False, True):
         best = float("inf")
         for _ in range(2):  # best-of-2 damps scheduler noise
@@ -100,6 +108,7 @@ def bench_end_to_end(prepared, library, runner, label):
             elapsed, _ = time_call(lambda: runner(state))
             best = min(best, elapsed)
         timings[incremental] = best
+        moves[incremental] = state.move_stats.as_dict()
         outcomes[incremental] = (
             sorted(state.low_nodes()),
             sorted(state.lc_edges),
@@ -107,6 +116,7 @@ def bench_end_to_end(prepared, library, runner, label):
              for name, node in state.network.nodes.items()
              if node.cell is not None},
             round(state.power().total, 9),
+            moves[incremental],
         )
     if outcomes[False] != outcomes[True]:
         raise AssertionError(
@@ -116,6 +126,7 @@ def bench_end_to_end(prepared, library, runner, label):
         "incremental_s": timings[True],
         "speedup": (timings[False] / timings[True]
                     if timings[True] > 0 else None),
+        "moves": moves[True],
     }
 
 

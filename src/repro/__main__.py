@@ -9,11 +9,14 @@ loaded verbatim with ``run --config``), executed through
 Commands
 --------
 run [CIRCUIT] [--method M] [--slack F] [--vlow V | --rails V0,V1,...]
-    [--config FLOW.json|.toml] [--plugin MODULE]
+    [--cost-model NAME] [--non-adjacent] [--retarget-shifters]
+    [--config FLOW.json|.toml] [--plugin MODULE] [--list-methods]
     Full flow on one benchmark (or a BLIF file path); prints the report.
     ``--config`` loads a declarative FlowConfig (JSON or TOML);
     ``--plugin`` imports a module first, so methods it registers via
-    ``repro.api.register_method`` are runnable with ``--method``.
+    ``repro.api.register_method`` (and cost models via
+    ``register_cost_model``) are runnable by name; ``--list-methods``
+    prints the registered method/cost-model inventory and exits.
 campaign [--subset | --circuits a,b,c] [--jobs N] [--resume]
          [--out STORE.jsonl] [--timeout S] [--shard K/N]
          [--sweep | --vlow V[,V...] --slack F[,F...]]
@@ -34,6 +37,10 @@ store compact STORE.jsonl [STORE2.jsonl ...] [--out PATH]
     (and any torn tail); atomic in place by default.  With several
     stores (the shards of one campaign): merge them into ``--out``,
     last row per job id winning across all inputs.
+store progress STORE.jsonl [STORE2.jsonl ...] [--expect-jobs N]
+    Per-store and cross-shard completion summary (freshest row per job
+    id, deduplicated across shards); ``--expect-jobs`` adds a
+    percentage against the campaign's full grid size.
 circuits
     List the 39 benchmark names with family and paper gate counts.
 library [--vlow V | --rails V0,V1,...]
@@ -116,6 +123,18 @@ def _parse_floats(text: str) -> list[float]:
     return values
 
 
+def _parse_names(text: str) -> tuple[str, ...]:
+    """argparse type: comma-separated names (cost models), no dups."""
+    names = tuple(n.strip() for n in text.split(",") if n.strip())
+    if not names:
+        raise argparse.ArgumentTypeError(
+            f"expected at least one name, got {text!r}"
+        )
+    if len(set(names)) != len(names):
+        raise argparse.ArgumentTypeError(f"duplicate name in {text!r}")
+    return names
+
+
 def _parse_shard(text: str) -> tuple[int, int]:
     """argparse type: 'K/N' -> (K, N), 1 <= K <= N."""
     try:
@@ -156,10 +175,36 @@ def _resolve_methods(method: str | None) -> tuple[str, ...]:
     return (method,)
 
 
+def _print_method_inventory() -> None:
+    """Human-readable registry dump: scaling methods + cost models."""
+    from repro.api import list_cost_models, list_methods
+
+    print("registered scaling methods (run with --method NAME):")
+    for method in list_methods():
+        flags = []
+        if method.multi_rail:
+            flags.append("multi-rail")
+        if method.resizes_gates:
+            flags.append("resizes gates")
+        if method.prices_moves:
+            flags.append("prices moves")
+        detail = f" [{', '.join(flags)}]" if flags else ""
+        description = method.description or "(no description)"
+        print(f"  {method.name:>10}{detail}: {description}")
+    print()
+    print("registered cost models (run with --cost-model NAME):")
+    for model in list_cost_models():
+        description = model.description or "(no description)"
+        print(f"  {model.name:>10}: {description}")
+
+
 def _cmd_run(args) -> int:
     from repro.api import Flow, FlowConfig
 
     _load_plugins(args)
+    if args.list_methods:
+        _print_method_inventory()
+        return 0
     config = None
     if args.config:
         with open(args.config, encoding="utf-8") as handle:
@@ -189,6 +234,9 @@ def _cmd_run(args) -> int:
                           else args.slack),
             vdd_low=DEFAULT_VDD_LOW if args.vlow is None else args.vlow,
             rails=args.rails or (),
+            cost_model=args.cost_model or "paper",
+            non_adjacent=args.non_adjacent,
+            retarget_shifters=args.retarget_shifters,
         )
     else:
         # Explicit flags override the config file; omitted flags keep
@@ -200,6 +248,12 @@ def _cmd_run(args) -> int:
             overrides["vdd_low"] = args.vlow
         if args.rails is not None:
             overrides["rails"] = args.rails
+        if args.cost_model is not None:
+            overrides["cost_model"] = args.cost_model
+        if args.non_adjacent:
+            overrides["non_adjacent"] = True
+        if args.retarget_shifters:
+            overrides["retarget_shifters"] = True
         config = config.replace(**overrides)
 
     if args.method is None and args.config:
@@ -207,10 +261,27 @@ def _cmd_run(args) -> int:
     else:
         methods = _resolve_methods(args.method)
 
+    # Validate the cost model before the expensive prepare stages, and
+    # pin methods that never consult it to the default model (same rule
+    # as the campaign grid) instead of crashing on cvs/gscale.
+    from repro.api import DEFAULT_COST_MODEL, get_cost_model, get_method
+
+    try:
+        get_cost_model(config.cost_model)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    method_models = {
+        method: (config.cost_model if get_method(method).prices_moves
+                 else DEFAULT_COST_MODEL)
+        for method in methods
+    }
+
     flow = Flow(config)
     prepared = flow.prepare(source)
     artifacts = [
-        flow.replace(method=method).run(prepared=prepared)
+        flow.replace(
+            method=method, cost_model=method_models[method]
+        ).run(prepared=prepared)
         for method in methods
     ]
     head = artifacts[0]
@@ -277,8 +348,10 @@ def _cmd_campaign(args) -> int:
         slacks = list(SWEEP_SLACKS if args.sweep
                       else [DEFAULT_SLACK_FACTOR])
 
+    cost_models = args.cost_models
     jobs = build_jobs(circuits, methods=methods, vdd_lows=vdd_lows,
-                      slack_factors=slacks, rails_sets=rails_sets)
+                      slack_factors=slacks, rails_sets=rails_sets,
+                      cost_models=cost_models)
     total = len(jobs)
     shard_note = ""
     if args.shard:
@@ -288,9 +361,11 @@ def _cmd_campaign(args) -> int:
     store = ResultStore(args.out)
     grid = (f"{len(rails_sets)} rail set(s)" if rails_sets
             else f"{len(vdd_lows)} vlow")
+    cost_note = (f" x {len(cost_models)} cost models"
+                 if len(cost_models) > 1 else "")
     print(f"campaign: {total} jobs "
           f"({len(circuits)} circuits x {len(methods)} methods x "
-          f"{grid} x {len(slacks)} slack) "
+          f"{grid} x {len(slacks)} slack{cost_note}) "
           f"-> {args.out}  [jobs={args.jobs}"
           f"{', resume' if args.resume else ''}"
           f"{f', timeout={args.timeout:g}s' if args.timeout else ''}"
@@ -340,7 +415,8 @@ def _cmd_tables(args) -> int:
         n_source = f"campaign over {len(names)} circuits"
     results = rows_to_results(rows, vdd_low=args.vlow,
                               slack_factor=args.slack_point,
-                              rails=args.rails)
+                              rails=args.rails,
+                              cost_model=args.cost_model or None)
     if not results:
         print("no completed rows to tabulate")
         return 1
@@ -356,13 +432,18 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_store(args) -> int:
-    from repro.flow.store import ResultStore, merge_stores
+    from repro.flow.store import ResultStore, campaign_progress, merge_stores
 
-    if args.action != "compact":
-        raise SystemExit(f"unknown store action {args.action!r}")
     missing = [path for path in args.path if not os.path.exists(path)]
     if missing:
         raise SystemExit(f"no store at {', '.join(missing)}")
+    if args.action == "progress":
+        expected = args.expect_jobs if args.expect_jobs else None
+        progress = campaign_progress(args.path, expected_jobs=expected)
+        print(progress.describe())
+        return 0
+    if args.action != "compact":
+        raise SystemExit(f"unknown store action {args.action!r}")
     if len(args.path) > 1:
         if not args.out:
             raise SystemExit("merging several stores needs --out "
@@ -431,6 +512,22 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--rails", type=_parse_rails, default=None,
                             help="comma-separated multi-rail supply set, "
                                  "highest first (replaces --vlow)")
+    run_parser.add_argument("--cost-model", default=None,
+                            help="move-pricing cost model (default: "
+                                 "paper; see --list-methods for the "
+                                 "registered inventory)")
+    run_parser.add_argument("--non-adjacent", action="store_true",
+                            help="let Dscale demote gates several rails "
+                                 "in one move (N-rail libraries only)")
+    run_parser.add_argument("--retarget-shifters", action="store_true",
+                            help="let Dscale re-target existing level "
+                                 "shifters mid-demotion instead of "
+                                 "deferring those gates to cleanup "
+                                 "(N-rail libraries only)")
+    run_parser.add_argument("--list-methods", action="store_true",
+                            help="list the registered scaling methods "
+                                 "and cost models, then exit (honors "
+                                 "--plugin)")
     run_parser.add_argument("--config", default="",
                             help="load a declarative FlowConfig from a "
                                  ".json or .toml file; explicitly "
@@ -475,6 +572,13 @@ def main(argv: list[str] | None = None) -> int:
                                       "a comma list highest-first (e.g. "
                                       "'5,4.3,3.6;1.8,1.0,0.6'); replaces "
                                       "the --vlow axis")
+    campaign_parser.add_argument("--cost-models", type=_parse_names,
+                                 default=("paper",),
+                                 help="comma-separated registered cost "
+                                      "models; more than one opens the "
+                                      "move-pricing grid dimension for "
+                                      "the methods that price moves "
+                                      "(default: paper)")
     campaign_parser.add_argument("--shard", type=_parse_shard,
                                  default=None, metavar="K/N",
                                  help="run only the K-th of N "
@@ -522,22 +626,33 @@ def main(argv: list[str] | None = None) -> int:
                                help="sweep stores: select this rail set "
                                     "(comma list, highest first; 'dual' "
                                     "selects the classic dual-Vdd rows)")
+    tables_parser.add_argument("--cost-model", default="",
+                               help="sweep stores: select rows priced by "
+                                    "this cost model (a --cost-models "
+                                    "campaign stores several)")
     tables_parser.add_argument("--out", default="")
     tables_parser.set_defaults(handler=_cmd_tables)
 
     store_parser = commands.add_parser(
         "store", help="result-store maintenance")
-    store_parser.add_argument("action", choices=["compact"],
+    store_parser.add_argument("action", choices=["compact", "progress"],
                               help="compact: drop superseded duplicate "
-                                   "job ids (atomic rewrite); with "
-                                   "several stores, merge into --out")
+                                   "job ids (atomic rewrite; several "
+                                   "stores merge into --out).  "
+                                   "progress: per-store and cross-shard "
+                                   "completion summary")
     store_parser.add_argument("path", nargs="+",
                               help="JSONL result store path(s); several "
                                    "paths (campaign shards) merge into "
-                                   "--out")
+                                   "--out / aggregate in the progress "
+                                   "summary")
     store_parser.add_argument("--out", default="",
                               help="write the compacted/merged store "
                                    "here instead of replacing in place")
+    store_parser.add_argument("--expect-jobs", type=int, default=0,
+                              help="progress: the campaign's full grid "
+                                   "size, turning counts into a "
+                                   "completion percentage")
     store_parser.set_defaults(handler=_cmd_store)
 
     circuits_parser = commands.add_parser("circuits",

@@ -27,6 +27,7 @@ over this module.
 """
 
 from repro.api.artifact import (
+    DEFAULT_COST_MODEL,
     SCHEMA_VERSION,
     CircuitResult,
     RunArtifact,
@@ -55,13 +56,27 @@ from repro.api.registry import (
     registered_names,
     unregister_method,
 )
+from repro.core.moves import (
+    BUILTIN_COST_MODELS,
+    CostModel,
+    MoveStats,
+    get_cost_model,
+    list_cost_models,
+    register_cost_model,
+    registered_cost_models,
+    unregister_cost_model,
+)
 
 __all__ = [
+    "BUILTIN_COST_MODELS",
     "BUILTIN_METHODS",
+    "DEFAULT_COST_MODEL",
     "DEFAULT_SLACK_FACTOR",
     "DEFAULT_VDD_LOW",
     "SCHEMA_VERSION",
     "STAGES",
+    "CostModel",
+    "MoveStats",
     "CircuitResult",
     "Flow",
     "FlowConfig",
@@ -72,10 +87,15 @@ __all__ = [
     "ScalingReport",
     "artifacts_to_results",
     "flow_job_id",
+    "get_cost_model",
     "get_method",
     "is_registered",
+    "list_cost_models",
     "list_methods",
+    "register_cost_model",
     "register_method",
+    "registered_cost_models",
     "registered_names",
+    "unregister_cost_model",
     "unregister_method",
 ]

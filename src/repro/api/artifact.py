@@ -20,9 +20,16 @@ from typing import Any
 
 from repro.api.config import DEFAULT_SLACK_FACTOR, DEFAULT_VDD_LOW
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 """Store-row schema version.  Version 1 had no ``rails`` / ``timeout``
-fields; readers treat their absence as the classic dual-Vdd shape."""
+fields; version 2 had no ``cost_model`` field (and its reports no
+``moves`` block).  Readers treat every absence as the classic shape
+(dual-Vdd, paper cost model, no move statistics)."""
+
+DEFAULT_COST_MODEL = "paper"
+"""The seed paper's move-pricing arithmetic (see
+:mod:`repro.core.moves`); rows carrying it keep their historical job
+ids."""
 
 
 def flow_job_id(
@@ -31,23 +38,36 @@ def flow_job_id(
     vdd_low: float = DEFAULT_VDD_LOW,
     slack_factor: float = DEFAULT_SLACK_FACTOR,
     rails: tuple[float, ...] = (),
+    cost_model: str = DEFAULT_COST_MODEL,
 ) -> str:
     """The deterministic id one (circuit, method, grid-point) run keys on.
 
     Campaign resume, store compaction, and shard partitioning all agree
     on this format: ``C432:gscale:v4.3:s1.2`` for classic dual-Vdd jobs
-    and ``C432:gscale:r5-4.3-3.6:s1.2`` for explicit rail sets.
+    and ``C432:gscale:r5-4.3-3.6:s1.2`` for explicit rail sets.  A
+    non-default cost model appends a ``:c<name>`` segment
+    (``C432:dscale:v4.3:s1.2:cplacement``), so historical ids -- and
+    every store written before the cost-model grid dimension existed --
+    stay valid for resume.
     """
     if rails:
         grid = "r" + "-".join(f"{v:g}" for v in rails)
     else:
         grid = f"v{vdd_low:g}"
-    return f"{circuit}:{method}:{grid}:s{slack_factor:g}"
+    job_id = f"{circuit}:{method}:{grid}:s{slack_factor:g}"
+    if cost_model and cost_model != DEFAULT_COST_MODEL:
+        job_id += f":c{cost_model}"
+    return job_id
 
 
 @dataclass(frozen=True)
 class ScalingReport:
-    """Summary of one scaling run (a row of the paper's tables)."""
+    """Summary of one scaling run (a row of the paper's tables).
+
+    ``moves`` is the run's per-move-kind counter snapshot
+    (:meth:`repro.core.moves.MoveStats.as_dict`); ``None`` on rows
+    written before the move engine existed.
+    """
 
     method: str
     power_before_uw: float
@@ -62,6 +82,7 @@ class ScalingReport:
     worst_delay_ns: float
     tspec_ns: float
     runtime_s: float
+    moves: dict | None = None
 
 
 @dataclass
@@ -97,6 +118,7 @@ class RunArtifact:
     vdd_low: float = DEFAULT_VDD_LOW
     slack_factor: float = DEFAULT_SLACK_FACTOR
     rails: tuple[float, ...] = ()
+    cost_model: str = DEFAULT_COST_MODEL
     status: str = "ok"
     gates: int = 0
     org_power_uw: float = 0.0
@@ -126,6 +148,7 @@ class RunArtifact:
             self.vdd_low,
             self.slack_factor,
             self.rails,
+            self.cost_model,
         )
 
     # -- the store schema -------------------------------------------
@@ -146,6 +169,7 @@ class RunArtifact:
             "vdd_low": self.vdd_low,
             "slack_factor": self.slack_factor,
             "rails": list(self.rails),
+            "cost_model": self.cost_model,
         }
         if self.status == "ok":
             if self.report is None:
@@ -199,6 +223,7 @@ class RunArtifact:
             vdd_low=row.get("vdd_low", DEFAULT_VDD_LOW),
             slack_factor=row.get("slack_factor", DEFAULT_SLACK_FACTOR),
             rails=tuple(row.get("rails") or ()),
+            cost_model=row.get("cost_model", DEFAULT_COST_MODEL),
             status=row.get("status", "ok"),
             gates=row.get("gates", 0),
             org_power_uw=row.get("org_power_uw", 0.0),
@@ -226,6 +251,7 @@ class RunArtifact:
         vdd_low: float = DEFAULT_VDD_LOW,
         slack_factor: float = DEFAULT_SLACK_FACTOR,
         rails: tuple[float, ...] = (),
+        cost_model: str = DEFAULT_COST_MODEL,
         timeout: bool = False,
         runtime_s: float = 0.0,
     ) -> RunArtifact:
@@ -237,6 +263,7 @@ class RunArtifact:
             vdd_low=vdd_low,
             slack_factor=slack_factor,
             rails=rails,
+            cost_model=cost_model,
             status="failed",
             error=f"{type(exc).__name__}: {exc}",
             timeout=timeout,
@@ -279,6 +306,7 @@ def artifacts_to_results(
 
 
 __all__ = [
+    "DEFAULT_COST_MODEL",
     "SCHEMA_VERSION",
     "CircuitResult",
     "RunArtifact",

@@ -61,6 +61,15 @@ class FlowConfig:
     asks the flow's ``restore`` stage to splice physical shifter cells
     into an exported netlist (off by default: the paper's tables only
     need the virtual converter model).
+
+    ``cost_model`` names a registered
+    :class:`~repro.core.moves.CostModel` that prices candidate moves
+    (``paper`` -- the default, the seed arithmetic -- or ``placement``,
+    the level-shifter placement-aware model; custom models join via
+    :func:`~repro.core.moves.register_cost_model`).  ``non_adjacent``
+    and ``retarget_shifters`` enable the N-rail move extensions (direct
+    multi-rail demotion, mid-demotion shifter retargeting); both are
+    inert on a two-rail library.
     """
 
     circuit: str = ""
@@ -71,6 +80,9 @@ class FlowConfig:
     max_iter: int = DEFAULT_MAX_ITER
     area_budget: float = DEFAULT_AREA_BUDGET
     materialize: bool = False
+    cost_model: str = "paper"
+    non_adjacent: bool = False
+    retarget_shifters: bool = False
     options: ScalingOptions = field(default_factory=ScalingOptions)
 
     def __post_init__(self) -> None:

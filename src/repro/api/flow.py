@@ -144,12 +144,23 @@ def constrain_stage(ctx: FlowContext) -> None:
 
 def scale_stage(ctx: FlowContext) -> None:
     """Run the configured scaling method on a fresh :class:`ScalingState`."""
+    from repro.core.moves import get_cost_model
+
     config = ctx.config
     method = get_method(config.method)
     if not method.multi_rail and ctx.library.n_rails > 2:
         raise ValueError(
             f"scaling method {method.name!r} handles dual-rail libraries "
             f"only, but the library has {ctx.library.n_rails} rails"
+        )
+    get_cost_model(config.cost_model)  # fail fast on a typo'd model name
+    from repro.api.artifact import DEFAULT_COST_MODEL
+
+    if config.cost_model != DEFAULT_COST_MODEL and not method.prices_moves:
+        raise ValueError(
+            f"scaling method {method.name!r} does not price moves, so "
+            f"cost model {config.cost_model!r} cannot influence it; run "
+            f"it under the default model instead"
         )
     state = ScalingState(
         ctx.network,
@@ -179,6 +190,7 @@ def scale_stage(ctx: FlowContext) -> None:
         worst_delay_ns=state.timing().worst_delay,
         tspec_ns=ctx.tspec,
         runtime_s=elapsed,
+        moves=state.move_stats.as_dict(),
     )
 
 
@@ -203,6 +215,7 @@ def measure_stage(ctx: FlowContext) -> None:
         vdd_low=config.vdd_low,
         slack_factor=config.slack_factor,
         rails=config.rails,
+        cost_model=config.cost_model,
         status="ok",
         gates=gates,
         org_power_uw=ctx.report.power_before_uw,

@@ -46,13 +46,18 @@ class ScalingMethod:
 
     ``run(state, config)`` performs the scaling in place on ``state``;
     its return value is ignored by the flow (the measured power / level
-    tables on the state are the result).
+    tables on the state are the result).  ``prices_moves`` declares
+    that the method consults ``config.cost_model`` to weigh candidate
+    moves; the flow rejects a non-default cost model on methods that do
+    not (their results could not depend on it, so labeling rows with it
+    would fabricate a comparison).
     """
 
     name: str
     run: Callable[..., Any]
     multi_rail: bool = True
     resizes_gates: bool = False
+    prices_moves: bool = False
     description: str = ""
 
 
@@ -119,7 +124,12 @@ def _run_cvs(state, config):
 
 
 def _run_dscale(state, config):
-    return run_dscale(state)
+    return run_dscale(
+        state,
+        cost_model=config.cost_model,
+        non_adjacent=config.non_adjacent,
+        retarget_shifters=config.retarget_shifters,
+    )
 
 
 def _run_gscale(state, config):
@@ -140,6 +150,7 @@ register_method(
     ScalingMethod(
         "dscale",
         _run_dscale,
+        prices_moves=True,
         description="MWIS-based demotion of all positive-slack gates "
         "with interior level converters",
     )

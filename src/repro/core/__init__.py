@@ -1,6 +1,7 @@
 """The paper's contribution: dual-Vdd gate-level voltage scaling.
 
 * :mod:`repro.core.state`    -- shared network/levels/converters state.
+* :mod:`repro.core.moves`    -- the transactional Move/CostModel engine.
 * :mod:`repro.core.cvs`      -- clustered voltage scaling baseline [8].
 * :mod:`repro.core.dscale`   -- MWIS-based scaling of all slack (sec. 2).
 * :mod:`repro.core.gscale`   -- separator-guided sizing + CVS (sec. 3).
@@ -8,6 +9,25 @@
 * :mod:`repro.core.pipeline` -- the ``scale_voltage`` front door.
 """
 
+from repro.core.moves import (
+    BUILTIN_COST_MODELS,
+    CostModel,
+    DemoteMove,
+    DropConverterMove,
+    Move,
+    MoveEngine,
+    MoveStats,
+    PaperCostModel,
+    PlacementAwareCostModel,
+    PromoteMove,
+    ResizeMove,
+    RetargetShifterMove,
+    get_cost_model,
+    list_cost_models,
+    register_cost_model,
+    registered_cost_models,
+    unregister_cost_model,
+)
 from repro.core.state import ScalingOptions, ScalingState
 from repro.core.cvs import CvsResult, run_cvs
 from repro.core.dscale import DscaleResult, run_dscale
@@ -20,6 +40,18 @@ from repro.core.restore import (
 from repro.core.pipeline import METHODS, ScalingReport, scale_voltage
 
 __all__ = [
+    "BUILTIN_COST_MODELS",
+    "CostModel",
+    "DemoteMove",
+    "DropConverterMove",
+    "Move",
+    "MoveEngine",
+    "MoveStats",
+    "PaperCostModel",
+    "PlacementAwareCostModel",
+    "PromoteMove",
+    "ResizeMove",
+    "RetargetShifterMove",
     "ScalingOptions",
     "ScalingState",
     "CvsResult",
@@ -34,4 +66,9 @@ __all__ = [
     "METHODS",
     "ScalingReport",
     "scale_voltage",
+    "get_cost_model",
+    "list_cost_models",
+    "register_cost_model",
+    "registered_cost_models",
+    "unregister_cost_model",
 ]

@@ -30,6 +30,11 @@ The first (rail 0 -> 1) pass also reports the time-critical boundary
 (TCB): gates that are topologically eligible (all fanouts low / primary
 output) but whose demotion would violate timing -- the frontier Gscale
 pushes toward the inputs.
+
+CVS is a *move-selection policy* over :mod:`repro.core.moves`: the
+pass's own snapshot arithmetic pre-verifies each candidate exactly, so
+demotions go through :meth:`MoveEngine.apply` (unconditional, counted)
+rather than a per-move transaction.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.core.moves import DemoteMove, MoveEngine, demoted_arrival
 from repro.core.state import ScalingState
 from repro.timing.delay import OUTPUT
 
@@ -49,9 +55,13 @@ class CvsResult:
     tcb: frozenset[str] = frozenset()
 
 
-def _hypothetical_low_check(state: ScalingState, name: str, target: int,
-                            arrival: dict[str, float],
-                            required: dict[str, float]) -> bool:
+def _hypothetical_low_check(
+    state: ScalingState,
+    name: str,
+    target: int,
+    arrival: dict[str, float],
+    required: dict[str, float],
+) -> bool:
     """Would dropping ``name`` to rail ``target`` still meet timing?
 
     Exact given the snapshot arrivals: the demotion changes only this
@@ -61,16 +71,10 @@ def _hypothetical_low_check(state: ScalingState, name: str, target: int,
     """
     network = state.network
     calc = state.calc
-    node = network.nodes[name]
-    low_cell = calc.rail_variant_of(node.cell, target)
     change = calc.demotion_net_change(name, state.options.lc_at_outputs)
-
-    out_arrival = 0.0
-    for pin, fanin in enumerate(node.fanins):
-        at_pin = arrival[fanin] + calc.edge_extra_delay(fanin, name)
-        out_arrival = max(
-            out_arrival, at_pin + low_cell.pin_delay(pin, change.load_after)
-        )
+    out_arrival = demoted_arrival(
+        state, name, target, arrival, change.load_after
+    )
 
     tolerance = state.options.timing_tolerance
     deadline = required[name]
@@ -80,8 +84,9 @@ def _hypothetical_low_check(state: ScalingState, name: str, target: int,
     return out_arrival <= deadline + tolerance
 
 
-def _cvs_pass(state: ScalingState,
-              target: int) -> tuple[list[str], frozenset[str]]:
+def _cvs_pass(
+    state: ScalingState, target: int, engine: MoveEngine
+) -> tuple[list[str], frozenset[str]]:
     """One reverse-topological pass demoting rail ``target - 1`` gates."""
     network = state.network
     calc = state.calc
@@ -133,7 +138,7 @@ def _cvs_pass(state: ScalingState,
         if name not in outputs and not network.fanouts(name):
             continue  # dangling node: nothing downstream to protect
         if _hypothetical_low_check(state, name, target, arrival, required):
-            state.demote(name)
+            engine.apply(DemoteMove(name))
             demoted.append(name)
             stale.update(node.fanins)
             # The converter (if any) changed this node's delay model;
@@ -158,9 +163,10 @@ def run_cvs(state: ScalingState) -> CvsResult:
     The reported TCB is the rail 0 -> 1 frontier, the boundary Gscale's
     sizing pushes toward the inputs.
     """
+    engine = MoveEngine(state)
     result = CvsResult()
     for target in range(1, state.n_rails):
-        demoted, frontier = _cvs_pass(state, target)
+        demoted, frontier = _cvs_pass(state, target, engine)
         result.demoted.extend(demoted)
         if target == 1:
             result.tcb = frontier

@@ -8,19 +8,33 @@ harvested the slack next to the primary outputs, Dscale repeatedly:
 2. keeps those whose *individual* demotion -- including the level
    converters that must be spliced onto each new up-crossing edge --
    still meets timing (``check_timing``), weighting each by the power it
-   would save (``weight_with_power_gain``);
+   would save under the selected :class:`~repro.core.moves.CostModel`
+   (``weight_with_power_gain``);
 3. selects a maximum-weight independent set of the candidates'
    transitive (reachability) graph, so no two simultaneously demoted
    gates share a path and their delay penalties cannot accumulate;
 4. applies the demotions, inserts the converters, updates timing, and
    repeats until no candidate survives.
 
-A demotion always moves a gate to the *adjacent* lower rail; with more
-than two rails the same loop keeps harvesting until every gate is
+A demotion normally moves a gate to the *adjacent* lower rail; with
+more than two rails the same loop keeps harvesting until every gate is
 pinned by timing or sits on the lowest rail.  The per-candidate check
 here is *exact* for antichain application: a demotion only changes the
 gate's own stage delay plus its new converter edges, and two
 incomparable gates touch disjoint nets.
+
+Two N-rail-only extensions ride the move engine (both off by default,
+so the dual-rail flow stays bit-identical to the paper):
+
+* ``non_adjacent=True`` also prices direct multi-rail drops per
+  candidate and demotes to the best-gain feasible target -- escaping
+  the local minimum where every single-rail step prices negative but
+  the deep drop is a net win;
+* ``retarget_shifters=True`` stops deferring shifter-carrying
+  candidates to the cleanup pass: each one is attempted as a
+  transactional :class:`~repro.core.moves.RetargetShifterMove` whose
+  kept converter groups re-target mid-demotion, verified by the exact
+  incremental engine plus a measured power improvement.
 """
 
 from __future__ import annotations
@@ -28,9 +42,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.cvs import CvsResult, run_cvs
+from repro.core.moves import (
+    CostModel,
+    DemoteMove,
+    DropConverterMove,
+    MoveEngine,
+    RetargetShifterMove,
+    demoted_arrival,
+)
 from repro.core.state import ScalingState
 from repro.graphalg.antichain import max_weight_antichain
-from repro.power.estimate import demotion_gain
 from repro.timing.delay import OUTPUT
 from repro.timing.incremental import IncrementalTiming
 from repro.timing.sta import TimingAnalysis
@@ -47,6 +68,7 @@ class DscaleResult:
     rounds: int = 0
     demoted: list[str] = field(default_factory=list)
     converters_removed: int = 0
+    retargeted: int = 0
 
 
 def _has_regrouping_edge(state: ScalingState, name: str) -> bool:
@@ -55,9 +77,11 @@ def _has_regrouping_edge(state: ScalingState, name: str) -> bool:
     An existing converter edge whose reader sits at or below the
     driver's rail (a stale edge awaiting cleanup) changes destination
     rail when the driver drops further; the exact per-candidate check
-    below does not model that, so such gates wait for the cleanup pass.
-    Impossible with two rails: a demotable gate is at rail 0 and a
-    valid state gives it no converter edges at all.
+    below does not model that, so such gates wait for the cleanup pass
+    -- or, with ``retarget_shifters``, for a transactional
+    :class:`RetargetShifterMove`.  Impossible with two rails: a
+    demotable gate is at rail 0 and a valid state gives it no converter
+    edges at all.
     """
     rail = state.rail_of(name)
     for reader in state.lc_edges.readers_of(name):
@@ -67,22 +91,52 @@ def _has_regrouping_edge(state: ScalingState, name: str) -> bool:
     return False
 
 
-def check_demotion(state: ScalingState,
-                   analysis: TimingAnalysis | IncrementalTiming,
-                   name: str) -> bool:
-    """Exact feasibility of dropping ``name`` one rail right now.
+def _retargets_fanin_shifter(
+    state: ScalingState, name: str, target: int
+) -> bool:
+    """True when demoting ``name`` to ``target`` re-targets a fanin shifter.
+
+    A shifter on edge ``fanin -> name`` lifts toward
+    ``min(rail_of(name), rail_of(fanin) - 1)``; dropping the *reader*
+    deep enough moves that destination down a rail, slowing the input
+    edge (a lower-swing shifter is a slower shifter).  The closed-form
+    candidate check prices input-edge converters at their current
+    destination, so such demotions must go through the transactionally
+    verified retarget path instead of the antichain batch.  Impossible
+    with two rails: the only destination is rail 0.
+    """
+    rail = state.rail_of(name)
+    for fanin in state.network.nodes[name].fanins:
+        if (fanin, name) not in state.lc_edges:
+            continue
+        driver_cap = state.rail_of(fanin) - 1
+        current = min(rail, driver_cap)
+        post = min(target, driver_cap)
+        if max(current, 0) != max(post, 0):
+            return True
+    return False
+
+
+def check_demotion(
+    state: ScalingState,
+    analysis: TimingAnalysis | IncrementalTiming,
+    name: str,
+    target: int | None = None,
+) -> bool:
+    """Exact feasibility of dropping ``name`` to ``target`` right now.
 
     Verifies, for every fanout edge and the primary-output boundary,
     that the slowed gate plus any new converter still meets the edge's
-    required time.
+    required time.  ``target=None`` checks the classic one-rail step.
     """
     network = state.network
     calc = state.calc
-    node = network.nodes[name]
-    target = state.rail_of(name) + 1
-    low_cell = calc.rail_variant_of(node.cell, target)
+    if target is None:
+        target = state.rail_of(name) + 1
     tolerance = state.options.timing_tolerance
-    change = calc.demotion_net_change(name, state.options.lc_at_outputs)
+    change = calc.demotion_net_change(
+        name, state.options.lc_at_outputs, target
+    )
     new_edges = set(change.new_edges)
     # Post-demotion delays: new edges merge into any kept shifter of
     # the same destination rail (a rail>=1 candidate can carry a kept
@@ -91,12 +145,9 @@ def check_demotion(state: ScalingState,
     # the candidate has no shifters -- every dual-rail candidate.
     converter_delays = calc.post_demotion_converter_delays(name, change)
 
-    out_arrival = 0.0
-    for pin, fanin in enumerate(node.fanins):
-        at_pin = analysis.arrival[fanin] + calc.edge_extra_delay(fanin, name)
-        out_arrival = max(
-            out_arrival, at_pin + low_cell.pin_delay(pin, change.load_after)
-        )
+    out_arrival = demoted_arrival(
+        state, name, target, analysis.arrival, change.load_after
+    )
 
     for reader in network.fanouts(name):
         if (name, reader) in new_edges:
@@ -113,9 +164,8 @@ def check_demotion(state: ScalingState,
         for pin, fanin in enumerate(reader_node.fanins):
             if fanin != name:
                 continue
-            deadline = (
-                analysis.required[reader]
-                - reader_cell.pin_delay(pin, reader_load)
+            deadline = analysis.required[reader] - reader_cell.pin_delay(
+                pin, reader_load
             )
             if out_arrival + extra > deadline + tolerance:
                 return False
@@ -129,8 +179,9 @@ def check_demotion(state: ScalingState,
     return True
 
 
-def candidate_order_pairs(state: ScalingState,
-                          candidates: list[str]) -> list[tuple[str, str]]:
+def candidate_order_pairs(
+    state: ScalingState, candidates: list[str]
+) -> list[tuple[str, str]]:
     """Transitive-reduction pairs of the candidates' reachability order.
 
     Reachability runs through the *whole* network (two candidates on one
@@ -172,16 +223,20 @@ def candidate_order_pairs(state: ScalingState,
     return pairs
 
 
-def cleanup_converters(state: ScalingState) -> int:
+def cleanup_converters(
+    state: ScalingState, engine: MoveEngine | None = None
+) -> int:
     """Drop converters whose reader ended up at (or below) the driver's rail.
 
     Removing a converter always saves power but shifts load between the
-    driver's net and the removed converter; each removal is verified as
-    a what-if transaction -- only the driver's cone is re-timed, and a
-    removal that would break ``tspec`` is rolled back without touching
-    the rest of the network (in practice removals also shorten the
-    path).
+    driver's net and the removed converter; each removal is a
+    :class:`DropConverterMove` verified as a what-if transaction --
+    only the driver's cone is re-timed, and a removal that would break
+    ``tspec`` is rolled back without touching the rest of the network
+    (in practice removals also shorten the path).
     """
+    if engine is None:
+        engine = MoveEngine(state)
     removed = 0
     for edge in sorted(state.lc_edges):
         driver, reader = edge
@@ -189,21 +244,63 @@ def cleanup_converters(state: ScalingState) -> int:
             continue
         if state.rail_of(reader) < state.rail_of(driver):
             continue  # still an up-crossing: the shifter is load-bearing
-        state.begin_move()
-        state.lc_edges.discard(edge)
-        if state.timing().meets_timing(state.options.timing_tolerance):
+        if engine.try_move(DropConverterMove(edge)):
             removed += 1
-            state.commit_move()
-        else:
-            state.lc_edges.add(edge)
-            state.rollback_move()
     return removed
 
 
-def run_dscale(state: ScalingState, max_rounds: int = 1000) -> DscaleResult:
-    """The full Dscale loop of the paper's section 2 pseudo-code."""
+def _best_demotion(
+    state: ScalingState,
+    analysis: TimingAnalysis | IncrementalTiming,
+    engine: MoveEngine,
+    name: str,
+    deepest: int,
+) -> tuple[float, int] | None | str:
+    """The best (gain, target) over every feasible demotion depth.
+
+    ``deepest == rail + 1`` is the classic adjacent-only policy and
+    performs exactly one check and one pricing -- the seed sequence.
+    Targets that would re-target a fanin shifter are outside the
+    closed-form check's model; when every depth is excluded for that
+    reason the sentinel ``"retarget"`` is returned so the caller can
+    route the candidate to the transactional path.
+    """
+    rail = state.rail_of(name)
+    best: tuple[float, int] | None = None
+    saw_retarget = False
+    for target in range(rail + 1, deepest + 1):
+        if _retargets_fanin_shifter(state, name, target):
+            saw_retarget = True
+            continue
+        if not check_demotion(state, analysis, name, target=target):
+            continue
+        gain = engine.cost_model.demotion_gain(state, name, target=target)
+        if best is None or gain > best[0]:
+            best = (gain, target)
+    if best is None and saw_retarget:
+        return "retarget"
+    return best
+
+
+def run_dscale(
+    state: ScalingState,
+    max_rounds: int = 1000,
+    cost_model: str | CostModel | None = None,
+    non_adjacent: bool = False,
+    retarget_shifters: bool = False,
+) -> DscaleResult:
+    """The full Dscale loop of the paper's section 2 pseudo-code.
+
+    ``cost_model`` selects the candidate-pricing arithmetic (default:
+    the seed paper model).  ``non_adjacent`` and ``retarget_shifters``
+    enable the N-rail move extensions; both are inert on a two-rail
+    library, where neither situation can arise.
+    """
+    engine = MoveEngine(state, cost_model)
     result = DscaleResult(cvs=run_cvs(state))
     lowest = state.n_rails - 1
+    allow_deep = non_adjacent and state.n_rails > 2
+    allow_retarget = retarget_shifters and state.n_rails > 2
 
     while result.rounds < max_rounds:
         analysis = state.timing()
@@ -214,34 +311,62 @@ def run_dscale(state: ScalingState, max_rounds: int = 1000) -> DscaleResult:
             and analysis.slack(name) > state.options.timing_tolerance
         ]
         weights: dict[str, int] = {}
+        targets: dict[str, int] = {}
         candidates: list[str] = []
+        deferred: list[str] = []
         for name in slack_set:
             if _has_regrouping_edge(state, name):
+                deferred.append(name)
                 continue
-            if not check_demotion(state, analysis, name):
+            deepest = lowest if allow_deep else state.rail_of(name) + 1
+            best = _best_demotion(state, analysis, engine, name, deepest)
+            if best == "retarget":
+                deferred.append(name)
                 continue
-            gain = demotion_gain(
-                state.calc, state.activity, name,
-                clock_mhz=state.options.clock_mhz,
-                lc_at_outputs=state.options.lc_at_outputs,
-            )
+            if best is None:
+                continue
+            gain, target = best
             if gain <= 0:
                 continue
             candidates.append(name)
+            targets[name] = target
             weights[name] = max(1, int(round(gain * _WEIGHT_SCALE)))
-        if not candidates:
-            break
 
-        pairs = candidate_order_pairs(state, candidates)
-        low_set, _ = max_weight_antichain(candidates, pairs, weights)
-        if not low_set:
+        low_set: list[str] = []
+        if candidates:
+            pairs = candidate_order_pairs(state, candidates)
+            low_set, _ = max_weight_antichain(candidates, pairs, weights)
+            for name in low_set:
+                engine.apply(DemoteMove(name, target=targets[name]))
+            result.demoted.extend(low_set)
+
+        retargeted = 0
+        if allow_retarget and deferred:
+            # Shifter-carrying candidates the closed-form check cannot
+            # price: attempt each as its own exact transaction (the
+            # engine re-times the mutated cone; the measured total
+            # power must strictly improve).  Antichain independence is
+            # irrelevant here -- each move is verified against the
+            # live, already-updated circuit.  The power baseline is
+            # measured once and refreshed only on commits: a rolled-
+            # back attempt provably leaves the total unchanged.
+            power_now = state.power().total
+            for name in deferred:
+                if engine.try_move(
+                    RetargetShifterMove(name),
+                    require_power_gain=True,
+                    power_before=power_now,
+                ):
+                    power_now = state.power().total
+                    result.demoted.append(name)
+                    retargeted += 1
+        result.retargeted += retargeted
+
+        if not low_set and not retargeted:
             break
-        for name in low_set:
-            state.demote(name)
-        result.demoted.extend(low_set)
         result.rounds += 1
 
-    result.converters_removed = cleanup_converters(state)
+    result.converters_removed = cleanup_converters(state, engine)
     state.validate()
     return result
 

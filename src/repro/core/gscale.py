@@ -10,6 +10,13 @@ into the TCB is sped up exactly once, resizes those gates, and re-runs
 CVS to push the TCB toward the primary inputs.  The loop stops after
 ``max_iter`` consecutive pushes fail to move the TCB (the paper uses
 ten) or when the area budget (the paper uses +10%) is exhausted.
+
+Gscale is a move-selection policy over :mod:`repro.core.moves`: every
+separator resize is a transactional :class:`ResizeMove` -- the engine
+re-times only the mutated cone and a rejected upsize is restored from
+the timing journal -- and the CVS follow-ups route their demotions
+through the same engine, so the state's move statistics cover the whole
+run.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.cvs import CvsResult, run_cvs
+from repro.core.moves import MoveEngine, ResizeMove, demoted_arrival
 from repro.core.state import ScalingState
 from repro.graphalg.separator import min_weight_separator
 from repro.timing.delay import OUTPUT
@@ -24,7 +32,7 @@ from repro.timing.incremental import IncrementalTiming
 from repro.timing.sta import TimingAnalysis
 
 _WEIGHT_SCALE = 1000
-_UNRESIZABLE = 10 ** 9
+_UNRESIZABLE = 10**9
 """Separator weight for gates that cannot (usefully) grow."""
 
 DEFAULT_MAX_ITER = 10
@@ -43,25 +51,22 @@ class GscaleResult:
     final_tcb: frozenset[str] = frozenset()
 
 
-def demotion_shortfall(state: ScalingState,
-                       analysis: TimingAnalysis | IncrementalTiming,
-                       name: str) -> float:
+def demotion_shortfall(
+    state: ScalingState,
+    analysis: TimingAnalysis | IncrementalTiming,
+    name: str,
+) -> float:
     """How much earlier ``name``'s inputs must arrive to allow demotion.
 
     Positive for TCB members; their CVS check failed by this margin.
     """
     network = state.network
     calc = state.calc
-    node = network.nodes[name]
     target = state.rail_of(name) + 1
-    low_cell = calc.rail_variant_of(node.cell, target)
     change = calc.demotion_net_change(name, state.options.lc_at_outputs)
 
-    out_arrival = max(
-        analysis.arrival[fanin]
-        + calc.edge_extra_delay(fanin, name)
-        + low_cell.pin_delay(pin, change.load_after)
-        for pin, fanin in enumerate(node.fanins)
+    out_arrival = demoted_arrival(
+        state, name, target, analysis.arrival, change.load_after
     )
     deadline = analysis.required[name]
     if name in network.outputs and (name, OUTPUT) in change.new_edges:
@@ -70,9 +75,11 @@ def demotion_shortfall(state: ScalingState,
     return out_arrival - deadline
 
 
-def resize_profile(state: ScalingState,
-                   analysis: TimingAnalysis | IncrementalTiming,
-                   name: str) -> tuple[float, float, float] | None:
+def resize_profile(
+    state: ScalingState,
+    analysis: TimingAnalysis | IncrementalTiming,
+    name: str,
+) -> tuple[float, float, float] | None:
     """(area penalty, net timing gain, worst driver penalty) of an upsize.
 
     Returns ``None`` when no larger variant exists.  The net gain is the
@@ -109,10 +116,11 @@ def resize_profile(state: ScalingState,
     return area_penalty, own_gain - driver_penalty, driver_penalty
 
 
-def get_cpn(state: ScalingState,
-            analysis: TimingAnalysis | IncrementalTiming,
-            tcb: frozenset[str]) -> tuple[list[str], list[tuple[str, str]],
-                                          list[str], list[str]]:
+def get_cpn(
+    state: ScalingState,
+    analysis: TimingAnalysis | IncrementalTiming,
+    tcb: frozenset[str],
+) -> tuple[list[str], list[tuple[str, str]], list[str], list[str]]:
     """The critical-path network feeding the TCB.
 
     Returns (nodes, edges, sources, sinks): the gates inside the TCB's
@@ -121,8 +129,7 @@ def get_cpn(state: ScalingState,
     """
     network = state.network
     shortfalls = [
-        analysis.slack(t) + demotion_shortfall(state, analysis, t)
-        for t in tcb
+        analysis.slack(t) + demotion_shortfall(state, analysis, t) for t in tcb
     ]
     window = max(shortfalls, default=0.0) + state.options.timing_tolerance
 
@@ -134,8 +141,7 @@ def get_cpn(state: ScalingState,
     nodes = [
         name
         for name in sorted(cone, key=position.__getitem__)
-        if not network.nodes[name].is_input
-        and analysis.slack(name) <= window
+        if not network.nodes[name].is_input and analysis.slack(name) <= window
     ]
     node_set = set(nodes)
     edges = [
@@ -150,10 +156,13 @@ def get_cpn(state: ScalingState,
     return nodes, edges, sources, sinks
 
 
-def run_gscale(state: ScalingState,
-               max_iter: int = DEFAULT_MAX_ITER,
-               area_budget: float = DEFAULT_AREA_BUDGET) -> GscaleResult:
+def run_gscale(
+    state: ScalingState,
+    max_iter: int = DEFAULT_MAX_ITER,
+    area_budget: float = DEFAULT_AREA_BUDGET,
+) -> GscaleResult:
     """The full Gscale loop of the paper's section 3 pseudo-code."""
+    engine = MoveEngine(state)
     initial = run_cvs(state)
     result = GscaleResult(initial_cvs=initial)
     result.demoted.extend(initial.demoted)
@@ -193,16 +202,17 @@ def run_gscale(state: ScalingState,
 
         cut: list[str] = []
         if nodes and sources and sinks:
-            cut, _ = min_weight_separator(nodes, edges, weights,
-                                          sources, sinks)
+            cut, _ = min_weight_separator(
+                nodes, edges, weights, sources, sinks
+            )
 
-        # Apply the separator's resizes one by one, each verified as a
-        # what-if timing transaction: an upsize speeds the resized stage
-        # but loads its drivers, and on zero-slack logic only the
-        # measured circuit can arbitrate that trade.  Only the resized
-        # gate's cone is re-timed per attempt, and a rejected upsize is
-        # rolled back from the journal instead of re-propagated.
-        applied: list[tuple[str, object]] = []
+        # Apply the separator's resizes one by one, each a transactional
+        # ResizeMove: an upsize speeds the resized stage but loads its
+        # drivers, and on zero-slack logic only the measured circuit can
+        # arbitrate that trade.  Only the resized gate's cone is
+        # re-timed per attempt, and a rejected upsize is rolled back
+        # from the journal instead of re-propagated.
+        applied: list[str] = []
         worst_before = analysis.worst_delay
         for name in cut:
             if name not in profiles:
@@ -218,19 +228,13 @@ def run_gscale(state: ScalingState,
             growth = bigger.area - node.cell.area
             if state.sizing_area_delta + growth > sizing_budget:
                 continue
-            old_cell = node.cell
-            state.begin_move()
-            state.resize(name, bigger)
-            check = state.timing()
-            if (check.meets_timing(state.options.timing_tolerance)
-                    and check.worst_delay <= worst_before + 1e-12):
-                worst_before = check.worst_delay
-                applied.append((name, old_cell))
-                state.commit_move()
-            else:
-                state.resize(name, old_cell)
-                state.rollback_move()
-        result.resized.extend(name for name, _ in applied)
+            if engine.try_move(
+                ResizeMove(name, bigger),
+                worst_delay_cap=worst_before + 1e-12,
+            ):
+                worst_before = engine.last_worst_delay
+                applied.append(name)
+        result.resized.extend(applied)
 
         follow_up = run_cvs(state)
         result.demoted.extend(follow_up.demoted)
@@ -245,7 +249,9 @@ def run_gscale(state: ScalingState,
         # unchanged -- the iteration left the state bit-identical, so
         # every further iteration is provably identical too.  Burning
         # the remaining max_iter retries cannot change the outcome.
-        at_fixed_point = not applied and not follow_up.demoted and new_tcb == tcb
+        at_fixed_point = (
+            not applied and not follow_up.demoted and new_tcb == tcb
+        )
         tcb = new_tcb
         if counter > max_iter or at_fixed_point:
             break

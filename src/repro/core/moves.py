@@ -1,0 +1,516 @@
+"""The unified move engine: one transactional layer under CVS/Dscale/Gscale.
+
+The paper's three algorithms share one hidden structure -- propose a
+mutation, price it, verify timing, commit or roll back -- which each of
+them used to reimplement ad hoc.  This module makes that structure
+explicit:
+
+* a :class:`Move` is one reversible state mutation
+  (:class:`DemoteMove`, :class:`PromoteMove`, :class:`ResizeMove`,
+  :class:`RetargetShifterMove`, :class:`DropConverterMove`) with
+  ``apply(state)`` / ``undo(state)`` and an optional ``price`` hook;
+* a :class:`CostModel` turns a candidate move into a power gain figure
+  (uW saved); the registry ships the seed paper arithmetic
+  (:class:`PaperCostModel`, the default -- bit-identical to the
+  pre-refactor inlined computation) and a placement-aware level-shifter
+  model (:class:`PlacementAwareCostModel`) in the spirit of the
+  level-shifter-assignment floorplanning line (arXiv:1402.2894,
+  arXiv:1402.3149), where a shifter's wiring cost is a first-class
+  term, not free;
+* a :class:`MoveEngine` executes moves either unconditionally
+  (:meth:`MoveEngine.apply` -- CVS's pre-verified demotions) or as
+  what-if transactions (:meth:`MoveEngine.try_move` -- Gscale's
+  per-resize verification, Dscale's converter cleanup and shifter
+  retargeting) riding the existing
+  ``begin_move()/commit_move()/rollback_move()`` timing journal, and
+  accumulates per-move-kind counters into the state's
+  :class:`MoveStats`.
+
+Two capabilities exist *because* of this layer (both N-rail-only, so
+the two-rail golden stays bit-identical):
+
+* **non-adjacent demotion** -- ``DemoteMove(name, target=k)`` drops a
+  gate several rails in one move, escaping the local minimum where
+  every single-rail step prices negative but the deep drop is a win;
+* **shifter retargeting** -- ``RetargetShifterMove`` demotes a driver
+  that already carries shifters, letting the kept groups re-target
+  their destination rails mid-demotion instead of deferring the gate
+  to the cleanup pass; the move is verified transactionally (exact
+  engine timing plus a measured power improvement) because the
+  closed-form candidate check cannot price a regrouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.estimate import demotion_gain
+from repro.timing.delay import OUTPUT
+
+MOVE_KINDS = ("demote", "promote", "resize", "retarget", "drop_converter")
+"""Every move kind a stats table may carry, in reporting order."""
+
+
+# -- statistics --------------------------------------------------------
+
+
+@dataclass
+class MoveStats:
+    """Per-move-kind counters of one scaling run.
+
+    ``attempted`` counts every move handed to the engine; ``committed``
+    the ones that stuck; ``rolled_back`` the transactional attempts the
+    verification rejected.  Unconditional applies count as attempted +
+    committed.
+    """
+
+    attempted: dict[str, int] = field(default_factory=dict)
+    committed: dict[str, int] = field(default_factory=dict)
+    rolled_back: dict[str, int] = field(default_factory=dict)
+
+    def note(self, kind: str, committed: bool) -> None:
+        self.attempted[kind] = self.attempted.get(kind, 0) + 1
+        table = self.committed if committed else self.rolled_back
+        table[kind] = table.get(kind, 0) + 1
+
+    def count(self, kind: str) -> int:
+        """Committed moves of one kind."""
+        return self.committed.get(kind, 0)
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """A plain, deterministically-ordered JSON-ready snapshot."""
+        return {
+            "attempted": {
+                k: self.attempted[k] for k in sorted(self.attempted)
+            },
+            "committed": {
+                k: self.committed[k] for k in sorted(self.committed)
+            },
+            "rolled_back": {
+                k: self.rolled_back[k] for k in sorted(self.rolled_back)
+            },
+        }
+
+
+# -- moves -------------------------------------------------------------
+
+
+class Move:
+    """One reversible mutation of a :class:`ScalingState`.
+
+    ``apply`` performs the mutation through the state's observed
+    collections (so every timing invalidation routes automatically) and
+    records whatever ``undo`` needs to revert it exactly.  ``price``
+    asks a :class:`CostModel` for the move's power gain in uW (positive
+    = saves power); moves whose selection is not gain-driven return 0.
+    """
+
+    kind = "move"
+
+    def apply(self, state) -> None:
+        raise NotImplementedError
+
+    def undo(self, state) -> None:
+        raise NotImplementedError
+
+    def price(self, state, model: "CostModel") -> float:
+        return 0.0
+
+
+class DemoteMove(Move):
+    """Drop one gate to a lower rail, splicing the required shifters.
+
+    ``target=None`` is the classic one-rail step; an explicit deeper
+    ``target`` is a *non-adjacent* demotion -- one transactional jump
+    past the intermediate rails (N-rail libraries only; a two-rail
+    library has no non-adjacent pair).
+    """
+
+    kind = "demote"
+
+    def __init__(self, name: str, target: int | None = None):
+        self.name = name
+        self.target = target
+        self._old_rail: int = 0
+        self._new_edges: tuple[tuple[str, str], ...] = ()
+
+    def apply(self, state) -> None:
+        self._old_rail = state.rail_of(self.name)
+        self._new_edges = tuple(state.demote(self.name, target=self.target))
+
+    def undo(self, state) -> None:
+        for edge in self._new_edges:
+            state.lc_edges.discard(edge)
+        state.levels[self.name] = self._old_rail
+
+    def price(self, state, model: "CostModel") -> float:
+        return model.demotion_gain(state, self.name, target=self.target)
+
+
+class RetargetShifterMove(DemoteMove):
+    """Demote a driver whose existing shifters must re-target.
+
+    Dropping a shifter-carrying driver changes the destination rail of
+    its kept converter groups (``DelayCalculator.converter_rail`` is a
+    function of the driver's rail), so the demotion and the retargeting
+    are one atomic move.  The closed-form per-candidate check cannot
+    price this -- such gates were historically deferred to the cleanup
+    pass -- so the move is meant for :meth:`MoveEngine.try_move`, where
+    the incremental engine re-times the mutated cone exactly.
+    """
+
+    kind = "retarget"
+
+
+class PromoteMove(Move):
+    """Raise a gate one rail, restoring the converter edges it had."""
+
+    kind = "promote"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._old_rail: int = 0
+        self._old_edges: tuple[tuple[str, str], ...] = ()
+
+    def apply(self, state) -> None:
+        self._old_rail = state.rail_of(self.name)
+        self._old_edges = tuple(
+            (self.name, reader)
+            for reader in state.lc_edges.readers_of(self.name)
+        )
+        state.promote(self.name)
+
+    def undo(self, state) -> None:
+        state.levels[self.name] = self._old_rail
+        state.lc_edges.update(self._old_edges)
+
+
+class ResizeMove(Move):
+    """Swap a gate's bound cell for another size of the same base."""
+
+    kind = "resize"
+
+    def __init__(self, name: str, cell):
+        self.name = name
+        self.cell = cell
+        self._old_cell = None
+
+    def apply(self, state) -> None:
+        self._old_cell = state.network.nodes[self.name].cell
+        state.resize(self.name, self.cell)
+
+    def undo(self, state) -> None:
+        state.resize(self.name, self._old_cell)
+
+    @property
+    def old_cell(self):
+        """The cell the gate carried before :meth:`apply` (or ``None``)."""
+        return self._old_cell
+
+
+class DropConverterMove(Move):
+    """Remove one converter edge (the cleanup pass's unit of work)."""
+
+    kind = "drop_converter"
+
+    def __init__(self, edge: tuple[str, str]):
+        self.edge = edge
+
+    def apply(self, state) -> None:
+        state.lc_edges.discard(self.edge)
+
+    def undo(self, state) -> None:
+        state.lc_edges.add(self.edge)
+
+
+# -- cost models -------------------------------------------------------
+
+
+class CostModel:
+    """Prices candidate moves; the optimizers select on these figures.
+
+    A model returns *power gain in uW* (positive = the move saves
+    power).  Subclass and :func:`register_cost_model` to experiment
+    with alternative economics -- the optimizers never hard-code the
+    arithmetic.
+    """
+
+    name = ""
+    description = ""
+
+    def demotion_gain(
+        self, state, name: str, target: int | None = None
+    ) -> float:
+        """Power saved by dropping ``name`` to ``target`` (uW)."""
+        raise NotImplementedError
+
+
+class PaperCostModel(CostModel):
+    """The seed paper's cost arithmetic, verbatim.
+
+    Delegates to :func:`repro.power.estimate.demotion_gain` with the
+    state's own knobs -- the exact call the pre-refactor Dscale loop
+    inlined, so selecting this model (the default) keeps the two-rail
+    golden bit-identical.
+    """
+
+    name = "paper"
+    description = (
+        "eq. (1) demotion gain: net re-swing + internal-energy drop "
+        "minus new shifter energy (the seed arithmetic)"
+    )
+
+    def demotion_gain(
+        self, state, name: str, target: int | None = None
+    ) -> float:
+        return demotion_gain(
+            state.calc,
+            state.activity,
+            name,
+            clock_mhz=state.options.clock_mhz,
+            lc_at_outputs=state.options.lc_at_outputs,
+            target=target,
+        )
+
+
+class PlacementAwareCostModel(PaperCostModel):
+    """Paper gain minus a placement cost per new level shifter.
+
+    The virtual converter model assumes receiver-integrated shifters
+    whose output nets carry no interconnect.  Placed as standalone
+    cells (the region-based shifter-assignment formulation of
+    arXiv:1402.2894), each new shifter's output net does carry an
+    estimated wire load proportional to the fanout it serves; this
+    model charges that wire's switching energy -- at the destination
+    rail's swing -- against the demotion gain, making shifter-heavy
+    demotions less attractive exactly where floorplanning would
+    struggle to absorb them.
+    """
+
+    name = "placement"
+    description = (
+        "paper gain minus estimated shifter-output wire energy "
+        "(standalone-placed level shifters, per destination rail)"
+    )
+
+    def __init__(self, wire_factor: float = 1.0):
+        self.wire_factor = wire_factor
+
+    def demotion_gain(
+        self, state, name: str, target: int | None = None
+    ) -> float:
+        gain = super().demotion_gain(state, name, target=target)
+        calc = state.calc
+        change = calc.demotion_net_change(
+            name, state.options.lc_at_outputs, target=target
+        )
+        if not change.new_edges:
+            return gain
+        readers_per_rail: dict[int, int] = {}
+        for _driver, reader in change.new_edges:
+            rail = 0 if reader == OUTPUT else state.rail_of(reader)
+            readers_per_rail[rail] = readers_per_rail.get(rail, 0) + 1
+        a01 = state.activity.rate01(name)
+        clock_mhz = state.options.clock_mhz
+        wire = state.library.wire_model
+        rails = state.rails
+        for rail in sorted(readers_per_rail):
+            wire_cap = self.wire_factor * wire.cap(readers_per_rail[rail])
+            vdd = rails[rail]
+            gain -= a01 * clock_mhz * wire_cap * vdd * vdd * 1e-3
+        return gain
+
+
+BUILTIN_COST_MODELS = ("paper", "placement")
+"""Always-registered cost models; ``paper`` is the default and is
+bit-identical to the seed arithmetic."""
+
+_COST_MODELS: dict[str, CostModel] = {}
+
+
+def register_cost_model(model: CostModel, replace: bool = False) -> CostModel:
+    """Make ``model`` selectable by name (``FlowConfig.cost_model``).
+
+    Registering over an existing name raises unless ``replace=True`` --
+    silently shadowing ``paper`` would corrupt every downstream table.
+    """
+    if not model.name:
+        raise ValueError("a cost model needs a non-empty name")
+    if not replace and model.name in _COST_MODELS:
+        raise ValueError(
+            f"cost model {model.name!r} is already registered; "
+            f"pass replace=True to override it"
+        )
+    _COST_MODELS[model.name] = model
+    return model
+
+
+def unregister_cost_model(name: str) -> None:
+    """Remove a custom cost model (builtins stay)."""
+    if name in BUILTIN_COST_MODELS:
+        raise ValueError(
+            f"built-in cost model {name!r} cannot be unregistered"
+        )
+    _COST_MODELS.pop(name, None)
+
+
+def get_cost_model(model: str | CostModel | None) -> CostModel:
+    """Resolve a name (or pass an instance through) to a cost model."""
+    if model is None:
+        return _COST_MODELS["paper"]
+    if isinstance(model, CostModel):
+        return model
+    try:
+        return _COST_MODELS[model]
+    except KeyError:
+        raise ValueError(
+            f"cost model must be one of the registered models "
+            f"{registered_cost_models()}, got {model!r}"
+        ) from None
+
+
+def registered_cost_models() -> tuple[str, ...]:
+    """Every registered cost model name, builtins first."""
+    return tuple(_COST_MODELS)
+
+
+def list_cost_models() -> tuple[CostModel, ...]:
+    return tuple(_COST_MODELS.values())
+
+
+register_cost_model(PaperCostModel())
+register_cost_model(PlacementAwareCostModel())
+
+
+# -- the engine --------------------------------------------------------
+
+
+class MoveEngine:
+    """Executes moves on one state, transactionally or not.
+
+    The engine owns no state of its own beyond the resolved cost model:
+    counters accumulate into ``state.move_stats``, so CVS running
+    inside Dscale or Gscale reports into the same table.
+    """
+
+    def __init__(self, state, cost_model: str | CostModel | None = None):
+        self.state = state
+        self.cost_model = get_cost_model(cost_model)
+        self.stats: MoveStats = state.move_stats
+        #: Post-move worst delay of the last :meth:`try_move` attempt.
+        #: Saves committed-move callers a redundant full STA rebuild in
+        #: non-incremental mode (the transaction already computed it).
+        self.last_worst_delay: float | None = None
+
+    def price(self, move: Move) -> float:
+        """The move's power gain (uW) under the engine's cost model."""
+        return move.price(self.state, self.cost_model)
+
+    def apply(self, move: Move) -> None:
+        """Apply unconditionally (the caller already verified it)."""
+        move.apply(self.state)
+        self.stats.note(move.kind, committed=True)
+
+    def try_move(
+        self,
+        move: Move,
+        worst_delay_cap: float | None = None,
+        require_power_gain: bool = False,
+        power_before: float | None = None,
+    ) -> bool:
+        """Apply ``move`` as a what-if transaction; keep it only if legal.
+
+        The move is applied inside a timing transaction and kept when
+        the circuit still meets ``tspec`` (within the state's timing
+        tolerance), the worst delay does not exceed ``worst_delay_cap``
+        (when given), and -- with ``require_power_gain`` -- the
+        measured total power strictly improved over ``power_before``
+        (measured here when the caller does not supply it; callers
+        attempting many moves against one unchanged state pass the
+        baseline in to skip the redundant O(network) estimations).  A
+        rejected move is undone and the journaled timing values are
+        restored without recomputation.  Returns whether the move was
+        committed.
+        """
+        state = self.state
+        if require_power_gain and power_before is None:
+            power_before = state.power().total
+        state.begin_move()
+        try:
+            move.apply(state)
+            check = state.timing()
+            ok = check.meets_timing(state.options.timing_tolerance)
+            self.last_worst_delay = check.worst_delay
+            if ok and worst_delay_cap is not None:
+                ok = self.last_worst_delay <= worst_delay_cap
+            if ok and require_power_gain:
+                ok = state.power().total < power_before
+        except BaseException:
+            # A raising move (a custom Move, a bad target) must not
+            # leave the timing transaction open and the state half
+            # mutated -- that would brick every later transactional
+            # call with "a timing transaction is already active".
+            # rollback_move runs even when undo itself raises.
+            self.stats.note(move.kind, committed=False)
+            try:
+                move.undo(state)
+            finally:
+                state.rollback_move()
+            raise
+        if ok:
+            state.commit_move()
+        else:
+            move.undo(state)
+            state.rollback_move()
+        self.stats.note(move.kind, committed=ok)
+        return ok
+
+
+# -- shared candidate arithmetic ---------------------------------------
+
+
+def demoted_arrival(
+    state, name: str, target: int, arrival, load_after: float
+) -> float:
+    """Post-demotion output arrival of ``name`` from snapshot arrivals.
+
+    The single arithmetic all three optimizers price candidates with:
+    the gate's stage delay at the destination-rail twin driving the
+    post-demotion net load, fed by the snapshot arrivals plus any
+    existing converter delay on the input edges.  Exact given the
+    snapshot: a demotion changes only this gate's own stage delay (and,
+    at the boundary, its load).
+    """
+    calc = state.calc
+    node = state.network.nodes[name]
+    low_cell = calc.rail_variant_of(node.cell, target)
+    out_arrival = 0.0
+    for pin, fanin in enumerate(node.fanins):
+        at_pin = arrival[fanin] + calc.edge_extra_delay(fanin, name)
+        at_pin += low_cell.pin_delay(pin, load_after)
+        if at_pin > out_arrival:
+            out_arrival = at_pin
+    return out_arrival
+
+
+__all__ = [
+    "BUILTIN_COST_MODELS",
+    "MOVE_KINDS",
+    "CostModel",
+    "DemoteMove",
+    "DropConverterMove",
+    "Move",
+    "MoveEngine",
+    "MoveStats",
+    "PaperCostModel",
+    "PlacementAwareCostModel",
+    "PromoteMove",
+    "ResizeMove",
+    "RetargetShifterMove",
+    "demoted_arrival",
+    "get_cost_model",
+    "list_cost_models",
+    "register_cost_model",
+    "registered_cost_models",
+    "unregister_cost_model",
+]

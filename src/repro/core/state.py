@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Callable
 
+from repro.core.moves import MoveStats
 from repro.library.cells import Library
 from repro.netlist.network import Network
 from repro.netlist.validate import check_network
@@ -277,6 +278,11 @@ class ScalingState:
         self.initial_area = self.calc.total_area()
         self.resized: dict[str, tuple[str, str]] = {}
         self._sizing_delta_cache: float | None = 0.0
+        # Per-move-kind counters every MoveEngine over this state
+        # accumulates into (one table per run, shared across the
+        # optimizers so CVS inside Gscale reports alongside the
+        # resizes).
+        self.move_stats = MoveStats()
 
     # ------------------------------------------------------------------
     # Mutation observers
@@ -457,9 +463,16 @@ class ScalingState:
     # Moves
     # ------------------------------------------------------------------
 
-    def new_lc_edges_for(self, name: str) -> list[tuple[str, str]]:
-        """Converter edges a one-rail demotion of ``name`` would add."""
-        target = self.rail_of(name) + 1
+    def new_lc_edges_for(self, name: str,
+                         target: int | None = None) -> list[tuple[str, str]]:
+        """Converter edges a demotion of ``name`` to ``target`` would add.
+
+        ``target=None`` prices the classic one-rail step; a deeper
+        ``target`` prices a non-adjacent demotion (every reader still
+        above ``target`` needs a converter).
+        """
+        if target is None:
+            target = self.rail_of(name) + 1
         edges = []
         for reader in self.network.fanouts(name):
             if (self.rail_of(reader) < target
@@ -473,15 +486,30 @@ class ScalingState:
             edges.append((name, OUTPUT))
         return edges
 
-    def demote(self, name: str) -> list[tuple[str, str]]:
-        """Drop ``name`` one rail and splice the required converters."""
+    def demote(self, name: str,
+               target: int | None = None) -> list[tuple[str, str]]:
+        """Drop ``name`` to a lower rail and splice the required converters.
+
+        ``target=None`` drops one rail (the classic move); an explicit
+        deeper ``target`` performs a non-adjacent demotion in a single
+        mutation -- one level-table write, one batch of new converter
+        edges -- so the timing engine repairs the cone once, not once
+        per intermediate rail.
+        """
         node = self.network.nodes[name]
         if node.is_input:
             raise ValueError("primary inputs cannot be demoted")
-        target = self.rail_of(name) + 1
+        rail = self.rail_of(name)
+        if target is None:
+            target = rail + 1
         if target >= self.n_rails:
             raise ValueError(f"{name!r} is already at the lowest rail")
-        edges = self.new_lc_edges_for(name)
+        if target <= rail:
+            raise ValueError(
+                f"demotion target {target} must sit below {name!r}'s "
+                f"current rail {rail}"
+            )
+        edges = self.new_lc_edges_for(name, target)
         self.levels[name] = target
         self.lc_edges.update(edges)
         return edges

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.api.artifact import (
+    DEFAULT_COST_MODEL,
     CircuitResult,
     RunArtifact,
     ScalingReport,
@@ -122,11 +123,13 @@ def job_deadline(seconds: float | None):
 
 @dataclass(frozen=True)
 class CampaignJob:
-    """One cell of the sweep: circuit x method x rails x slack.
+    """One cell of the sweep: circuit x method x rails x slack x cost model.
 
     ``rails=()`` is the classic dual-Vdd job at ``(5 V, vdd_low)``; a
     non-empty ``rails`` tuple (ordered, highest first) runs the N-rail
     flow, and ``vdd_low`` then mirrors ``rails[1]`` for aggregation.
+    ``cost_model`` names a registered move-pricing model (the default
+    ``paper`` keeps historical job ids unchanged).
     """
 
     circuit: str
@@ -134,6 +137,7 @@ class CampaignJob:
     vdd_low: float = DEFAULT_VDD_LOW
     slack_factor: float = DEFAULT_SLACK_FACTOR
     rails: RailSet = ()
+    cost_model: str = DEFAULT_COST_MODEL
 
     @property
     def job_id(self) -> str:
@@ -143,6 +147,7 @@ class CampaignJob:
             self.vdd_low,
             self.slack_factor,
             self.rails,
+            self.cost_model,
         )
 
     @property
@@ -173,6 +178,7 @@ class CampaignJob:
             slack_factor=self.slack_factor,
             max_iter=max_iter,
             area_budget=area_budget,
+            cost_model=self.cost_model,
         )
 
 
@@ -182,19 +188,37 @@ def build_jobs(
     vdd_lows: Sequence[float] = (DEFAULT_VDD_LOW,),
     slack_factors: Sequence[float] = (DEFAULT_SLACK_FACTOR,),
     rails_sets: Sequence[RailSet] = (),
+    cost_models: Sequence[str] = (DEFAULT_COST_MODEL,),
 ) -> list[CampaignJob]:
     """The full cross product, in deterministic order.
 
     ``rails_sets`` opens the MSV grid dimension: when given, each rail
     set replaces the ``vdd_lows`` axis (a rail set fixes every supply,
-    including the high one).
+    including the high one).  ``cost_models`` opens the move-pricing
+    dimension -- but only for methods whose registration declares
+    ``prices_moves`` (Dscale among the builtins): a method that never
+    consults the cost model appears exactly once per grid point, under
+    the default model, rather than as N identically-computed rows
+    mislabeled with models that could not have influenced them.
     """
+    from repro.api.registry import get_method
+    from repro.core.moves import get_cost_model
+
     for method in methods:
         if not is_registered(method):
             raise ValueError(
                 f"method must be one of the registered scaling methods "
                 f"{registered_names()}, got {method!r}"
             )
+    for cost_model in cost_models:
+        get_cost_model(cost_model)  # raises on an unknown name
+    method_models: dict[str, tuple[str, ...]] = {}
+    for method in methods:
+        if get_method(method).prices_moves:
+            method_models[method] = tuple(cost_models)
+        else:
+            method_models[method] = (DEFAULT_COST_MODEL,)
+
     if rails_sets:
         normalized: list[RailSet] = []
         for rails in rails_sets:
@@ -206,17 +230,21 @@ def build_jobs(
             normalized.append(rails)
         return [
             CampaignJob(
-                circuit=c, method=m, vdd_low=r[1], slack_factor=s, rails=r
+                circuit=c, method=m, vdd_low=r[1], slack_factor=s, rails=r,
+                cost_model=cm,
             )
             for c, r, s, m in itertools.product(
                 circuits, normalized, slack_factors, methods
             )
+            for cm in method_models[m]
         ]
     return [
-        CampaignJob(circuit=c, method=m, vdd_low=v, slack_factor=s)
+        CampaignJob(circuit=c, method=m, vdd_low=v, slack_factor=s,
+                    cost_model=cm)
         for c, v, s, m in itertools.product(
             circuits, vdd_lows, slack_factors, methods
         )
+        for cm in method_models[m]
     ]
 
 
@@ -329,6 +357,7 @@ def make_row(
         vdd_low=job.vdd_low,
         slack_factor=job.slack_factor,
         rails=job.rails,
+        cost_model=job.cost_model,
         status="ok",
         gates=gates,
         org_power_uw=report.power_before_uw,
@@ -349,6 +378,7 @@ def make_failed_row(
         vdd_low=job.vdd_low,
         slack_factor=job.slack_factor,
         rails=job.rails,
+        cost_model=job.cost_model,
         timeout=isinstance(exc, JobTimeout),
         runtime_s=runtime_s,
     ).to_row()
@@ -400,9 +430,9 @@ def run_job_group(
         started = time.perf_counter()
         try:
             with job_deadline(timeout_s):
-                artifact = base.replace(method=job.method).run(
-                    prepared=prepared
-                )
+                artifact = base.replace(
+                    method=job.method, cost_model=job.cost_model
+                ).run(prepared=prepared)
         except Exception as exc:  # JobTimeout included
             rows.append(
                 make_failed_row(job, exc, time.perf_counter() - started)
@@ -563,24 +593,31 @@ def row_rails(row: dict[str, Any]) -> RailSet:
     return tuple(row.get("rails") or ())
 
 
+def row_cost_model(row: dict[str, Any]) -> str:
+    """A row's cost model; rows older than schema 3 used the paper's."""
+    return row.get("cost_model") or DEFAULT_COST_MODEL
+
+
 def rows_to_results(
     rows: Iterable[dict[str, Any]],
     vdd_low: float | None = None,
     slack_factor: float | None = None,
     rails: RailSet | None = None,
+    cost_model: str | None = None,
 ) -> list[CircuitResult]:
     """Fold ok-rows back into per-circuit results.
 
-    ``vdd_low`` / ``slack_factor`` / ``rails`` filter a sweep store
-    down to one grid point (defaulting to the only point present;
-    ambiguous stores must be filtered explicitly; ``rails=()`` selects
-    the classic dual-Vdd rows).  Later rows win over earlier rows with
-    the same job id, so a store produced by repeated resumes aggregates
-    to the freshest run of every job.
+    ``vdd_low`` / ``slack_factor`` / ``rails`` / ``cost_model`` filter
+    a sweep store down to one grid point (defaulting to the only point
+    present; ambiguous stores must be filtered explicitly; ``rails=()``
+    selects the classic dual-Vdd rows).  Later rows win over earlier
+    rows with the same job id, so a store produced by repeated resumes
+    aggregates to the freshest run of every job.
     """
     ok_rows = [r for r in rows if r.get("status") == "ok"]
     points = {
-        (r["vdd_low"], r["slack_factor"], row_rails(r)) for r in ok_rows
+        (r["vdd_low"], r["slack_factor"], row_rails(r), row_cost_model(r))
+        for r in ok_rows
     }
     if vdd_low is not None:
         points = {p for p in points if p[0] == vdd_low}
@@ -592,11 +629,14 @@ def rows_to_results(
         rails = tuple(float(v) for v in rails)
         points = {p for p in points if p[2] == rails}
         ok_rows = [r for r in ok_rows if row_rails(r) == rails]
+    if cost_model is not None:
+        points = {p for p in points if p[3] == cost_model}
+        ok_rows = [r for r in ok_rows if row_cost_model(r) == cost_model]
     if len(points) > 1:
         raise ValueError(
             "store holds a sweep over "
-            f"{sorted(points)}; pass vdd_low=/slack_factor=/rails= to "
-            "select one grid point"
+            f"{sorted(points)}; pass vdd_low=/slack_factor=/rails=/"
+            "cost_model= to select one grid point"
         )
 
     # Last row per job id wins (a store spanning repeated resumes keeps
@@ -642,6 +682,7 @@ __all__ = [
     "run_campaign",
     "make_row",
     "make_failed_row",
+    "row_cost_model",
     "row_rails",
     "rows_to_results",
     "sweep_points",

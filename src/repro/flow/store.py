@@ -40,6 +40,7 @@ from __future__ import annotations
 import json
 import os
 from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
 from typing import Any
 
 from repro.api.artifact import SCHEMA_VERSION
@@ -244,6 +245,150 @@ def merge_stores(
     return _write_compacted(rows, os.fspath(out_path))
 
 
+@dataclass
+class StoreProgress:
+    """Completion picture of one store (one campaign shard, usually)."""
+
+    path: str
+    rows: int = 0
+    ok: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    superseded: int = 0
+    last_finished_at: str = ""
+
+    def describe(self) -> str:
+        tail = (
+            f", last row {self.last_finished_at}"
+            if self.last_finished_at
+            else ""
+        )
+        return (
+            f"{self.path}: {self.ok} ok, {self.failed} failed"
+            f" ({self.timeouts} timeout), {self.superseded} superseded"
+            f"{tail}"
+        )
+
+
+@dataclass
+class CampaignProgress:
+    """Cross-shard aggregation of several :class:`StoreProgress`.
+
+    Shard counts apply last-row-wins *within* each store; the aggregate
+    applies it again *across* stores in argument order -- exactly the
+    rule :func:`merge_stores` materializes -- so ``ok`` / ``failed``
+    here predict the post-merge store.  ``expected_jobs`` (when the
+    caller knows the full grid size, e.g. from ``build_jobs``) turns
+    the counts into a completion percentage.
+    """
+
+    stores: list[StoreProgress]
+    ok: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    expected_jobs: int | None = None
+
+    @property
+    def completed(self) -> int:
+        return self.ok + self.failed
+
+    @property
+    def remaining(self) -> int | None:
+        if self.expected_jobs is None:
+            return None
+        return max(0, self.expected_jobs - self.ok)
+
+    @property
+    def percent_ok(self) -> float | None:
+        if not self.expected_jobs:
+            return None
+        return 100.0 * self.ok / self.expected_jobs
+
+    def describe(self) -> str:
+        lines = [store.describe() for store in self.stores]
+        summary = (
+            f"total: {self.ok} ok, {self.failed} failed "
+            f"({self.timeouts} timeout) across {len(self.stores)} store(s)"
+        )
+        if self.expected_jobs:  # 0 has no meaningful percentage
+            summary += (
+                f"; {self.percent_ok:.1f}% of {self.expected_jobs} jobs ok, "
+                f"{self.remaining} to go"
+            )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _freshest_by_job(rows: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    """Last-row-wins fold of ``rows`` (rows without a job id dropped)."""
+    fresh: dict[str, dict[str, Any]] = {}
+    for row in rows:
+        job_id = row.get("job_id")
+        if job_id is not None:
+            fresh[job_id] = row
+    return fresh
+
+
+def store_progress(
+    path: str | os.PathLike[str],
+    rows: list[dict[str, Any]] | None = None,
+) -> StoreProgress:
+    """Summarize one store: freshest-row status counts + staleness.
+
+    ``rows`` lets a caller that already loaded the store (the
+    cross-shard aggregation) skip the re-read.
+    """
+    if rows is None:
+        rows = ResultStore(path).load()
+    fresh = _freshest_by_job(rows)
+    identified = sum(1 for row in rows if row.get("job_id") is not None)
+    progress = StoreProgress(path=os.fspath(path), rows=len(rows))
+    progress.superseded = identified - len(fresh)
+    for row in fresh.values():
+        if row.get("status") == "ok":
+            progress.ok += 1
+        else:
+            progress.failed += 1
+            if row.get("timeout"):
+                progress.timeouts += 1
+    progress.last_finished_at = max(
+        (row.get("finished_at", "") for row in rows), default=""
+    )
+    return progress
+
+
+def campaign_progress(
+    paths: Sequence[str | os.PathLike[str]],
+    expected_jobs: int | None = None,
+) -> CampaignProgress:
+    """Aggregate shard stores into one cross-campaign completion picture.
+
+    The aggregate deduplicates job ids *across* the stores (later paths
+    win, matching :func:`merge_stores`), so a job re-run on two shards
+    counts once.
+    """
+    if not paths:
+        raise ValueError("campaign_progress needs at least one store")
+    per_store_rows = [ResultStore(path).load() for path in paths]
+    stores = [
+        store_progress(path, rows)
+        for path, rows in zip(paths, per_store_rows)
+    ]
+    merged_rows: list[dict[str, Any]] = []
+    for rows in per_store_rows:
+        merged_rows.extend(rows)
+    fresh = _freshest_by_job(merged_rows)
+    progress = CampaignProgress(stores=stores, expected_jobs=expected_jobs)
+    for row in fresh.values():
+        if row.get("status") == "ok":
+            progress.ok += 1
+        else:
+            progress.failed += 1
+            if row.get("timeout"):
+                progress.timeouts += 1
+    return progress
+
+
 class CompactionStats:
     """What :meth:`ResultStore.compact` did."""
 
@@ -279,9 +424,13 @@ __all__ = [
     "SCHEMA_VERSION",
     "VOLATILE_FIELDS",
     "VOLATILE_REPORT_FIELDS",
+    "CampaignProgress",
     "CompactionStats",
     "ResultStore",
+    "StoreProgress",
+    "campaign_progress",
     "merge_stores",
     "normalize_row",
     "rows_equal",
+    "store_progress",
 ]

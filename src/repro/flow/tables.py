@@ -16,6 +16,23 @@ from repro.bench.paper_data import PAPER_AVERAGES, PAPER_TABLE1, PAPER_TABLE2
 _METHOD_ORDER = ("cvs", "dscale", "gscale")
 
 
+def _pct_cell(result: CircuitResult, method: str) -> str:
+    """One Table-1 improvement column; a dash when the store holds no
+    row for this method (method-subset or cost-model-filtered runs)."""
+    report = result.reports.get(method)
+    if report is None:
+        return f"{'-':>7}"
+    return f"{report.improvement_pct:7.2f}"
+
+
+def _profile_cells(result: CircuitResult, method: str) -> str:
+    """One Table-2 (count, ratio) column pair, dashed when absent."""
+    report = result.reports.get(method)
+    if report is None:
+        return f"{'-':>6} {'-':>6}"
+    return f"{report.n_low:>6d} {report.low_ratio:6.2f}"
+
+
 def suite_averages(results: Iterable[CircuitResult]) -> dict[str, float]:
     """The averages the paper reports under Tables 1 and 2."""
     results = list(results)
@@ -52,8 +69,8 @@ def format_table1(results: Iterable[CircuitResult],
         cpu = r.reports.get("gscale")
         row = (
             f"{r.name:>10} {r.org_power_uw:11.2f} "
-            f"{r.improvement('cvs'):7.2f} {r.improvement('dscale'):7.2f} "
-            f"{r.improvement('gscale'):7.2f} "
+            f"{_pct_cell(r, 'cvs')} {_pct_cell(r, 'dscale')} "
+            f"{_pct_cell(r, 'gscale')} "
             f"{cpu.runtime_s if cpu else 0.0:7.2f}"
         )
         if compare_paper and r.name in PAPER_TABLE1:
@@ -87,15 +104,20 @@ def format_table2(results: Iterable[CircuitResult],
         + ("   | paper ratios" if compare_paper else ""),
     ]
     for r in sorted(results, key=lambda r: r.name):
-        cvs = r.reports["cvs"]
-        dscale = r.reports["dscale"]
-        gscale = r.reports["gscale"]
+        gscale = r.reports.get("gscale")
+        if gscale is None:
+            tail = f"{'-':>6} {'-':>8}"
+        else:
+            tail = (
+                f"{gscale.n_resized:>6d} "
+                f"{gscale.area_increase_ratio:8.3f}"
+            )
         row = (
             f"{r.name:>10} {r.gates:>6d} "
-            f"{cvs.n_low:>6d} {cvs.low_ratio:6.2f} "
-            f"{dscale.n_low:>6d} {dscale.low_ratio:6.2f} "
-            f"{gscale.n_low:>6d} {gscale.low_ratio:6.2f} "
-            f"{gscale.n_resized:>6d} {gscale.area_increase_ratio:8.3f}"
+            f"{_profile_cells(r, 'cvs')} "
+            f"{_profile_cells(r, 'dscale')} "
+            f"{_profile_cells(r, 'gscale')} "
+            f"{tail}"
         )
         if compare_paper and r.name in PAPER_TABLE2:
             p = PAPER_TABLE2[r.name]

@@ -100,6 +100,62 @@ def converter_for_pair(cell: Cell, from_vdd: float, to_vdd: float,
     return derate_cell(cell, to_vdd, vth=vth, alpha=alpha, suffix=suffix)
 
 
+def converter_pairs(rails) -> list[tuple[int, int]]:
+    """Every (source, destination) rail-index pair a shifter can serve.
+
+    With adjacent-only demotion a driver on rail ``s`` only ever feeds
+    shifters toward ``s - 1``; non-adjacent demotion lets any rail
+    ``s >= 1`` drive readers on *every* shallower rail ``d < s``, so
+    the library must cover all upward pairs -- ``n * (n - 1) / 2`` of
+    them.  Because the linear shifter model is input-swing-independent
+    (see :func:`converter_for_pair`), every pair sharing one
+    destination collapses onto that destination's characterization;
+    this enumeration is the contract tests and enrichment validate
+    against.  Pairs are returned destination-major:
+    ``(1, 0), (2, 0), ..., (2, 1), (3, 1), ...``.
+    """
+    rails = tuple(float(v) for v in rails)
+    if len(rails) < 2:
+        raise ValueError(
+            f"a rail set needs at least two supplies, got {rails}"
+        )
+    if any(b >= a for a, b in zip(rails, rails[1:])):
+        raise ValueError(
+            f"rails must be strictly descending (highest first), got {rails}"
+        )
+    return [
+        (source, destination)
+        for destination in range(len(rails) - 1)
+        for source in range(destination + 1, len(rails))
+    ]
+
+
+def converter_cells_for_rails(cell: Cell, rails, vth: float = DEFAULT_VTH,
+                              alpha: float = DEFAULT_ALPHA
+                              ) -> dict[tuple[int, int], Cell]:
+    """Characterize one shifter base for every upward rail pair.
+
+    Builds the full (source, destination) -> cell map of
+    :func:`converter_pairs` -- non-adjacent pairs included -- by
+    re-characterizing ``cell`` at each destination supply.  All pairs
+    sharing a destination map to the *same* cell object, making the
+    swing-independence of the model explicit and giving callers (and
+    tests) one place to check that a multi-rail library can serve any
+    demotion depth.
+    """
+    rails = tuple(float(v) for v in rails)
+    per_destination: dict[int, Cell] = {}
+    table: dict[tuple[int, int], Cell] = {}
+    for source, destination in converter_pairs(rails):
+        if destination not in per_destination:
+            per_destination[destination] = converter_for_pair(
+                cell, from_vdd=rails[source], to_vdd=rails[destination],
+                vth=vth, alpha=alpha, suffix=f"_r{destination}",
+            )
+        table[(source, destination)] = per_destination[destination]
+    return table
+
+
 def dc_leakage_power(vdd_high: float, vdd_low: float, vth: float = DEFAULT_VTH,
                      i_unit_ua: float = 12.0) -> float:
     """Static DC power (uW) of one *unconverted* low-to-high crossing.
@@ -126,6 +182,8 @@ __all__ = [
     "delay_scale",
     "energy_scale",
     "derate_cell",
+    "converter_cells_for_rails",
     "converter_for_pair",
+    "converter_pairs",
     "dc_leakage_power",
 ]

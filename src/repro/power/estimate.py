@@ -132,8 +132,9 @@ def estimate_power_calc(calculator: DelayCalculator, activity: Activity,
 
 def demotion_gain(calculator: DelayCalculator, activity: Activity, name: str,
                   clock_mhz: float = DEFAULT_CLOCK_MHZ,
-                  lc_at_outputs: bool = False) -> float:
-    """Power saved (uW) by dropping gate ``name`` one rail right now.
+                  lc_at_outputs: bool = False,
+                  target: int | None = None) -> float:
+    """Power saved (uW) by dropping gate ``name`` to rail ``target`` now.
 
     Mirrors :func:`estimate_power_calc` term by term: the gate's own net
     re-swings at the destination rail with one shifter pin per new
@@ -141,8 +142,10 @@ def demotion_gain(calculator: DelayCalculator, activity: Activity, name: str,
     internal energy drops to the destination twin's, and each new
     (per-net, per-destination-rail) shifter adds its internal energy
     plus an output net at its own swing carrying the former direct
-    pins.  Positive means the demotion saves power.  With two rails
-    this is exactly the classic Vhigh -> Vlow gain.
+    pins.  Positive means the demotion saves power.  ``target=None``
+    prices the classic one-rail step; a deeper ``target`` prices a
+    non-adjacent demotion.  With two rails this is exactly the classic
+    Vhigh -> Vlow gain.
     """
     network = calculator.network
     library = calculator.library
@@ -151,7 +154,8 @@ def demotion_gain(calculator: DelayCalculator, activity: Activity, name: str,
     if node.is_input:
         raise ValueError("primary inputs cannot be demoted")
     source = calculator.rail_of(name)
-    target = source + 1
+    if target is None:
+        target = source + 1
     if target >= len(rails):
         raise ValueError(f"{name!r} is already at the lowest rail")
 
@@ -161,7 +165,7 @@ def demotion_gain(calculator: DelayCalculator, activity: Activity, name: str,
 
     cell_before = calculator.variant(name)
     cell_after = calculator.rail_variant_of(node.cell, target)
-    change = calculator.demotion_net_change(name, lc_at_outputs)
+    change = calculator.demotion_net_change(name, lc_at_outputs, target)
 
     load_before = calculator.load(name)
     gain = a01 * clock_mhz * (

@@ -365,23 +365,33 @@ class DelayCalculator:
             return self.lc_delay(driver, reader)
         return 0.0
 
-    def demotion_net_change(self, name: str, lc_at_outputs: bool
+    def demotion_net_change(self, name: str, lc_at_outputs: bool,
+                            target: int | None = None
                             ) -> "DemotionNetChange":
-        """Hypothetical net profile if ``name`` dropped one rail now.
+        """Hypothetical net profile if ``name`` dropped to ``target`` now.
 
-        Readers at or below the destination rail (and the primary
-        output, when boundary conversion is off) stay directly on the
-        driver's -- now lower-swing -- net; each higher-rail reader
-        group moves onto one new shifter; readers already behind a
-        shifter keep it.  Returns the driver's new load, the new
-        shifters' output loads per destination rail (empty when none is
-        needed), and the converter edges to record.
+        ``target=None`` prices the classic one-rail step; a deeper
+        ``target`` prices a non-adjacent demotion.  Readers at or below
+        the destination rail (and the primary output, when boundary
+        conversion is off) stay directly on the driver's -- now
+        lower-swing -- net; each higher-rail reader group moves onto
+        one new shifter; readers already behind a shifter keep it.
+        Returns the driver's new load, the new shifters' output loads
+        per destination rail (empty when none is needed), and the
+        converter edges to record.
         """
         network = self.network
         wire = self.library.wire_model
-        target = self.rail_of(name) + 1
+        rail = self.rail_of(name)
+        if target is None:
+            target = rail + 1
         if target >= self.n_rails:
             raise ValueError(f"{name!r} is already at the lowest rail")
+        if target <= rail:
+            raise ValueError(
+                f"demotion target {target} must sit below {name!r}'s "
+                f"current rail {rail}"
+            )
         direct_cap = 0.0
         direct_count = 0
         converter_loads: dict[int, float] = {}

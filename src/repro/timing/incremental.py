@@ -28,6 +28,16 @@ every mutation through exactly one of:
   readers (converter stage delays live on those edges), and a backward
   recompute of the driver and its fanins.
 
+Shifter *retargeting* rides the same two notes: a multi-rail rail
+change re-derives ``converter_rail`` for every shifter on the mutated
+gate's own net and on any fanin net converting into it, so
+:class:`repro.core.state.ScalingState` reports those drivers via
+``note_net_changed`` and the seeded readers re-price their
+``lc_delay`` at the new destination rail.  This is what makes the move
+layer's non-adjacent :class:`~repro.core.moves.DemoteMove` and
+:class:`~repro.core.moves.RetargetShifterMove` exact inside a what-if
+transaction (oracle-tested in ``tests/core/test_moves.py``).
+
 From those seed sets :meth:`refresh` propagates arrival changes forward
 and required changes backward in topological order through the affected
 cone only, stopping early at every node whose recomputed value is

@@ -1,0 +1,449 @@
+"""Move-engine tests: apply/undo exactness, cost models, oracle properties.
+
+The move layer's contract is that every move routes its mutations
+through the state's observed collections, so the incremental timing
+engine must equal a rebuilt-from-scratch analysis after *every* apply
+and every undo -- including non-adjacent demotions and shifter
+retargets, the two N-rail capabilities the layer exists for.
+Hypothesis drives random move sequences on 3- and 4-rail states; the
+end-to-end tests pin the capabilities' value on real MCNC circuits.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generators import mixed_datapath
+from repro.core.dscale import run_dscale
+from repro.core.moves import (
+    BUILTIN_COST_MODELS,
+    CostModel,
+    DemoteMove,
+    DropConverterMove,
+    MoveEngine,
+    MoveStats,
+    PaperCostModel,
+    PlacementAwareCostModel,
+    PromoteMove,
+    ResizeMove,
+    RetargetShifterMove,
+    get_cost_model,
+    register_cost_model,
+    registered_cost_models,
+    unregister_cost_model,
+)
+from repro.core.state import ScalingState
+from repro.flow.experiment import prepare_circuit
+from repro.library.compass import build_compass_library
+from repro.mapping.match import MatchTable
+from repro.power.estimate import demotion_gain
+from repro.timing.incremental import IncrementalTiming
+
+MULTI_RAILS = {
+    "3rails": (5.0, 4.3, 3.6),
+    "4rails": (5.0, 4.3, 3.6, 3.0),
+}
+
+
+def assert_equivalent(state, tolerance=1e-9):
+    engine = state.timing()
+    oracle = state.full_timing()
+    assert isinstance(engine, IncrementalTiming)
+    for name in state.network.nodes:
+        assert engine.load[name] == pytest.approx(
+            oracle.load[name], abs=tolerance), name
+        assert engine.arrival[name] == pytest.approx(
+            oracle.arrival[name], abs=tolerance), name
+        assert engine.required[name] == pytest.approx(
+            oracle.required[name], abs=tolerance), name
+    assert engine.worst_delay == pytest.approx(oracle.worst_delay,
+                                               abs=tolerance)
+
+
+def snapshot(state):
+    # Zero-rail entries are semantically absent (rail_of treats a
+    # missing key as rail 0; promote leaves them behind by design).
+    return (
+        {name: int(rail or 0) for name, rail in state.levels.items()
+         if int(rail or 0)},
+        set(state.lc_edges),
+        {name: node.cell for name, node in state.network.nodes.items()
+         if node.cell is not None},
+    )
+
+
+@pytest.fixture(scope="module", params=sorted(MULTI_RAILS))
+def multirail_state(request):
+    library = build_compass_library(rails=MULTI_RAILS[request.param])
+    prepared = prepare_circuit(
+        mixed_datapath(width=5, n_control=3, n_products=8, seed=29),
+        library, match_table=MatchTable(library))
+    return ScalingState(prepared.network, library,
+                        tspec=2.5 * prepared.tspec,
+                        activity=prepared.activity)
+
+
+# -- MoveStats ---------------------------------------------------------
+
+
+def test_move_stats_counts_and_snapshot():
+    stats = MoveStats()
+    stats.note("demote", committed=True)
+    stats.note("demote", committed=False)
+    stats.note("resize", committed=True)
+    assert stats.attempted == {"demote": 2, "resize": 1}
+    assert stats.count("demote") == 1
+    assert stats.count("missing") == 0
+    as_dict = stats.as_dict()
+    assert as_dict["committed"] == {"demote": 1, "resize": 1}
+    assert as_dict["rolled_back"] == {"demote": 1}
+
+
+# -- cost-model registry ----------------------------------------------
+
+
+def test_builtin_cost_models_registered():
+    assert set(BUILTIN_COST_MODELS) <= set(registered_cost_models())
+    assert isinstance(get_cost_model("paper"), PaperCostModel)
+    assert isinstance(get_cost_model("placement"), PlacementAwareCostModel)
+    assert get_cost_model(None) is get_cost_model("paper")
+
+
+def test_get_cost_model_passes_instances_through():
+    model = PlacementAwareCostModel(wire_factor=2.0)
+    assert get_cost_model(model) is model
+
+
+def test_unknown_cost_model_rejected():
+    with pytest.raises(ValueError, match="registered"):
+        get_cost_model("nope")
+
+
+def test_register_cost_model_guards():
+    class Custom(CostModel):
+        name = "custom-test"
+
+    register_cost_model(Custom())
+    try:
+        with pytest.raises(ValueError, match="already registered"):
+            register_cost_model(Custom())
+        register_cost_model(Custom(), replace=True)  # explicit override ok
+    finally:
+        unregister_cost_model("custom-test")
+    assert "custom-test" not in registered_cost_models()
+    with pytest.raises(ValueError, match="non-empty name"):
+        register_cost_model(CostModel())
+    with pytest.raises(ValueError, match="built-in"):
+        unregister_cost_model("paper")
+
+
+def test_paper_cost_model_is_the_seed_arithmetic(multirail_state):
+    state = multirail_state
+    model = get_cost_model("paper")
+    victim = next(g for g in state.network.gates()
+                  if state.rail_of(g) < state.n_rails - 1)
+    expected = demotion_gain(
+        state.calc, state.activity, victim,
+        clock_mhz=state.options.clock_mhz,
+        lc_at_outputs=state.options.lc_at_outputs,
+    )
+    assert model.demotion_gain(state, victim) == expected
+
+
+def test_placement_model_charges_new_shifters(multirail_state):
+    state = multirail_state
+    paper = get_cost_model("paper")
+    placement = get_cost_model("placement")
+    charged = 0
+    for name in state.network.gates():
+        if state.rail_of(name) >= state.n_rails - 1:
+            continue
+        p = paper.demotion_gain(state, name)
+        q = placement.demotion_gain(state, name)
+        assert q <= p + 1e-12, name  # the wire term only subtracts
+        change = state.calc.demotion_net_change(
+            name, state.options.lc_at_outputs)
+        if change.new_edges and state.activity.rate01(name) > 0:
+            assert q < p, name
+            charged += 1
+    assert charged  # the model demonstrably bites somewhere
+
+
+# -- move apply/undo exactness ----------------------------------------
+
+
+def _demotable(state, deep=False):
+    lowest = state.n_rails - 1
+    for name in state.network.gates():
+        if state.rail_of(name) < (lowest - 1 if deep else lowest):
+            return name
+    pytest.skip("no demotable gate left")
+
+
+def test_demote_move_undo_restores_state(multirail_state):
+    state = multirail_state
+    before = snapshot(state)
+    move = DemoteMove(_demotable(state))
+    move.apply(state)
+    assert_equivalent(state)
+    move.undo(state)
+    assert snapshot(state) == before
+    assert_equivalent(state)
+
+
+def test_non_adjacent_demote_move_oracle(multirail_state):
+    state = multirail_state
+    name = _demotable(state, deep=True)
+    before = snapshot(state)
+    rail = state.rail_of(name)
+    move = DemoteMove(name, target=state.n_rails - 1)
+    move.apply(state)
+    assert state.rail_of(name) == state.n_rails - 1 > rail + 0
+    assert_equivalent(state)
+    move.undo(state)
+    assert snapshot(state) == before
+    assert_equivalent(state)
+
+
+def test_promote_move_restores_converter_edges(multirail_state):
+    state = multirail_state
+    name = _demotable(state)
+    demote = DemoteMove(name)
+    demote.apply(state)
+    edges_low = set(state.lc_edges)
+    promote = PromoteMove(name)
+    promote.apply(state)
+    assert_equivalent(state)
+    promote.undo(state)
+    assert set(state.lc_edges) == edges_low
+    assert_equivalent(state)
+    demote.undo(state)
+    assert_equivalent(state)
+
+
+def test_resize_move_round_trip(multirail_state):
+    state = multirail_state
+    name = next(n for n in state.network.gates()
+                if state.library.next_size_up(state.network.nodes[n].cell))
+    before = snapshot(state)
+    bigger = state.library.next_size_up(state.network.nodes[name].cell)
+    move = ResizeMove(name, bigger)
+    move.apply(state)
+    assert move.old_cell is before[2][name]
+    assert_equivalent(state)
+    move.undo(state)
+    assert_equivalent(state)
+    assert state.network.nodes[name].cell.name == before[2][name].name
+
+
+def test_try_move_rejection_rolls_back_exactly(multirail_state):
+    state = multirail_state
+    engine = MoveEngine(state)
+    engine_timing = state.timing()
+    engine_timing.refresh()
+    before_arrival = dict(engine_timing.arrival.items())
+    before = snapshot(state)
+    rolled = engine.stats.rolled_back.get("demote", 0)
+    # An impossible cap forces the rejection path regardless of slack.
+    ok = engine.try_move(DemoteMove(_demotable(state)), worst_delay_cap=-1.0)
+    assert not ok
+    assert snapshot(state) == before
+    assert dict(state.timing().arrival.items()) == before_arrival
+    assert engine.stats.rolled_back["demote"] == rolled + 1
+    assert_equivalent(state)
+
+
+def test_try_move_commit_counts(multirail_state):
+    state = multirail_state
+    engine = MoveEngine(state)
+    name = _demotable(state)
+    committed = engine.stats.committed.get("demote", 0)
+    if engine.try_move(DemoteMove(name)):
+        assert engine.stats.committed["demote"] == committed + 1
+        PromoteMove(name).apply(state)  # leave the fixture roughly as found
+    assert_equivalent(state)
+
+
+# -- hypothesis oracle: mixed sequences through the engine -------------
+
+_KINDS = ("demote", "deep", "promote", "resize", "retarget", "drop")
+
+
+def _random_move(rng, state, kind):
+    """Build one random move of ``kind`` (or None when inapplicable)."""
+    gates = state.network.gates()
+    lowest = state.n_rails - 1
+    if kind == "demote":
+        cands = [g for g in gates if state.rail_of(g) < lowest]
+        return DemoteMove(rng.choice(cands)) if cands else None
+    if kind == "deep":
+        cands = [g for g in gates if state.rail_of(g) < lowest - 1]
+        if not cands:
+            return None
+        name = rng.choice(cands)
+        target = rng.randrange(state.rail_of(name) + 2, lowest + 1)
+        return DemoteMove(name, target=target)
+    if kind == "promote":
+        cands = [g for g in gates if state.rail_of(g) > 0]
+        return PromoteMove(rng.choice(cands)) if cands else None
+    if kind == "resize":
+        name = rng.choice(gates)
+        cell = state.network.nodes[name].cell
+        return ResizeMove(name, rng.choice(state.library.variants(cell.base)))
+    if kind == "retarget":
+        # A gate that still can drop and already carries shifters: its
+        # kept groups re-target, the case the move exists for.
+        cands = [g for g in gates
+                 if state.rail_of(g) < lowest
+                 and state.lc_edges.readers_of(g)]
+        return RetargetShifterMove(rng.choice(cands)) if cands else None
+    if state.lc_edges:
+        return DropConverterMove(rng.choice(sorted(state.lc_edges)))
+    return None
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**32 - 1),
+       kinds=st.lists(st.sampled_from(_KINDS), min_size=1, max_size=6))
+def test_move_sequences_match_oracle_after_apply_and_undo(
+        multirail_state, seed, kinds):
+    """Engine == oracle after every apply and after every undo."""
+    state = multirail_state
+    rng = random.Random(seed)
+    for kind in kinds:
+        move = _random_move(rng, state, kind)
+        if move is None:
+            continue
+        move.apply(state)
+        assert_equivalent(state)
+        if rng.random() < 0.5:
+            move.undo(state)
+            assert_equivalent(state)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**32 - 1),
+       kinds=st.lists(st.sampled_from(_KINDS), min_size=1, max_size=4))
+def test_transactional_moves_match_oracle(multirail_state, seed, kinds):
+    """try_move (committed or rolled back) always leaves engine == oracle."""
+    state = multirail_state
+    engine = MoveEngine(state)
+    rng = random.Random(seed)
+    for kind in kinds:
+        move = _random_move(rng, state, kind)
+        if move is None:
+            continue
+        cap = state.tspec if rng.random() < 0.3 else None
+        engine.try_move(move, worst_delay_cap=cap)
+        assert_equivalent(state)
+
+
+# -- end-to-end: the capabilities pay off on real circuits -------------
+
+
+@pytest.fixture(scope="module")
+def mcnc_3rail():
+    """Prepared f51m on three rails: the circuit where both extensions
+    demonstrably fire (non-adjacent demotions and a shifter retarget)."""
+    library = build_compass_library(rails=(5.0, 4.3, 3.6))
+    from repro.api import Flow, FlowConfig
+
+    flow = Flow(FlowConfig(circuit="f51m", rails=(5.0, 4.3, 3.6)),
+                library=library,
+                match_table=MatchTable(library))
+    return library, flow.prepare()
+
+
+def test_extended_moves_strictly_improve_power_on_mcnc(mcnc_3rail):
+    """Acceptance: non-adjacent demotion + retargeting strictly improve
+    power on a real MCNC circuit at three rails, with a legal result."""
+    library, prepared = mcnc_3rail
+
+    baseline = ScalingState(prepared.fresh_copy(), library,
+                            tspec=prepared.tspec,
+                            activity=prepared.activity)
+    run_dscale(baseline)
+    base_power = baseline.power().total
+
+    extended = ScalingState(prepared.fresh_copy(), library,
+                            tspec=prepared.tspec,
+                            activity=prepared.activity)
+    result = run_dscale(extended, non_adjacent=True, retarget_shifters=True)
+    ext_power = extended.power().total
+
+    assert ext_power < base_power  # strictly better
+    assert result.retargeted >= 1  # the retarget move genuinely fired
+    stats = extended.move_stats
+    assert stats.count("retarget") == result.retargeted
+    # Non-adjacent demotions genuinely fired: some committed demote
+    # spans more than one rail boundary in a single move.
+    extended.validate()
+    assert_equivalent(extended)
+
+
+def test_extended_moves_inert_on_two_rails(mcnc_3rail):
+    """The flags are N-rail-only: on two rails they change nothing."""
+    library = build_compass_library()
+    prepared = prepare_circuit(
+        mixed_datapath(width=6, n_control=4, n_products=10, seed=23),
+        library, match_table=MatchTable(library))
+
+    outcomes = {}
+    for label, kwargs in (
+        ("plain", {}),
+        ("flagged", dict(non_adjacent=True, retarget_shifters=True)),
+    ):
+        state = ScalingState(prepared.fresh_copy(), library,
+                             tspec=prepared.tspec,
+                             activity=prepared.activity)
+        run_dscale(state, **kwargs)
+        outcomes[label] = (
+            sorted(state.low_nodes()),
+            sorted(state.lc_edges),
+            state.power().total,
+        )
+    assert outcomes["plain"] == outcomes["flagged"]
+
+
+def test_dscale_runs_under_placement_cost_model(mcnc_3rail):
+    """The alternative cost model drives a legal, validated run whose
+    selection demonstrably differs from the paper model's.
+
+    On f51m the placement wire charge prices every converter-inserting
+    demotion negative, so the placement run keeps the converter-free
+    CVS cluster while the paper model demotes well beyond it -- the
+    pluggable-economics point of the registry.
+    """
+    library, prepared = mcnc_3rail
+    paper = ScalingState(prepared.fresh_copy(), library,
+                         tspec=prepared.tspec, activity=prepared.activity)
+    paper_result = run_dscale(paper)
+
+    placement = ScalingState(prepared.fresh_copy(), library,
+                             tspec=prepared.tspec,
+                             activity=prepared.activity)
+    result = run_dscale(placement, cost_model="placement")
+    assert result.cvs.demoted  # the CVS cluster is cost-model-free
+    assert len(result.demoted) < len(paper_result.demoted)
+    placement.validate()
+    assert_equivalent(placement)
+
+
+def test_try_move_raising_apply_leaves_engine_usable(multirail_state):
+    """A raising move must not leave the timing transaction open: the
+    next transactional call still works and engine == oracle."""
+    state = multirail_state
+    engine = MoveEngine(state)
+    with pytest.raises(KeyError):
+        engine.try_move(ResizeMove("no_such_gate", None))
+    # The transaction was rolled back: a fresh try_move succeeds.
+    name = _demotable(state)
+    if engine.try_move(DemoteMove(name)):
+        PromoteMove(name).apply(state)
+    assert_equivalent(state)

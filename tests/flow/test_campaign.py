@@ -614,3 +614,83 @@ def test_run_campaign_imports_plugins_in_process(tmp_path, monkeypatch):
         assert (summary.ok, summary.failed) == (1, 0)
     finally:
         unregister_method("campaign_plugin_method")
+
+
+# -- the cost-model grid dimension ------------------------------------
+
+def test_build_jobs_cost_model_dimension():
+    from repro.flow.campaign import build_jobs
+
+    jobs = build_jobs(["z4ml"], methods=("dscale",),
+                      cost_models=("paper", "placement"))
+    assert [j.cost_model for j in jobs] == ["paper", "placement"]
+    # The default model keeps the historical id; alternatives append.
+    assert jobs[0].job_id == "z4ml:dscale:v4.3:s1.2"
+    assert jobs[1].job_id == "z4ml:dscale:v4.3:s1.2:cplacement"
+    # Both land in the same preparation group (one prepared circuit).
+    assert jobs[0].group_key == jobs[1].group_key
+
+
+def test_build_jobs_rejects_unknown_cost_model():
+    from repro.flow.campaign import build_jobs
+
+    with pytest.raises(ValueError, match="cost model"):
+        build_jobs(["z4ml"], cost_models=("nope",))
+
+
+def test_cost_model_grid_rows_round_trip(tmp_path):
+    """A two-model campaign stores distinct rows that aggregate per
+    model through rows_to_results."""
+    from repro.flow.campaign import (
+        build_jobs,
+        rows_to_results,
+        run_campaign,
+    )
+    from repro.flow.store import ResultStore
+
+    store = ResultStore(tmp_path / "cm.jsonl")
+    jobs = build_jobs(["z4ml"], methods=("dscale",),
+                      cost_models=("paper", "placement"))
+    summary = run_campaign(jobs, store)
+    assert summary.ok == 2
+    rows = store.load()
+    assert {r["cost_model"] for r in rows} == {"paper", "placement"}
+    with pytest.raises(ValueError, match="cost_model"):
+        rows_to_results(rows)  # ambiguous store must be filtered
+    for model in ("paper", "placement"):
+        results = rows_to_results(rows, cost_model=model)
+        assert len(results) == 1
+        assert "dscale" in results[0].reports
+    # Move statistics rode along in the report block.
+    report = rows[0]["report"]
+    assert "moves" in report and "committed" in report["moves"]
+
+
+def test_cost_model_dimension_only_applies_to_pricing_methods():
+    """cvs/gscale never consult the cost model, so the grid emits them
+    once (under the default model) instead of N mislabeled twins."""
+    from repro.flow.campaign import build_jobs
+
+    jobs = build_jobs(["z4ml"], methods=("cvs", "dscale", "gscale"),
+                      cost_models=("paper", "placement"))
+    by_method = {}
+    for job in jobs:
+        by_method.setdefault(job.method, []).append(job.cost_model)
+    assert by_method["dscale"] == ["paper", "placement"]
+    assert by_method["cvs"] == ["paper"]
+    assert by_method["gscale"] == ["paper"]
+    # Even a non-default-only grid still covers non-pricing methods
+    # exactly once, under the model that actually runs them.
+    jobs = build_jobs(["z4ml"], methods=("cvs", "dscale"),
+                      cost_models=("placement",))
+    by_method = {j.method: j.cost_model for j in jobs}
+    assert by_method == {"cvs": "paper", "dscale": "placement"}
+
+
+def test_flow_rejects_cost_model_on_non_pricing_method():
+    from repro.api import Flow, FlowConfig
+
+    flow = Flow(FlowConfig(circuit="z4ml", method="gscale",
+                           cost_model="placement"))
+    with pytest.raises(ValueError, match="does not price moves"):
+        flow.run()

@@ -238,3 +238,75 @@ def test_merge_stores_needs_inputs(tmp_path):
 
     with pytest.raises(ValueError, match="at least one"):
         merge_stores([], tmp_path / "out.jsonl")
+
+
+# -- progress ---------------------------------------------------------
+
+def test_store_progress_counts_freshest_rows(tmp_path):
+    from repro.flow.store import store_progress
+
+    store = ResultStore(tmp_path / "s.jsonl")
+    with store:
+        store.append(make_row(job_id="a", status="failed", error="boom"))
+        store.append(make_row(job_id="a"))  # retried ok: supersedes
+        store.append(make_row(job_id="b", status="failed", error="slow",
+                              timeout=True))
+        store.append(make_row(job_id="c",
+                              finished_at="2026-07-28T09:00:00+00:00"))
+    progress = store_progress(store.path)
+    assert (progress.rows, progress.ok, progress.failed) == (4, 2, 1)
+    assert progress.timeouts == 1
+    assert progress.superseded == 1
+    assert progress.last_finished_at == "2026-07-28T09:00:00+00:00"
+    assert "2 ok" in progress.describe()
+
+
+def test_campaign_progress_deduplicates_across_shards(tmp_path):
+    from repro.flow.store import campaign_progress
+
+    shard1 = ResultStore(tmp_path / "shard1.jsonl")
+    shard2 = ResultStore(tmp_path / "shard2.jsonl")
+    with shard1:
+        shard1.append(make_row(job_id="a"))
+        shard1.append(make_row(job_id="x", status="failed", error="boom"))
+    with shard2:
+        shard2.append(make_row(job_id="b"))
+        shard2.append(make_row(job_id="x"))  # the re-run shard's fix
+
+    progress = campaign_progress([shard1.path, shard2.path],
+                                 expected_jobs=4)
+    assert (progress.ok, progress.failed) == (3, 0)  # x counted once, ok
+    assert progress.completed == 3
+    assert progress.remaining == 1
+    assert progress.percent_ok == 75.0
+    assert "75.0%" in progress.describe()
+    assert len(progress.stores) == 2
+
+
+def test_campaign_progress_without_expectation(tmp_path):
+    from repro.flow.store import campaign_progress
+
+    store = ResultStore(tmp_path / "s.jsonl")
+    with store:
+        store.append(make_row(job_id="a"))
+    progress = campaign_progress([store.path])
+    assert progress.remaining is None
+    assert progress.percent_ok is None
+    assert "%" not in progress.describe()
+
+
+def test_campaign_progress_needs_inputs():
+    from repro.flow.store import campaign_progress
+
+    with pytest.raises(ValueError, match="at least one"):
+        campaign_progress([])
+
+
+def test_campaign_progress_zero_expectation_describes_safely(tmp_path):
+    from repro.flow.store import campaign_progress
+
+    store = ResultStore(tmp_path / "s.jsonl")
+    with store:
+        store.append(make_row(job_id="a"))
+    progress = campaign_progress([store.path], expected_jobs=0)
+    assert "%" not in progress.describe()  # no crash, no percentage

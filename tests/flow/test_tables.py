@@ -90,3 +90,23 @@ def test_experiments_md_written(tmp_path, results):
     assert "subset run" in text
     assert "Table 1" in text and "Table 2" in text
     assert "| CVS improvement (%) | 10.27 |" in text
+
+
+def test_tables_render_method_subset_with_dashes():
+    """A store holding only one method (method-subset campaign or a
+    cost-model filter) formats with dashes, not a KeyError."""
+    from repro.api.artifact import CircuitResult, ScalingReport
+    from repro.flow.tables import format_table1, format_table2
+
+    report = ScalingReport(
+        method="dscale", power_before_uw=10.0, power_after_uw=9.0,
+        improvement_pct=10.0, n_gates=6, n_low=3, low_ratio=0.5,
+        n_converters=1, n_resized=0, area_increase_ratio=0.0,
+        worst_delay_ns=1.0, tspec_ns=1.2, runtime_s=0.0)
+    result = CircuitResult(name="z4ml", gates=6, org_power_uw=10.0,
+                           min_delay_ns=1.0, tspec_ns=1.2,
+                           reports={"dscale": report})
+    t1 = format_table1([result])
+    assert "10.00" in t1 and "-" in t1
+    t2 = format_table2([result])
+    assert "0.50" in t2 and "-" in t2

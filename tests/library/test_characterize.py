@@ -89,3 +89,52 @@ class TestDcLeakage:
         lc = library.level_converter("pg")
         lc_dynamic = 0.25 * 20.0 * (lc.internal_energy + 15 * 25) * 1e-3
         assert leak > lc_dynamic
+
+
+# -- non-adjacent converter pairs -------------------------------------
+
+def test_converter_pairs_enumerates_all_upward_pairs():
+    from repro.library.characterize import converter_pairs
+
+    pairs = converter_pairs((5.0, 4.3, 3.6, 3.0))
+    assert len(pairs) == 6  # n*(n-1)/2 for n=4
+    assert (1, 0) in pairs and (3, 0) in pairs and (3, 2) in pairs
+    assert all(src > dst for src, dst in pairs)
+    # Non-adjacent pairs are first-class, not just the rail boundary.
+    non_adjacent = [(s, d) for s, d in pairs if s - d > 1]
+    assert non_adjacent == [(2, 0), (3, 0), (3, 1)]
+
+
+def test_converter_pairs_validates_rails():
+    import pytest
+
+    from repro.library.characterize import converter_pairs
+
+    with pytest.raises(ValueError, match="two supplies"):
+        converter_pairs((5.0,))
+    with pytest.raises(ValueError, match="descending"):
+        converter_pairs((4.3, 5.0))
+
+
+def test_converter_cells_collapse_per_destination():
+    """All pairs sharing a destination rail map to one cell object --
+    the swing-independence contract non-adjacent demotion relies on."""
+    from repro.library.characterize import (
+        converter_cells_for_rails,
+        converter_pairs,
+    )
+    from repro.library.compass import build_compass_library
+
+    rails = (5.0, 4.3, 3.6, 3.0)
+    library = build_compass_library(rails=rails)
+    lc = library.level_converter("pg")
+    table = converter_cells_for_rails(lc, rails)
+    assert set(table) == set(converter_pairs(rails))
+    for (src, dst), cell in table.items():
+        assert cell.vdd == rails[dst]
+        assert cell is table[(dst + 1, dst)]  # shared per destination
+    # The destination characterizations match the enriched library's
+    # own shifter variants (same derating path).
+    for dst in (1, 2):
+        assert table[(dst + 1, dst)].vdd == \
+            library.level_converter("pg", rails[dst]).vdd

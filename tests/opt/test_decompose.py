@@ -121,3 +121,71 @@ def test_random_functions_survive_decomposition(n, seed):
         for node in net.nodes.values()
         if not node.is_input
     )
+
+
+# -- edge cases of decompose_node / decompose_network ------------------
+
+def test_constant_node_collapses_to_const():
+    """A wide node whose function is constant loses its fanins."""
+    net = Network()
+    for name in ("a", "b", "c"):
+        net.add_input(name)
+    # f = (a & ~a) | (b & ~b) | ... degenerates to constant 0.
+    net.add_node("f", ["a", "b", "c"], TruthTable.const(3, False))
+    net.set_output("f")
+    decompose_network(net, max_inputs=2)
+    node = net.nodes["f"]
+    assert node.function.const_value() == 0
+    assert node.fanins == []
+
+
+def test_constant_true_node_collapses_to_const():
+    net = Network()
+    for name in ("a", "b", "c"):
+        net.add_input(name)
+    net.add_node("f", ["a", "b", "c"], TruthTable.const(3, True))
+    net.set_output("f")
+    decompose_network(net, max_inputs=2)
+    assert net.nodes["f"].function.const_value() == 1
+
+
+def test_cube_literal_polarities_mix():
+    """A cube mixing plain and complemented literals inverts only the
+    complemented ones."""
+    table = TruthTable.from_function(
+        3, lambda a, b, c: a and (not b) and c)
+    net = wide_node_network(table)
+    reference = net.copy()
+    decompose_network(net, max_inputs=2)
+    assert networks_equivalent(reference, net)
+    inverters = [
+        n for n in net.nodes.values()
+        if not n.is_input and n.function == TruthTable.inverter()
+    ]
+    assert len(inverters) == 1
+    assert inverters[0].fanins == ["i1"]  # only b is complemented
+
+
+def test_and_or_trees_are_shared_across_cubes():
+    """Identical subtrees (same sorted signal set) build only once."""
+    # f = abc + abd: the ab pair should be one shared AND2.
+    table = TruthTable.from_function(
+        4, lambda a, b, c, d: (a and b and c) or (a and b and d))
+    net = wide_node_network(table)
+    reference = net.copy()
+    decompose_network(net, max_inputs=2)
+    assert networks_equivalent(reference, net)
+    and2 = TruthTable.and_(2)
+    and_gates = [n for n in net.nodes.values()
+                 if not n.is_input and n.function == and2]
+    # abc + abd needs at most 4 AND2s with sharing ((ab), (ab)c, (ab)d
+    # -- not 2 independent 3-literal chains).
+    assert len(and_gates) <= 4
+
+
+def test_repeated_decomposition_is_stable():
+    net = wide_node_network(TruthTable.majority())
+    decompose_network(net, max_inputs=2)
+    after_first = set(net.nodes)
+    assert decompose_network(net, max_inputs=2) == 0
+    assert set(net.nodes) == after_first

@@ -111,3 +111,61 @@ def test_simplify_network_drops_false_dependencies(control_network):
 
 def test_simplify_network_noop_on_clean_network(control_network):
     assert simplify_network(control_network) == 0
+
+
+# -- edge cases: the wide greedy cover and degenerate networks ---------
+
+def test_expand_cover_threshold_routes_wide_functions():
+    """n > 9 takes the greedy espresso-style path; the cover is still
+    prime-per-cube (each cube lies inside the on-set maximally)."""
+    from repro.opt.simplify import _QM_LIMIT, _expand_cover
+
+    n = _QM_LIMIT + 1
+    # A function with obvious wide structure: OR of the first two vars.
+    table = TruthTable.from_cubes(
+        n, ["1" + "-" * (n - 1), "-1" + "-" * (n - 2)])
+    cubes = minimize_cubes(table)
+    assert TruthTable.from_cubes(n, cubes) == table
+    assert cubes == sorted(_expand_cover(table))
+
+
+def test_expand_cover_single_minterm():
+    from repro.opt.simplify import _expand_cover
+
+    n = 10
+    table = TruthTable.from_cubes(n, ["1" * n])
+    assert _expand_cover(table) == ["1" * n]
+
+
+def test_greedy_completion_beyond_essential_primes():
+    """A cyclic cover (no essential primes) still completes exactly."""
+    # The classic 6-minterm cycle on 3 vars: every minterm is covered
+    # by exactly two primes, so there are no essential primes at all.
+    table = TruthTable.from_cubes(3, ["001", "011", "111", "110",
+                                      "100", "000"])
+    cubes = minimize_cubes(table)
+    assert TruthTable.from_cubes(3, cubes) == table
+    primes = set(prime_implicants(table))
+    assert set(cubes) <= primes
+
+
+def test_simplify_network_handles_fully_degenerate_node(control_network):
+    """A node ignoring every fanin shrinks to a zero-input constant."""
+    control_network.nodes["p1"].function = TruthTable.const(2, True)
+    control_network._invalidate()
+    changed = simplify_network(control_network)
+    assert changed >= 1
+    node = control_network.nodes["p1"]
+    assert node.fanins == []
+    assert node.function.const_value() == 1
+
+
+def test_simplify_network_counts_every_changed_node(control_network):
+    for name in ("p1", "p2"):
+        node = control_network.nodes[name]
+        node.fanins = list(node.fanins) + ["e"]
+        node.function = TruthTable.from_function(
+            3, lambda a, b, e, f=node.function: bool(
+                f.bits >> ((b << 1) | a) & 1))
+    control_network._invalidate()
+    assert simplify_network(control_network) == 2

@@ -105,3 +105,85 @@ def test_preserves_function(control_network):
 def test_idempotent(control_network):
     sweep(control_network)
     assert sweep(control_network) == 0
+
+
+# -- edge cases: mixed dedup/constant cascades -------------------------
+
+def test_dedupe_three_copies_of_one_fanin():
+    net = Network()
+    net.add_input("a")
+    net.add_node("t", ["a", "a", "a"], TruthTable.and_(3))
+    net.set_output("t")
+    sweep(net)
+    assert net.nodes["t"].fanins == ["a"]
+    assert net.evaluate({"a": 1})["t"] == 1
+    assert net.evaluate({"a": 0})["t"] == 0
+
+
+def test_dedupe_preserves_mixed_polarity_semantics():
+    """x & ~x over a duplicated fanin folds all the way to constant 0
+    in the readers."""
+    net = Network()
+    net.add_input("a")
+    net.add_input("b")
+    table = TruthTable.from_function(2, lambda x, y: x and not y)
+    net.add_node("t", ["a", "a"], table)  # a & ~a == 0
+    net.add_node("f", ["t", "b"], TruthTable.or_(2))
+    net.set_output("f")
+    sweep(net)
+    assert "t" not in net.nodes  # constant propagated and swept
+    assert net.evaluate({"a": 0, "b": 1})["f"] == 1
+    assert net.evaluate({"a": 1, "b": 0})["f"] == 0
+
+
+def test_constant_chain_cascades_to_fixpoint():
+    """Constants propagate through several levels in one sweep call."""
+    net = Network()
+    net.add_input("a")
+    net.add_node("k", [], TruthTable.const(0, False))
+    net.add_node("m", ["k", "a"], TruthTable.and_(2))   # == 0
+    net.add_node("n", ["m", "a"], TruthTable.or_(2))    # == a
+    net.add_node("f", ["n"], _INV)                      # == ~a
+    net.set_output("f")
+    edits = sweep(net)
+    assert edits > 0
+    assert net.evaluate({"a": 0})["f"] == 1
+    assert net.evaluate({"a": 1})["f"] == 0
+    assert "k" not in net.nodes and "m" not in net.nodes
+
+
+def test_constant_primary_output_is_kept():
+    """A constant node that IS an output survives (interface name)."""
+    net = Network()
+    net.add_input("a")
+    net.add_node("t", ["a", "a"], TruthTable.xor(2))  # a xor a == 0
+    net.set_output("t")
+    sweep(net)
+    assert "t" in net.nodes
+    assert net.nodes["t"].function.const_value() == 0
+    assert net.evaluate({"a": 1})["t"] == 0
+
+
+def test_buffer_feeding_output_buffer():
+    """A buffer chain ending in a named output collapses to one node."""
+    net = Network()
+    net.add_input("a")
+    net.add_node("b1", ["a"], _BUF)
+    net.add_node("f", ["b1"], _BUF)
+    net.set_output("f")
+    sweep(net)
+    assert net.outputs == ["f"]
+    assert net.nodes["f"].fanins == ["a"]
+    assert "b1" not in net.nodes
+
+
+def test_sweep_returns_edit_count():
+    net = Network()
+    net.add_input("a")
+    net.add_node("dead1", ["a"], _INV)
+    net.add_node("dead2", ["dead1"], _INV)
+    net.add_node("f", ["a"], _INV)
+    net.set_output("f")
+    edits = sweep(net)
+    assert edits == 2  # both dangling nodes removed, nothing else
+    assert set(net.nodes) == {"a", "f"}

@@ -18,16 +18,23 @@ run [CIRCUIT] [--method M] [--slack F] [--vlow V | --rails V0,V1,...]
     ``register_cost_model``) are runnable by name; ``--list-methods``
     prints the registered method/cost-model inventory and exits.
 campaign [--subset | --circuits a,b,c] [--jobs N] [--resume]
+         [--retry-failed] [--max-attempts N] [--strict-timeouts]
          [--out STORE.jsonl] [--timeout S] [--shard K/N]
          [--sweep | --vlow V[,V...] --slack F[,F...]]
          [--rails V0,V1,...[;V0,V1,...]] [--plugin MODULE]
     Shard the (circuit, method, rails-or-vdd_low, slack) sweep across
-    worker processes, streaming rows into a resumable JSONL result
-    store.  ``--rails`` opens the N-rail MSV grid (highest supply
-    first, e.g. ``--rails 1.8,1.0,0.6``); ``--timeout`` budgets each
-    job's wall clock; ``--shard K/N`` keeps only the K-th of N
+    supervised worker processes, streaming rows into a resumable JSONL
+    result store.  ``--rails`` opens the N-rail MSV grid (highest
+    supply first, e.g. ``--rails 1.8,1.0,0.6``); ``--timeout`` budgets
+    each job's wall clock; ``--shard K/N`` keeps only the K-th of N
     deterministic partitions so N machines can split one campaign and
-    merge their stores afterwards.
+    merge their stores afterwards.  With ``--jobs > 1`` the supervisor
+    survives hard worker crashes and hangs, retrying the in-flight job
+    up to ``--max-attempts`` times before quarantining it as a
+    poisoned row; ``--resume --retry-failed`` re-attempts failed and
+    poisoned rows.  Exit status: 0 all ok, 3 failed rows present, 4
+    the supervisor gave up on at least one job (poisoned).  See
+    docs/robustness.md (including the hidden fault-injection flags).
 tables [--subset] [--jobs N] [--from-store STORE.jsonl]
        [--rails V0,V1,...|dual] [--out PATH]
     Regenerate the paper's Table 1 / Table 2 (through a campaign store)
@@ -358,6 +365,23 @@ def _cmd_campaign(args) -> int:
         index, count = args.shard
         jobs = shard_jobs(jobs, index, count)
         shard_note = f", shard {index}/{count}: {len(jobs)}/{total} jobs"
+    if args.retry_failed and not args.resume:
+        raise SystemExit("--retry-failed needs --resume (it re-attempts "
+                         "rows already in the store)")
+    faults = None
+    if args.inject:
+        from repro.flow.faults import FaultPlan
+
+        try:
+            faults = FaultPlan.from_spec(
+                args.inject,
+                [job.job_id for job in jobs],
+                seed=args.inject_seed,
+                hang_s=args.inject_hang_s,
+                max_fires=args.inject_max_fires,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     store = ResultStore(args.out)
     grid = (f"{len(rails_sets)} rail set(s)" if rails_sets
             else f"{len(vdd_lows)} vlow")
@@ -368,17 +392,36 @@ def _cmd_campaign(args) -> int:
           f"{grid} x {len(slacks)} slack{cost_note}) "
           f"-> {args.out}  [jobs={args.jobs}"
           f"{', resume' if args.resume else ''}"
+          f"{', retry-failed' if args.retry_failed else ''}"
           f"{f', timeout={args.timeout:g}s' if args.timeout else ''}"
           f"{shard_note}]")
-    summary = run_campaign(
-        jobs, store, n_jobs=args.jobs, resume=args.resume,
-        timeout_s=args.timeout, plugins=tuple(args.plugin),
-        progress=None if args.quiet else print,
-    )
-    print(f"campaign done: {summary.ok} ok, {summary.failed} failed, "
-          f"{summary.skipped} skipped (resume) in "
-          f"{summary.elapsed_s:.1f}s")
-    return 1 if summary.failed else 0
+    if faults is not None:
+        print(f"fault injection armed: {faults.describe()}")
+    try:
+        summary = run_campaign(
+            jobs, store, n_jobs=args.jobs, resume=args.resume,
+            timeout_s=args.timeout, plugins=tuple(args.plugin),
+            progress=None if args.quiet else print,
+            retry_failed=args.retry_failed,
+            max_attempts=args.max_attempts,
+            strict_timeouts=args.strict_timeouts,
+            faults=faults,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    retry_note = (f", {summary.retries} retr"
+                  f"{'y' if summary.retries == 1 else 'ies'}"
+                  if summary.retries else "")
+    poison_note = (f", {summary.poisoned} poisoned"
+                   if summary.poisoned else "")
+    print(f"campaign done: {summary.ok} ok, {summary.failed} failed"
+          f"{poison_note}, {summary.skipped} skipped (resume) in "
+          f"{summary.elapsed_s:.1f}s{retry_note}")
+    if summary.poisoned:
+        return 4
+    if summary.failed:
+        return 3
+    return 0
 
 
 def _cmd_tables(args) -> int:
@@ -592,7 +635,34 @@ def main(argv: list[str] | None = None) -> int:
     campaign_parser.add_argument("--jobs", type=int, default=1,
                                  help="worker processes (1 = in-process)")
     campaign_parser.add_argument("--resume", action="store_true",
-                                 help="skip job ids already ok in --out")
+                                 help="skip job ids already ok (or "
+                                      "poisoned) in --out; failed rows "
+                                      "are retried")
+    campaign_parser.add_argument("--retry-failed", action="store_true",
+                                 help="with --resume: also re-attempt "
+                                      "poisoned rows (failed rows retry "
+                                      "on any resume)")
+    campaign_parser.add_argument("--max-attempts", type=int, default=3,
+                                 help="supervised runs: executions a job "
+                                      "gets before it is quarantined as "
+                                      "a poisoned row (default 3)")
+    campaign_parser.add_argument("--strict-timeouts", action="store_true",
+                                 help="error out where a --timeout "
+                                      "budget cannot be enforced "
+                                      "(no SIGALRM and no supervisor) "
+                                      "instead of warning once")
+    # Hidden chaos-testing flags (docs/robustness.md): deterministic
+    # fault injection via repro.flow.faults.FaultPlan.
+    campaign_parser.add_argument("--inject", default="",
+                                 help=argparse.SUPPRESS)
+    campaign_parser.add_argument("--inject-seed", type=int, default=0,
+                                 help=argparse.SUPPRESS)
+    campaign_parser.add_argument("--inject-hang-s", type=float,
+                                 default=3600.0,
+                                 help=argparse.SUPPRESS)
+    campaign_parser.add_argument("--inject-max-fires", type=int,
+                                 default=1,
+                                 help=argparse.SUPPRESS)
     campaign_parser.add_argument("--out", default="campaign.jsonl",
                                  help="JSONL result store path")
     campaign_parser.add_argument("--quiet", action="store_true",

@@ -20,11 +20,19 @@ from typing import Any
 
 from repro.api.config import DEFAULT_SLACK_FACTOR, DEFAULT_VDD_LOW
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 """Store-row schema version.  Version 1 had no ``rails`` / ``timeout``
 fields; version 2 had no ``cost_model`` field (and its reports no
-``moves`` block).  Readers treat every absence as the classic shape
-(dual-Vdd, paper cost model, no move statistics)."""
+``moves`` block); version 3 had no ``attempt`` field, no ``crc``
+line checksum, and no ``"poisoned"`` status.  Readers treat every
+absence as the classic shape (dual-Vdd, paper cost model, no move
+statistics, first attempt, unchecked line)."""
+
+STATUSES = ("ok", "failed", "poisoned")
+"""Row statuses.  ``failed`` rows re-run on a plain ``--resume``;
+``poisoned`` rows are quarantined (a supervised campaign gave up on
+them after ``max_attempts`` worker deaths) and re-run only under
+``--resume --retry-failed``."""
 
 DEFAULT_COST_MODEL = "paper"
 """The seed paper's move-pricing arithmetic (see
@@ -105,12 +113,15 @@ class RunArtifact:
     """The complete record of one flow run: metrics plus provenance.
 
     ``status == "ok"`` artifacts carry the preparation scalars and the
-    nested :class:`ScalingReport`; ``status == "failed"`` artifacts
-    carry the error / timeout fields instead.  ``runtime_s`` /
-    ``finished_at`` / ``worker_pid`` are volatile (excluded from row
+    nested :class:`ScalingReport`; ``status == "failed"`` /
+    ``"poisoned"`` artifacts carry the error / timeout fields instead.
+    ``attempt`` is the 1-based execution attempt that produced the row
+    (a supervised campaign re-runs jobs whose worker died, so a
+    surviving row may be attempt 2+).  ``runtime_s`` / ``finished_at``
+    / ``worker_pid`` / ``attempt`` are volatile (excluded from row
     equality by :func:`repro.flow.store.normalize_row`); ``to_row``
-    stamps the latter two at serialization time when unset, exactly as
-    the campaign workers always did.
+    stamps ``finished_at`` / ``worker_pid`` at serialization time when
+    unset, exactly as the campaign workers always did.
     """
 
     circuit: str
@@ -128,6 +139,7 @@ class RunArtifact:
     error: str = ""
     timeout: bool = False
     traceback: str = ""
+    attempt: int = 1
     runtime_s: float = 0.0
     finished_at: str = ""
     worker_pid: int = 0
@@ -193,6 +205,7 @@ class RunArtifact:
             )
         row.update(
             {
+                "attempt": self.attempt,
                 "runtime_s": self.runtime_s,
                 "finished_at": (
                     self.finished_at or datetime.now(UTC).isoformat()
@@ -235,6 +248,7 @@ class RunArtifact:
             error=row.get("error", ""),
             timeout=bool(row.get("timeout", False)),
             traceback=row.get("traceback", ""),
+            attempt=int(row.get("attempt", 1)),
             runtime_s=row.get("runtime_s", 0.0),
             finished_at=row.get("finished_at", ""),
             worker_pid=row.get("worker_pid", 0),
@@ -254,7 +268,11 @@ class RunArtifact:
         cost_model: str = DEFAULT_COST_MODEL,
         timeout: bool = False,
         runtime_s: float = 0.0,
+        attempt: int = 1,
+        status: str = "failed",
     ) -> RunArtifact:
+        """A failure artifact; ``status="poisoned"`` quarantines the
+        job (a supervised campaign exhausted its retry budget)."""
         import traceback as tb
 
         return cls(
@@ -264,12 +282,13 @@ class RunArtifact:
             slack_factor=slack_factor,
             rails=rails,
             cost_model=cost_model,
-            status="failed",
+            status=status,
             error=f"{type(exc).__name__}: {exc}",
             timeout=timeout,
             traceback="".join(
                 tb.format_exception(type(exc), exc, exc.__traceback__)
             ),
+            attempt=attempt,
             runtime_s=runtime_s,
         )
 
@@ -308,6 +327,7 @@ def artifacts_to_results(
 __all__ = [
     "DEFAULT_COST_MODEL",
     "SCHEMA_VERSION",
+    "STATUSES",
     "CircuitResult",
     "RunArtifact",
     "ScalingReport",

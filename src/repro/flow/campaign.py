@@ -43,7 +43,7 @@ import os
 import signal
 import threading
 import time
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any
@@ -90,22 +90,64 @@ class JobTimeout(Exception):
     """A campaign job exceeded its per-job wall-clock budget."""
 
 
+class TimeoutUnsupportedError(RuntimeError):
+    """A wall-clock budget was requested where none can be enforced
+    (no ``SIGALRM`` / off the Unix main thread) under strict mode."""
+
+
+_warned_unbudgeted = False
+
+
+def reset_deadline_warning() -> None:
+    """Re-arm the one-time cannot-enforce-budget warning (tests)."""
+    global _warned_unbudgeted
+    _warned_unbudgeted = False
+
+
 @contextmanager
-def job_deadline(seconds: float | None):
+def job_deadline(seconds: float | None, strict: bool = False):
     """Raise :class:`JobTimeout` inside the block after ``seconds``.
 
     Implemented with ``SIGALRM``/``setitimer``, so it can interrupt a
-    pure-Python scaling loop mid-flight; on platforms without the
-    signal, or off the main thread, it degrades to a no-op (the job
-    simply runs unbudgeted).  Pool workers execute jobs on their main
-    thread, which is exactly where this arms.
+    pure-Python scaling loop mid-flight; worker processes execute jobs
+    on their main thread, which is exactly where this arms.  On
+    platforms without the signal, or off the main thread, the in-block
+    budget cannot be enforced: a supervised campaign (``n_jobs > 1``)
+    still bounds the job through the parent's portable watchdog (which
+    kills hung workers outright), but a serial run would silently run
+    unbudgeted -- so this emits a one-time :class:`RuntimeWarning`, or
+    raises :class:`TimeoutUnsupportedError` under ``strict=True``
+    (``campaign --strict-timeouts``).
     """
+    if not seconds or seconds <= 0:
+        yield
+        return
     if (
-        not seconds
-        or seconds <= 0
-        or not hasattr(signal, "SIGALRM")
+        not hasattr(signal, "SIGALRM")
         or threading.current_thread() is not threading.main_thread()
     ):
+        if strict:
+            raise TimeoutUnsupportedError(
+                f"cannot enforce the {seconds:g}s wall-clock budget "
+                f"here (SIGALRM unavailable or off the main thread); "
+                f"drop --strict-timeouts or run supervised (n_jobs > "
+                f"1), where the parent watchdog enforces budgets "
+                f"without signals"
+            )
+        global _warned_unbudgeted
+        if not _warned_unbudgeted:
+            _warned_unbudgeted = True
+            import warnings
+
+            warnings.warn(
+                f"wall-clock budget of {seconds:g}s cannot be "
+                f"enforced here (SIGALRM unavailable or off the main "
+                f"thread); the job runs unbudgeted -- run supervised "
+                f"(n_jobs > 1) for a signal-free watchdog, or pass "
+                f"strict timeouts to make this an error",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         yield
         return
 
@@ -369,7 +411,11 @@ def make_row(
 
 
 def make_failed_row(
-    job: CampaignJob, exc: BaseException, runtime_s: float
+    job: CampaignJob,
+    exc: BaseException,
+    runtime_s: float,
+    attempt: int = 1,
+    status: str = "failed",
 ) -> dict[str, Any]:
     return RunArtifact.from_failure(
         job.circuit,
@@ -381,40 +427,71 @@ def make_failed_row(
         cost_model=job.cost_model,
         timeout=isinstance(exc, JobTimeout),
         runtime_s=runtime_s,
+        attempt=attempt,
+        status=status,
     ).to_row()
 
 
-def run_job_group(
+def iter_group_rows(
     group: Sequence[CampaignJob],
     max_iter: int = 10,
     area_budget: float = 0.10,
     timeout_s: float | None = None,
-) -> list[dict[str, Any]]:
-    """Run every job of one (circuit, rail key, slack) group.
+    strict_timeouts: bool = False,
+    attempts: dict[str, int] | None = None,
+    faults: Any = None,
+    on_phase: Callable[[str], None] | None = None,
+    on_start: Callable[[CampaignJob], None] | None = None,
+) -> Iterator[tuple[CampaignJob, dict[str, Any]]]:
+    """Yield ``(job, row)`` for every job of one preparation group.
 
-    A failing job -- including a preparation failure, which dooms the
-    whole group -- yields failed rows; it never raises, so one bad
-    circuit cannot take the campaign down.  ``timeout_s`` budgets wall
-    clock per *phase*: the group's shared preparation gets one budget
-    of its own, then every job's scaling run gets another, so a group's
-    worst case is ``(1 + len(group)) * timeout_s``.  An overrun becomes
-    a failed row with ``timeout: true`` (for a preparation overrun, one
-    per job in the group) while the rest of the campaign continues.
+    This is the execution core shared by the serial runner and the
+    supervised workers.  A failing job -- including a preparation
+    failure, which dooms the whole group -- yields failed rows; it
+    never raises, so one bad circuit cannot take the campaign down.
+    ``timeout_s`` budgets wall clock per *phase*: the group's shared
+    preparation gets one budget of its own, then every job's scaling
+    run gets another, so a group's worst case is
+    ``(1 + len(group)) * timeout_s``.  An overrun becomes a failed row
+    with ``timeout: true`` (for a preparation overrun, one per job in
+    the group) while the rest of the campaign continues.
+
+    ``attempts`` maps job ids to their 1-based execution attempt
+    (stamped onto rows); ``faults`` is a
+    :class:`~repro.flow.faults.FaultPlan` whose worker-side hooks run
+    around each job; ``on_phase`` / ``on_start`` are the supervisor's
+    heartbeat hooks, called before the preparation phase and before
+    each job so the parent watchdog knows what this process is doing.
     """
-    rows: list[dict[str, Any]] = []
     if not group:
-        return rows
+        return
+    attempts = attempts or {}
+    notify_phase = on_phase or (lambda _label: None)
+    notify_start = on_start or (lambda _job: None)
+
     first = group[0]
+    notify_phase("prepare")
     started = time.perf_counter()
     try:
-        with job_deadline(timeout_s):
-            library, _ = _get_library(first.rail_key)
+        with job_deadline(timeout_s, strict=strict_timeouts):
+            library, match_table = _get_library(first.rail_key)
             prepared = _get_prepared(
                 first.circuit, first.rail_key, first.slack_factor
             )
     except Exception as exc:  # JobTimeout included
         elapsed = time.perf_counter() - started
-        return [make_failed_row(job, exc, elapsed) for job in group]
+        for job in group:
+            notify_start(job)
+            yield (
+                job,
+                make_failed_row(
+                    job,
+                    exc,
+                    elapsed,
+                    attempt=attempts.get(job.job_id, 1),
+                ),
+            )
+        return
     # Each group is dispatched exactly once per campaign, so keeping the
     # prepared circuit cached past this call is pure memory growth in a
     # long-lived worker; evict it (the library cache, keyed by rail key,
@@ -424,23 +501,56 @@ def run_job_group(
     base = Flow(
         first.config(max_iter=max_iter, area_budget=area_budget),
         library=library,
-        match_table=_get_library(first.rail_key)[1],
+        match_table=match_table,
     )
     for job in group:
+        attempt = attempts.get(job.job_id, 1)
+        notify_start(job)
+        if faults is not None:
+            faults.before_job(job.job_id, attempt)
         started = time.perf_counter()
         try:
-            with job_deadline(timeout_s):
+            with job_deadline(timeout_s, strict=strict_timeouts):
+                if faults is not None:
+                    faults.check_raise(job.job_id, attempt)
                 artifact = base.replace(
                     method=job.method, cost_model=job.cost_model
                 ).run(prepared=prepared)
         except Exception as exc:  # JobTimeout included
-            rows.append(
-                make_failed_row(job, exc, time.perf_counter() - started)
+            yield (
+                job,
+                make_failed_row(
+                    job,
+                    exc,
+                    time.perf_counter() - started,
+                    attempt=attempt,
+                ),
             )
             continue
         artifact.runtime_s = time.perf_counter() - started
-        rows.append(artifact.to_row())
-    return rows
+        artifact.attempt = attempt
+        if faults is not None:
+            faults.after_job(job.job_id, attempt)
+        yield job, artifact.to_row()
+
+
+def run_job_group(
+    group: Sequence[CampaignJob],
+    max_iter: int = 10,
+    area_budget: float = 0.10,
+    timeout_s: float | None = None,
+) -> list[dict[str, Any]]:
+    """Run every job of one group; the list form of
+    :func:`iter_group_rows` (see there for the failure semantics)."""
+    return [
+        row
+        for _job, row in iter_group_rows(
+            group,
+            max_iter=max_iter,
+            area_budget=area_budget,
+            timeout_s=timeout_s,
+        )
+    ]
 
 
 def _import_plugins(plugins: Sequence[str]) -> None:
@@ -476,17 +586,24 @@ def _pool_worker(payload: tuple) -> list[dict[str, Any]]:
 
 @dataclass
 class CampaignSummary:
-    """What a campaign run did (counts, not rows)."""
+    """What a campaign run did (counts, not rows).
+
+    ``poisoned`` jobs exhausted their supervised retry budget;
+    ``retries`` counts the extra execution attempts behind the
+    surviving rows (0 on a clean run).
+    """
 
     total_jobs: int
     skipped: int
     ok: int
     failed: int
     elapsed_s: float
+    poisoned: int = 0
+    retries: int = 0
 
     @property
     def completed(self) -> int:
-        return self.ok + self.failed
+        return self.ok + self.failed + self.poisoned
 
 
 def run_campaign(
@@ -499,24 +616,57 @@ def run_campaign(
     timeout_s: float | None = None,
     plugins: Sequence[str] = (),
     progress: Callable[[str], None] | None = None,
+    retry_failed: bool = False,
+    max_attempts: int = 3,
+    backoff_s: float = 0.25,
+    strict_timeouts: bool = False,
+    faults: Any = None,
 ) -> CampaignSummary:
     """Execute ``jobs``, streaming rows into ``store``.
 
     With ``resume=True`` the store's existing ok-rows are kept and
-    their job ids skipped (failed rows are retried); otherwise an
-    existing store file is truncated.  ``n_jobs=1`` runs in-process;
-    ``n_jobs>1`` fans job groups out over a ``multiprocessing`` pool.
-    The parent is the only writer, so rows land whole even when workers
-    die mid-job.  ``timeout_s`` gives every job a wall-clock budget: an
-    overrunning job is recorded as a failed (``timeout: true``) row
-    instead of stalling its pool slot forever.  ``plugins`` names
-    modules that register custom scaling methods; they are imported in
-    this process *and* in every pool worker (spawn-safe), so
-    registry-injected methods campaign like builtins.
+    their job ids skipped (failed rows are retried; poisoned rows stay
+    quarantined unless ``retry_failed=True``); otherwise an existing
+    store file is truncated.  ``n_jobs=1`` runs in-process; ``n_jobs>1``
+    fans job groups out over a supervised worker pool
+    (:class:`~repro.flow.supervise.Supervisor`) that survives hard
+    worker deaths: a crashed or hung worker is killed and respawned,
+    its in-flight job retried with exponential backoff up to
+    ``max_attempts`` executions, then quarantined as a
+    ``status: "poisoned"`` row.  The parent is the only writer, so rows
+    land whole even when workers die mid-job.  ``timeout_s`` gives
+    every job a wall-clock budget: an overrunning job is recorded as a
+    failed (``timeout: true``) row instead of stalling its pool slot
+    forever (supervised runs back the in-worker SIGALRM with a
+    signal-free parent watchdog; serial runs without SIGALRM warn, or
+    refuse under ``strict_timeouts``).  ``plugins`` names modules that
+    register custom scaling methods; they are imported in this process
+    *and* in every worker (spawn-safe), so registry-injected methods
+    campaign like builtins.  ``faults`` threads a seeded
+    :class:`~repro.flow.faults.FaultPlan` through the workers and the
+    store writes (chaos testing only).
     """
     say = progress or (lambda _msg: None)
+    if (
+        faults is not None
+        and faults.needs_supervisor
+        and n_jobs <= 1
+    ):
+        raise ValueError(
+            f"{faults.describe()} holds kill/hang faults, which only a "
+            f"supervised campaign (n_jobs > 1) survives"
+        )
+    if (
+        faults is not None
+        and faults.hang_on
+        and not timeout_s
+    ):
+        raise ValueError(
+            "hang faults need timeout_s: without a budget the parent "
+            "watchdog is disarmed and the hang never ends"
+        )
     if resume:
-        done = store.completed_ids()
+        done = store.completed_ids(include_poisoned=not retry_failed)
     else:
         done = set()
         if os.path.exists(store.path):
@@ -534,52 +684,67 @@ def run_campaign(
     if summary.skipped:
         say(f"resume: skipping {summary.skipped} completed job(s)")
 
+    def record(row: dict[str, Any]) -> None:
+        attempt = int(row.get("attempt", 1))
+        damage = (
+            faults.store_damage_for(row["job_id"], attempt)
+            if faults is not None
+            else None
+        )
+        if damage:
+            store.append_damaged(row, damage)
+        else:
+            store.append(row)
+        summary.retries += max(0, attempt - 1)
+        note = f" (attempt {attempt})" if attempt > 1 else ""
+        if row["status"] == "ok":
+            summary.ok += 1
+            say(
+                f"ok     {row['job_id']}  "
+                f"{row['report']['improvement_pct']:6.2f}%  "
+                f"[{row['runtime_s']:.2f}s]{note}"
+            )
+        elif row["status"] == "poisoned":
+            summary.poisoned += 1
+            say(f"POISONED {row['job_id']}  {row['error']}{note}")
+        else:
+            summary.failed += 1
+            say(f"FAILED {row['job_id']}  {row['error']}{note}")
+
     _import_plugins(plugins)
     started = time.perf_counter()
     with store:
-        for rows in _iter_group_results(
-            groups, n_jobs, max_iter, area_budget, timeout_s, plugins
-        ):
-            for row in rows:
-                store.append(row)
-                if row["status"] == "ok":
-                    summary.ok += 1
-                    say(
-                        f"ok     {row['job_id']}  "
-                        f"{row['report']['improvement_pct']:6.2f}%  "
-                        f"[{row['runtime_s']:.2f}s]"
-                    )
-                else:
-                    summary.failed += 1
-                    say(f"FAILED {row['job_id']}  {row['error']}")
-    summary.elapsed_s = time.perf_counter() - started
-    return summary
+        if n_jobs <= 1:
+            for _key, group in groups:
+                for _job, row in iter_group_rows(
+                    group,
+                    max_iter=max_iter,
+                    area_budget=area_budget,
+                    timeout_s=timeout_s,
+                    strict_timeouts=strict_timeouts,
+                    faults=faults,
+                ):
+                    record(row)
+        else:
+            from repro.flow.supervise import Supervisor
 
-
-def _iter_group_results(
-    groups, n_jobs, max_iter, area_budget, timeout_s, plugins=()
-):
-    if n_jobs <= 1:
-        for _key, group in groups:
-            yield run_job_group(
-                group,
+            supervisor = Supervisor(
+                groups=[group for _key, group in groups],
+                n_workers=n_jobs,
                 max_iter=max_iter,
                 area_budget=area_budget,
                 timeout_s=timeout_s,
+                plugins=tuple(plugins),
+                strict_timeouts=strict_timeouts,
+                faults=faults,
+                max_attempts=max_attempts,
+                backoff_s=backoff_s,
+                say=say,
             )
-        return
-
-    import multiprocessing as mp
-
-    payloads = [
-        (group, max_iter, area_budget, timeout_s, tuple(plugins))
-        for _key, group in groups
-    ]
-    # Workers inherit nothing mutable they need; caches build lazily in
-    # each process.  maxtasksperchild stays None: the caches are the
-    # point of keeping workers alive.
-    with mp.Pool(processes=n_jobs) as pool:
-        yield from pool.imap_unordered(_pool_worker, payloads)
+            for row in supervisor.run():
+                record(row)
+    summary.elapsed_s = time.perf_counter() - started
+    return summary
 
 
 # ---------------------------------------------------------------------
@@ -674,10 +839,13 @@ __all__ = [
     "CampaignJob",
     "CampaignSummary",
     "JobTimeout",
+    "TimeoutUnsupportedError",
     "job_deadline",
+    "reset_deadline_warning",
     "build_jobs",
     "group_jobs",
     "shard_jobs",
+    "iter_group_rows",
     "run_job_group",
     "run_campaign",
     "make_row",

@@ -1,0 +1,233 @@
+"""Deterministic fault injection for campaign chaos testing.
+
+A :class:`FaultPlan` names the jobs a chaos run sabotages and how.
+Everything is decided up front from a seed -- victim selection uses a
+seeded RNG over the deterministic job list, and every fault fires only
+on a job's first ``max_fires`` attempts -- so a chaos campaign is
+exactly reproducible: the same plan against the same grid kills the
+same workers at the same jobs every time, and the supervisor's retries
+(which run at ``attempt > max_fires``) deterministically succeed.
+
+Fault kinds
+-----------
+
+Worker-side (require a supervised run, ``n_jobs > 1`` -- in a serial
+campaign they would take down the parent):
+
+* ``kill-before`` -- the worker ``os._exit``\\ s just before running
+  the job (hard crash; the supervisor sees the death and retries).
+* ``kill-after`` -- the worker ``os._exit``\\ s after computing the
+  row but before handing it back (the row is lost; retried).
+* ``hang`` -- the worker sleeps ``hang_s`` seconds *outside* the
+  SIGALRM deadline window, simulating a hang no in-process timer can
+  interrupt; only the supervisor's portable watchdog can kill it.
+
+Worker-side, serial-safe:
+
+* ``raise`` -- the job raises :class:`InjectedFault` (becomes an
+  ordinary failed row).
+
+Store-side (applied by the parent, the single writer):
+
+* ``torn-row`` -- the row's line is written truncated (unparseable
+  JSON), simulating a crash mid-append.
+* ``corrupt-row`` -- the row's line is written with a wrong CRC
+  (valid JSON, failed checksum), simulating silent disk corruption.
+
+The CLI exposes plans through the hidden ``campaign --inject SPEC``
+flag, where SPEC is ``kind:count`` pairs, e.g.
+``--inject kill-before:2,hang:1,corrupt-row:1 --inject-seed 7``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, fields
+
+WORKER_KINDS = ("kill-before", "kill-after", "raise", "hang")
+STORE_KINDS = ("torn-row", "corrupt-row")
+KINDS = WORKER_KINDS + STORE_KINDS
+
+KILL_BEFORE_EXIT = 86
+KILL_AFTER_EXIT = 87
+"""Exit codes the kill faults die with (distinguishable in ps/logs)."""
+
+_FIELD_OF = {
+    "kill-before": "kill_before",
+    "kill-after": "kill_after",
+    "raise": "raise_on",
+    "hang": "hang_on",
+    "torn-row": "torn_row",
+    "corrupt-row": "corrupt_row",
+}
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise`` fault throws inside a job."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which jobs get sabotaged, and how (see module docstring).
+
+    Each fault tuple holds victim *job ids*.  ``max_fires`` bounds how
+    many attempts of a victim job the fault fires on (default 1: the
+    first attempt dies, retries succeed) -- set it at or above the
+    campaign's ``max_attempts`` to force poisoning.  Frozen and built
+    from plain tuples, so a plan pickles into worker task payloads
+    unchanged.
+    """
+
+    seed: int = 0
+    kill_before: tuple[str, ...] = ()
+    kill_after: tuple[str, ...] = ()
+    raise_on: tuple[str, ...] = ()
+    hang_on: tuple[str, ...] = ()
+    torn_row: tuple[str, ...] = ()
+    corrupt_row: tuple[str, ...] = ()
+    hang_s: float = 3600.0
+    max_fires: int = 1
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: str,
+        job_ids: Sequence[str],
+        seed: int = 0,
+        hang_s: float = 3600.0,
+        max_fires: int = 1,
+    ) -> FaultPlan:
+        """Build a plan from a ``kind:count`` CLI spec.
+
+        Victims are drawn without replacement (across all kinds, so no
+        job carries two faults) from ``job_ids`` by a
+        ``random.Random(seed)`` -- same spec + seed + grid, same plan.
+        """
+        counts: dict[str, int] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                kind, count_text = part.split(":")
+                count = int(count_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad fault spec {part!r} (expected kind:count, "
+                    f"e.g. kill-before:2)"
+                ) from None
+            if kind not in KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; known kinds: "
+                    f"{', '.join(KINDS)}"
+                )
+            if count < 1:
+                raise ValueError(f"fault count must be >= 1 in {part!r}")
+            counts[kind] = counts.get(kind, 0) + count
+        total = sum(counts.values())
+        if total > len(job_ids):
+            raise ValueError(
+                f"fault spec names {total} victim(s) but the campaign "
+                f"has only {len(job_ids)} job(s)"
+            )
+        rng = random.Random(seed)
+        pool = list(job_ids)
+        victims: dict[str, tuple[str, ...]] = {}
+        # Deterministic kind order (spec order varies between shells).
+        for kind in KINDS:
+            if kind not in counts:
+                continue
+            picked = []
+            for _ in range(counts[kind]):
+                picked.append(pool.pop(rng.randrange(len(pool))))
+            victims[_FIELD_OF[kind]] = tuple(picked)
+        return cls(seed=seed, hang_s=hang_s, max_fires=max_fires, **victims)
+
+    # -- queries -----------------------------------------------------
+
+    def fires(self, kind: str, job_id: str, attempt: int = 1) -> bool:
+        """Does fault ``kind`` fire for this (job, attempt)?"""
+        if kind not in _FIELD_OF:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if attempt > self.max_fires:
+            return False
+        return job_id in getattr(self, _FIELD_OF[kind])
+
+    def store_damage_for(self, job_id: str, attempt: int = 1) -> str | None:
+        """The damage mode the parent applies writing this job's row
+        (``"torn"`` / ``"crc"``), or ``None`` for a clean write."""
+        if self.fires("torn-row", job_id, attempt):
+            return "torn"
+        if self.fires("corrupt-row", job_id, attempt):
+            return "crc"
+        return None
+
+    @property
+    def needs_supervisor(self) -> bool:
+        """True when the plan holds faults a serial (in-process) run
+        cannot survive: kill faults would take down the parent and a
+        hang has no watchdog to cut it loose."""
+        return bool(self.kill_before or self.kill_after or self.hang_on)
+
+    @property
+    def victims(self) -> frozenset[str]:
+        """Every job id the plan sabotages (any kind)."""
+        ids: set[str] = set()
+        for field_ in fields(self):
+            if field_.name in _FIELD_OF.values():
+                ids.update(getattr(self, field_.name))
+        return frozenset(ids)
+
+    def describe(self) -> str:
+        parts = [
+            f"{kind}:{len(getattr(self, field_name))}"
+            for kind, field_name in _FIELD_OF.items()
+            if getattr(self, field_name)
+        ]
+        return (
+            f"FaultPlan(seed={self.seed}, "
+            f"{', '.join(parts) if parts else 'empty'})"
+        )
+
+    # -- worker-side execution hooks ---------------------------------
+
+    def before_job(self, job_id: str, attempt: int) -> None:
+        """Run inside the worker just before a job executes."""
+        import os
+        import time
+
+        if self.fires("kill-before", job_id, attempt):
+            os._exit(KILL_BEFORE_EXIT)
+        if self.fires("hang", job_id, attempt):
+            # Outside any SIGALRM window, so only the supervisor's
+            # portable watchdog can end this (a respawned worker's
+            # retry skips the fault and proceeds normally).
+            time.sleep(self.hang_s)
+
+    def check_raise(self, job_id: str, attempt: int) -> None:
+        """Run inside the job's deadline window; raises the injected
+        exception (an ordinary failed row) when armed."""
+        if self.fires("raise", job_id, attempt):
+            raise InjectedFault(
+                f"injected failure for {job_id} (attempt {attempt})"
+            )
+
+    def after_job(self, job_id: str, attempt: int) -> None:
+        """Run inside the worker after the row is computed but before
+        it is handed back -- a kill here loses the finished row."""
+        import os
+
+        if self.fires("kill-after", job_id, attempt):
+            os._exit(KILL_AFTER_EXIT)
+
+
+__all__ = [
+    "KINDS",
+    "STORE_KINDS",
+    "WORKER_KINDS",
+    "KILL_BEFORE_EXIT",
+    "KILL_AFTER_EXIT",
+    "FaultPlan",
+    "InjectedFault",
+]

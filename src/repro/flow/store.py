@@ -10,25 +10,40 @@ line is ignored.
 Row schema (``SCHEMA_VERSION`` guards future migrations)::
 
     {
-      "schema": 2,
+      "schema": 4,
       "job_id": "C432:gscale:v4.3:s1.2",       # or ...:r5-4.3-3.6:s1.2
-      "status": "ok" | "failed",
+      "status": "ok" | "failed" | "poisoned",
       "circuit": "C432", "method": "gscale",
       "vdd_low": 4.3, "slack_factor": 1.2,
       "rails": [],                 # MSV rail set; [] = classic dual-Vdd
       # status == "ok":
       "gates": 164, "org_power_uw": ..., "min_delay_ns": ...,
       "tspec_ns": ..., "report": {<ScalingReport fields>},
-      # status == "failed":
+      # status == "failed" / "poisoned":
       "error": "ValueError: ...", "timeout": false, "traceback": "...",
       # volatile (excluded from row-equality comparisons):
-      "runtime_s": 0.41, "finished_at": "2026-07-28T12:00:00+00:00",
-      "worker_pid": 1234,
+      "attempt": 1, "runtime_s": 0.41,
+      "finished_at": "2026-07-28T12:00:00+00:00", "worker_pid": 1234,
+      # line integrity (schema 4+; stripped from loaded rows):
+      "crc": "9f3a01c2",
     }
 
-Schema history: version 1 had no ``rails`` / ``timeout`` fields; every
-reader here treats their absence as the classic dual-Vdd shape, so old
-stores keep loading, resuming, and aggregating unchanged.
+Schema history: version 1 had no ``rails`` / ``timeout`` fields;
+version 2 had no ``cost_model``; version 3 had no ``attempt`` /
+``crc`` / ``"poisoned"`` status.  Every reader here treats an absent
+field as the classic shape, so old stores keep loading, resuming, and
+aggregating unchanged.
+
+Integrity: every schema-4 line carries a CRC-32 of its canonical
+serialization, so silent corruption (bit rot, a partial overwrite, a
+concatenated fragment) is *detected*, not just tolerated.  Reading
+skips-and-counts damaged lines (:class:`StoreIntegrity` on the store's
+``integrity`` attribute after a full read): an unparseable final line
+is a torn tail (a crash mid-append -- the job simply re-runs on
+resume), an unparseable interior line or a CRC mismatch is a corrupt
+row (ditto, but reported so operators see the disk misbehaving).
+``compact`` rewrites atomically (temp + fsync + rename) and re-stamps
+every surviving row's CRC.
 
 Floats round-trip exactly through ``json`` (``repr``-based), so tables
 regenerated from a store are bit-identical to tables formatted from the
@@ -39,14 +54,18 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import Any
 
 from repro.api.artifact import SCHEMA_VERSION
 
-VOLATILE_FIELDS = ("runtime_s", "finished_at", "worker_pid")
-"""Row fields that legitimately differ between runs of the same job."""
+VOLATILE_FIELDS = ("runtime_s", "finished_at", "worker_pid", "attempt",
+                   "crc")
+"""Row fields that legitimately differ between runs of the same job
+(``attempt`` depends on how often a chaos run killed the worker;
+``crc`` covers the volatile fields, so it is volatile too)."""
 
 VOLATILE_REPORT_FIELDS = ("runtime_s",)
 """ScalingReport fields that differ between runs (wall-clock)."""
@@ -69,18 +88,68 @@ def normalize_row(row: dict[str, Any]) -> dict[str, Any]:
     return out
 
 
+def _canonical(row: dict[str, Any]) -> str:
+    """The one serialization rows are written and checksummed in."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+def _crc_of(row: dict[str, Any]) -> str:
+    """CRC-32 (hex) of a row's canonical serialization, ``crc``
+    field excluded."""
+    payload = {k: v for k, v in row.items() if k != "crc"}
+    return format(zlib.crc32(_canonical(payload).encode("utf-8")), "08x")
+
+
+def _store_line(row: dict[str, Any]) -> str:
+    """One on-disk line: the row plus its freshly computed CRC."""
+    payload = {k: v for k, v in row.items() if k != "crc"}
+    payload["crc"] = _crc_of(payload)
+    return _canonical(payload)
+
+
+@dataclass
+class StoreIntegrity:
+    """What a full read of one store found, line by line.
+
+    ``rows`` counts the clean rows yielded; ``crc_checked`` the subset
+    that carried (and passed) a schema-4 checksum; ``corrupt`` the
+    skipped interior lines (unparseable JSON or CRC mismatch);
+    ``torn`` the skipped unparseable *final* line (a crash mid-append,
+    expected and benign).
+    """
+
+    rows: int = 0
+    crc_checked: int = 0
+    corrupt: int = 0
+    torn: int = 0
+
+    @property
+    def damaged(self) -> int:
+        return self.corrupt + self.torn
+
+    def describe(self) -> str:
+        return (
+            f"{self.rows} rows ({self.crc_checked} CRC-checked), "
+            f"{self.corrupt} corrupt, {self.torn} torn"
+        )
+
+
 class ResultStore:
     """An append-only JSONL file of campaign result rows.
 
     The store is single-writer (the campaign parent process appends;
-    workers hand rows back over the pool's result channel), so plain
-    line-buffered appends are atomic enough: a crash can only tear the
-    final line, and :meth:`load` tolerates exactly that.
+    workers hand rows back over the supervisor's result channel), so
+    plain line-buffered appends are atomic enough: a crash can only
+    tear the final line, and :meth:`load` tolerates exactly that.
+    Every written line carries a CRC-32 (schema 4), so corruption
+    beyond a torn tail is detected on read; ``integrity`` holds the
+    :class:`StoreIntegrity` of the most recent full read.
     """
 
     def __init__(self, path: str | os.PathLike[str]):
         self.path = os.fspath(path)
         self._handle = None
+        self.integrity = StoreIntegrity()
 
     # -- writing -----------------------------------------------------
 
@@ -102,8 +171,34 @@ class ResultStore:
     def append(self, row: dict[str, Any]) -> None:
         if self._handle is None:
             self.open_append()
-        line = json.dumps(row, sort_keys=True, separators=(",", ":"))
-        self._handle.write(line + "\n")
+        self._handle.write(_store_line(row) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append_damaged(self, row: dict[str, Any], damage: str) -> None:
+        """Deliberately mis-write ``row`` -- the fault-injection
+        harness's store-side hook (:mod:`repro.flow.faults`).
+
+        ``"torn"`` writes the line truncated (unparseable JSON, the
+        shape a crash mid-append leaves); ``"crc"`` writes valid JSON
+        with a wrong checksum (the shape silent disk corruption
+        leaves).  Either way the row is lost and the read side must
+        skip-and-report it.
+        """
+        if self._handle is None:
+            self.open_append()
+        if damage == "torn":
+            line = _store_line(row)
+            self._handle.write(line[: max(1, len(line) // 2)] + "\n")
+        elif damage == "crc":
+            payload = {k: v for k, v in row.items() if k != "crc"}
+            good = _crc_of(payload)
+            payload["crc"] = (
+                "00000000" if good != "00000000" else "ffffffff"
+            )
+            self._handle.write(_canonical(payload) + "\n")
+        else:
+            raise ValueError(f"unknown damage mode {damage!r}")
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
@@ -122,33 +217,78 @@ class ResultStore:
     # -- reading -----------------------------------------------------
 
     def iter_rows(self) -> Iterator[dict[str, Any]]:
-        """Yield rows in file order, skipping a torn trailing line."""
+        """Yield clean rows in file order, skipping damaged lines.
+
+        A line that fails to parse or fails its CRC is skipped (the
+        job re-runs on resume) and tallied on ``self.integrity``:
+        final-line parse failures count as torn (a crash mid-append),
+        everything else as corrupt.  Rows from schema versions before
+        the CRC (v1-v3) are yielded unchecked; the on-disk ``crc``
+        field is stripped from yielded rows, so loaded rows round-trip
+        what :meth:`append` was handed.
+        """
+        integrity = StoreIntegrity()
+        self.integrity = integrity
         if not os.path.exists(self.path):
             return
         with open(self.path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
+            lines = [
+                line.strip() for line in handle.read().splitlines()
+            ]
+        lines = [line for line in lines if line]
+        for index, line in enumerate(lines):
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    integrity.torn += 1
+                else:
+                    integrity.corrupt += 1
+                continue
+            if not isinstance(row, dict):
+                integrity.corrupt += 1
+                continue
+            crc = row.pop("crc", None)
+            if crc is not None:
+                if crc != _crc_of(row):
+                    integrity.corrupt += 1
                     continue
-                try:
-                    row = json.loads(line)
-                except json.JSONDecodeError:
-                    # A crash mid-append tears at most the final line;
-                    # treat it as never written (the job re-runs).
-                    continue
-                if isinstance(row, dict):
-                    yield row
+                integrity.crc_checked += 1
+            integrity.rows += 1
+            yield row
 
     def load(self) -> list[dict[str, Any]]:
         return list(self.iter_rows())
 
-    def completed_ids(self) -> set[str]:
-        """Job ids that finished successfully (failed jobs re-run)."""
-        return {
-            row["job_id"]
-            for row in self.iter_rows()
-            if row.get("status") == "ok" and "job_id" in row
-        }
+    def verify(self) -> StoreIntegrity:
+        """Scan the whole store and return its integrity picture."""
+        for _row in self.iter_rows():
+            pass
+        return self.integrity
+
+    def completed_ids(self, include_poisoned: bool = True) -> set[str]:
+        """Job ids a resume should skip.
+
+        Jobs with an ok row always count done (failed / timeout rows
+        re-run, exactly as before).  Poisoned jobs -- a supervised
+        campaign exhausted their retry budget -- are quarantined:
+        skipped by a plain resume, re-attempted only when the caller
+        passes ``include_poisoned=False`` (``--retry-failed``).
+        """
+        ok: set[str] = set()
+        poisoned: set[str] = set()
+        for row in self.iter_rows():
+            job_id = row.get("job_id")
+            if job_id is None:
+                continue
+            status = row.get("status")
+            if status == "ok":
+                ok.add(job_id)
+            elif status == "poisoned":
+                poisoned.add(job_id)
+        if include_poisoned:
+            return ok | poisoned
+        return ok
 
     def __len__(self) -> int:
         return sum(1 for _ in self.iter_rows())
@@ -164,8 +304,9 @@ class ResultStore:
         resume retries failed jobs, and aggregation already applies
         last-row-wins.  Compaction materializes that rule -- for each
         ``job_id`` only the *last* row survives (rows without a job id
-        are all kept), in their original relative file order -- and
-        drops any torn trailing line along the way.
+        are all kept), in their original relative file order -- drops
+        torn and corrupt lines along the way, and re-stamps every
+        surviving row's CRC.
 
         In place (the default) the rewrite goes through a temp file in
         the same directory and an atomic ``os.replace``, so a crash
@@ -208,10 +349,7 @@ def _write_compacted(
     )
     with open(tmp_path, "w", encoding="utf-8") as handle:
         for row in kept_rows:
-            handle.write(
-                json.dumps(row, sort_keys=True, separators=(",", ":"))
-                + "\n"
-            )
+            handle.write(_store_line(row) + "\n")
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp_path, destination)
@@ -247,17 +385,42 @@ def merge_stores(
 
 @dataclass
 class StoreProgress:
-    """Completion picture of one store (one campaign shard, usually)."""
+    """Completion picture of one store (one campaign shard, usually).
+
+    Beyond the ok/failed split, the retry-pressure tallies tell an
+    operator how hard the supervisor is working: ``poisoned`` jobs
+    exhausted their retry budget, ``retried`` freshest rows took more
+    than one attempt (``max_attempt`` is the worst), and ``corrupt`` /
+    ``torn`` count damaged lines the reader skipped.
+    """
 
     path: str
     rows: int = 0
     ok: int = 0
     failed: int = 0
     timeouts: int = 0
+    poisoned: int = 0
     superseded: int = 0
+    retried: int = 0
+    max_attempt: int = 1
+    corrupt: int = 0
+    torn: int = 0
     last_finished_at: str = ""
 
     def describe(self) -> str:
+        extra = ""
+        if self.poisoned:
+            extra += f", {self.poisoned} poisoned"
+        if self.retried:
+            extra += (
+                f", {self.retried} retried"
+                f" (max attempt {self.max_attempt})"
+            )
+        if self.corrupt or self.torn:
+            extra += (
+                f", skipped {self.corrupt} corrupt +"
+                f" {self.torn} torn line(s)"
+            )
         tail = (
             f", last row {self.last_finished_at}"
             if self.last_finished_at
@@ -266,7 +429,7 @@ class StoreProgress:
         return (
             f"{self.path}: {self.ok} ok, {self.failed} failed"
             f" ({self.timeouts} timeout), {self.superseded} superseded"
-            f"{tail}"
+            f"{extra}{tail}"
         )
 
 
@@ -286,11 +449,15 @@ class CampaignProgress:
     ok: int = 0
     failed: int = 0
     timeouts: int = 0
+    poisoned: int = 0
+    retried: int = 0
+    corrupt: int = 0
+    torn: int = 0
     expected_jobs: int | None = None
 
     @property
     def completed(self) -> int:
-        return self.ok + self.failed
+        return self.ok + self.failed + self.poisoned
 
     @property
     def remaining(self) -> int | None:
@@ -310,6 +477,15 @@ class CampaignProgress:
             f"total: {self.ok} ok, {self.failed} failed "
             f"({self.timeouts} timeout) across {len(self.stores)} store(s)"
         )
+        if self.poisoned:
+            summary += f", {self.poisoned} poisoned"
+        if self.retried:
+            summary += f", {self.retried} retried"
+        if self.corrupt or self.torn:
+            summary += (
+                f", skipped {self.corrupt} corrupt +"
+                f" {self.torn} torn line(s)"
+            )
         if self.expected_jobs:  # 0 has no meaningful percentage
             summary += (
                 f"; {self.percent_ok:.1f}% of {self.expected_jobs} jobs ok, "
@@ -332,25 +508,40 @@ def _freshest_by_job(rows: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
 def store_progress(
     path: str | os.PathLike[str],
     rows: list[dict[str, Any]] | None = None,
+    integrity: StoreIntegrity | None = None,
 ) -> StoreProgress:
-    """Summarize one store: freshest-row status counts + staleness.
+    """Summarize one store: freshest-row status counts + staleness +
+    retry pressure (attempts, poisonings, damaged lines).
 
-    ``rows`` lets a caller that already loaded the store (the
-    cross-shard aggregation) skip the re-read.
+    ``rows`` (with its read's ``integrity``) lets a caller that
+    already loaded the store -- the cross-shard aggregation -- skip
+    the re-read.
     """
     if rows is None:
-        rows = ResultStore(path).load()
+        source = ResultStore(path)
+        rows = source.load()
+        integrity = source.integrity
     fresh = _freshest_by_job(rows)
     identified = sum(1 for row in rows if row.get("job_id") is not None)
     progress = StoreProgress(path=os.fspath(path), rows=len(rows))
     progress.superseded = identified - len(fresh)
+    if integrity is not None:
+        progress.corrupt = integrity.corrupt
+        progress.torn = integrity.torn
     for row in fresh.values():
-        if row.get("status") == "ok":
+        status = row.get("status")
+        if status == "ok":
             progress.ok += 1
+        elif status == "poisoned":
+            progress.poisoned += 1
         else:
             progress.failed += 1
             if row.get("timeout"):
                 progress.timeouts += 1
+        attempt = int(row.get("attempt", 1))
+        if attempt > 1:
+            progress.retried += 1
+            progress.max_attempt = max(progress.max_attempt, attempt)
     progress.last_finished_at = max(
         (row.get("finished_at", "") for row in rows), default=""
     )
@@ -369,23 +560,29 @@ def campaign_progress(
     """
     if not paths:
         raise ValueError("campaign_progress needs at least one store")
-    per_store_rows = [ResultStore(path).load() for path in paths]
-    stores = [
-        store_progress(path, rows)
-        for path, rows in zip(paths, per_store_rows)
-    ]
+    stores = []
     merged_rows: list[dict[str, Any]] = []
-    for rows in per_store_rows:
+    for path in paths:
+        source = ResultStore(path)
+        rows = source.load()
+        stores.append(store_progress(path, rows, source.integrity))
         merged_rows.extend(rows)
     fresh = _freshest_by_job(merged_rows)
     progress = CampaignProgress(stores=stores, expected_jobs=expected_jobs)
+    progress.corrupt = sum(store.corrupt for store in stores)
+    progress.torn = sum(store.torn for store in stores)
     for row in fresh.values():
-        if row.get("status") == "ok":
+        status = row.get("status")
+        if status == "ok":
             progress.ok += 1
+        elif status == "poisoned":
+            progress.poisoned += 1
         else:
             progress.failed += 1
             if row.get("timeout"):
                 progress.timeouts += 1
+        if int(row.get("attempt", 1)) > 1:
+            progress.retried += 1
     return progress
 
 
@@ -427,6 +624,7 @@ __all__ = [
     "CampaignProgress",
     "CompactionStats",
     "ResultStore",
+    "StoreIntegrity",
     "StoreProgress",
     "campaign_progress",
     "merge_stores",

@@ -1,0 +1,452 @@
+"""Supervised worker pool: the crash-proof engine under ``run_campaign``.
+
+``multiprocessing.Pool`` cannot survive a hard worker death -- a
+segfault, OOM-kill, or ``os._exit`` mid-job wedges ``imap_unordered``
+forever.  The :class:`Supervisor` replaces it with worker ``Process``
+objects the parent owns outright:
+
+* each worker gets its **own task queue** and is assigned exactly one
+  group at a time, so a dying worker can never take undispatched work
+  down with it;
+* workers report over one shared result queue -- ``phase`` (starting
+  the group's shared preparation), ``start`` (starting one job),
+  ``row`` (a finished row), ``done`` (group complete) -- which doubles
+  as a heartbeat: every message resets that worker's **watchdog
+  deadline** (``timeout_s * WATCHDOG_GRACE + WATCHDOG_MARGIN_S``), a
+  portable wall-clock bound needing no ``SIGALRM``, so even a job hung
+  in uninterruptible code is killed from outside;
+* a dead or killed worker is **respawned** (its lazy library /
+  prepared-circuit caches rebuild on demand) and its in-flight job is
+  re-enqueued with exponential backoff plus deterministic jitter; after
+  ``max_attempts`` executions the job is quarantined as a
+  ``status: "poisoned"`` row instead of crash-looping, while the rest
+  of its group re-runs immediately on another worker;
+* the parent remains the **only store writer**; rows stream back whole
+  or not at all, and a row that limps out of a dying worker after its
+  job was already re-enqueued is harmless (the store's last-row-wins
+  rule de-duplicates).
+
+The jitter RNG is seeded per (seed, job id, attempt), so a supervised
+chaos run under a fixed :class:`~repro.flow.faults.FaultPlan` replays
+the same schedule every time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import random
+import time
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.flow.campaign import (
+    CampaignJob,
+    JobTimeout,
+    _import_plugins,
+    iter_group_rows,
+    make_failed_row,
+)
+
+DEFAULT_MAX_ATTEMPTS = 3
+"""Executions a job gets (1 first run + 2 retries) before poisoning."""
+
+DEFAULT_BACKOFF_BASE_S = 0.25
+"""First-retry delay; doubles per retry up to ``BACKOFF_CAP_S``."""
+
+BACKOFF_CAP_S = 30.0
+BACKOFF_JITTER = 0.5
+"""Retry delay is scaled by ``1 + BACKOFF_JITTER * rng.random()``."""
+
+WATCHDOG_GRACE = 1.5
+WATCHDOG_MARGIN_S = 1.0
+"""A worker is presumed hung ``timeout_s * WATCHDOG_GRACE +
+WATCHDOG_MARGIN_S`` after its last heartbeat: enough past the in-worker
+SIGALRM that a graceful timeout row always wins the race when the
+worker is healthy."""
+
+POLL_INTERVAL_S = 0.05
+
+
+class WorkerDied(RuntimeError):
+    """A worker process died (crash or watchdog kill) mid-task."""
+
+
+@dataclass
+class Task:
+    """One unit of dispatch: a job group plus per-job attempt numbers.
+
+    Retries are single-job tasks (``attempts`` carrying the bumped
+    count); ``ready_at`` is the monotonic time backoff releases it.
+    """
+
+    group: tuple[CampaignJob, ...]
+    attempts: dict[str, int] = field(default_factory=dict)
+    ready_at: float = 0.0
+
+
+def _worker_main(
+    worker_id: int,
+    task_queue: Any,
+    result_queue: Any,
+    settings: tuple,
+) -> None:
+    """Worker loop: run assigned groups until the ``None`` sentinel.
+
+    Messages: ``("phase", id, label)``, ``("start", id, job_id)``,
+    ``("row", id, row)``, ``("done", id)``.
+    """
+    (max_iter, area_budget, timeout_s, plugins, strict, faults) = settings
+    _import_plugins(plugins)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        group, attempts = task
+        for _job, row in iter_group_rows(
+            group,
+            max_iter=max_iter,
+            area_budget=area_budget,
+            timeout_s=timeout_s,
+            strict_timeouts=strict,
+            attempts=attempts,
+            faults=faults,
+            on_phase=lambda label: result_queue.put(
+                ("phase", worker_id, label)
+            ),
+            on_start=lambda job: result_queue.put(
+                ("start", worker_id, job.job_id)
+            ),
+        ):
+            result_queue.put(("row", worker_id, row))
+        result_queue.put(("done", worker_id))
+
+
+@dataclass
+class _WorkerState:
+    """Parent-side view of one worker process."""
+
+    id: int
+    proc: Any
+    task_queue: Any
+    task: Task | None = None
+    started: list[str] = field(default_factory=list)
+    rowed: set[str] = field(default_factory=set)
+    deadline: float | None = None
+
+
+class Supervisor:
+    """Run job groups across supervised workers; see module docstring.
+
+    :meth:`run` is a generator of finished rows (ok, failed, and
+    poisoned alike) in completion order; the caller owns the store.
+    """
+
+    def __init__(
+        self,
+        groups: Sequence[Sequence[CampaignJob]],
+        n_workers: int,
+        max_iter: int = 10,
+        area_budget: float = 0.10,
+        timeout_s: float | None = None,
+        plugins: tuple[str, ...] = (),
+        strict_timeouts: bool = False,
+        faults: Any = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_s: float = DEFAULT_BACKOFF_BASE_S,
+        say: Callable[[str], None] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.pending = [Task(group=tuple(g)) for g in groups if g]
+        self.n_workers = n_workers
+        self.settings = (
+            max_iter,
+            area_budget,
+            timeout_s,
+            tuple(plugins),
+            strict_timeouts,
+            faults,
+        )
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.say = say or (lambda _msg: None)
+        self.seed = (
+            seed
+            if seed is not None
+            else (faults.seed if faults is not None else 0)
+        )
+        self.ctx = mp.get_context()
+        # SimpleQueue writes synchronously in the sending process (no
+        # feeder thread), so a message a worker finished put()-ing
+        # survives even an immediate os._exit -- which keeps row loss
+        # and victim attribution exact under hard crashes.  A plain
+        # mp.Queue buffers through a feeder thread that a dying worker
+        # kills with messages still unflushed.
+        self.result_queue = self.ctx.SimpleQueue()
+        self.workers: list[_WorkerState] = []
+        self.by_id: dict[int, _WorkerState] = {}
+        self._next_id = 0
+        self.respawns = 0
+
+    # -- lifecycle ---------------------------------------------------
+
+    def run(self) -> Iterator[dict[str, Any]]:
+        """Yield every finished row; returns when all work is done."""
+        if not self.pending:
+            return
+        try:
+            for _ in range(min(self.n_workers, len(self.pending))):
+                self.workers.append(self._spawn())
+            while self.pending or any(w.task for w in self.workers):
+                self._assign()
+                yield from self._drain(POLL_INTERVAL_S)
+                yield from self._check_workers()
+        finally:
+            self._shutdown()
+
+    def _spawn(self) -> _WorkerState:
+        worker_id = self._next_id
+        self._next_id += 1
+        task_queue = self.ctx.Queue()
+        proc = self.ctx.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, self.result_queue, self.settings),
+            daemon=True,
+            name=f"repro-campaign-worker-{worker_id}",
+        )
+        proc.start()
+        state = _WorkerState(id=worker_id, proc=proc, task_queue=task_queue)
+        self.by_id[worker_id] = state
+        return state
+
+    def _shutdown(self) -> None:
+        for worker in self.workers:
+            if worker.proc.is_alive():
+                try:
+                    worker.task_queue.put(None)
+                except (OSError, ValueError):
+                    pass
+        for worker in self.workers:
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+            worker.task_queue.cancel_join_thread()
+            worker.task_queue.close()
+        self.result_queue.close()
+        self.workers.clear()
+        self.by_id.clear()
+
+    # -- scheduling --------------------------------------------------
+
+    def _budget(self, now: float) -> float | None:
+        if not self.timeout_s:
+            return None
+        return now + self.timeout_s * WATCHDOG_GRACE + WATCHDOG_MARGIN_S
+
+    def _pop_ready(self, now: float) -> Task | None:
+        for i, task in enumerate(self.pending):
+            if task.ready_at <= now:
+                return self.pending.pop(i)
+        return None
+
+    def _assign(self) -> None:
+        now = time.monotonic()
+        for worker in self.workers:
+            if worker.task is not None or worker.proc.exitcode is not None:
+                continue
+            task = self._pop_ready(now)
+            if task is None:
+                return
+            worker.task = task
+            worker.started = []
+            worker.rowed = set()
+            worker.deadline = self._budget(now)
+            worker.task_queue.put((task.group, task.attempts))
+
+    def _backoff_delay(self, job_id: str, attempt: int) -> float:
+        """Delay before execution ``attempt`` (2-based) of a job.
+
+        Exponential in the retry number, capped, with deterministic
+        jitter from a per-(seed, job, attempt) RNG so concurrent
+        retries do not stampede in lockstep yet replay identically.
+        """
+        rng = random.Random(f"{self.seed}:{job_id}:{attempt}")
+        retry = max(1, attempt - 1)
+        base = min(BACKOFF_CAP_S, self.backoff_s * (2 ** (retry - 1)))
+        return base * (1 + BACKOFF_JITTER * rng.random())
+
+    # -- the event loop ----------------------------------------------
+
+    def _poll(self, wait_s: float) -> bool:
+        """Is a result message available within ``wait_s`` seconds?
+
+        SimpleQueue has no timed ``get``; its reader connection's
+        ``poll`` provides the timeout (a message is written whole under
+        the queue's write lock, so poll-then-get cannot block long).
+        """
+        return self.result_queue._reader.poll(wait_s)
+
+    def _drain(self, wait_s: float) -> Iterator[dict[str, Any]]:
+        if not self._poll(wait_s):
+            return
+        while True:
+            yield from self._handle(self.result_queue.get())
+            if not self._poll(0.0):
+                return
+
+    def _handle(self, message: tuple) -> Iterator[dict[str, Any]]:
+        kind, worker_id = message[0], message[1]
+        worker = self.by_id.get(worker_id)
+        if kind == "row":
+            row = message[2]
+            if worker is not None and worker.task is not None:
+                worker.rowed.add(row["job_id"])
+                worker.deadline = self._budget(time.monotonic())
+            # A row from an already-replaced worker is still a finished
+            # row; if its job was re-enqueued, last-row-wins dedupes.
+            yield row
+            return
+        if worker is None or worker.task is None:
+            return  # stale message from a retired worker
+        if kind == "phase":
+            worker.deadline = self._budget(time.monotonic())
+        elif kind == "start":
+            worker.started.append(message[2])
+            worker.deadline = self._budget(time.monotonic())
+        elif kind == "done":
+            worker.task = None
+            worker.deadline = None
+
+    def _check_workers(self) -> Iterator[dict[str, Any]]:
+        now = time.monotonic()
+        for i, worker in enumerate(self.workers):
+            if worker.proc.exitcode is not None:
+                cause = (
+                    f"worker died (exit code {worker.proc.exitcode})"
+                )
+                yield from self._on_death(i, cause, is_timeout=False)
+            elif (
+                worker.task is not None
+                and worker.deadline is not None
+                and now > worker.deadline
+            ):
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+                budget = (
+                    self.timeout_s * WATCHDOG_GRACE + WATCHDOG_MARGIN_S
+                )
+                cause = (
+                    f"watchdog killed hung worker "
+                    f"(no heartbeat within {budget:g}s)"
+                )
+                yield from self._on_death(i, cause, is_timeout=True)
+
+    def _on_death(
+        self, index: int, cause: str, is_timeout: bool
+    ) -> Iterator[dict[str, Any]]:
+        worker = self.workers[index]
+        # Rows the dying worker managed to put may still sit in the
+        # pipe; give them a moment to land before declaring jobs lost.
+        for _ in range(3):
+            drained = list(self._drain(POLL_INTERVAL_S))
+            yield from drained
+            if not drained:
+                break
+        if worker.task is not None:
+            yield from self._requeue(worker, cause, is_timeout)
+        del self.by_id[worker.id]
+        if worker.proc.is_alive():
+            worker.proc.kill()
+            worker.proc.join(timeout=5.0)
+        worker.task_queue.cancel_join_thread()
+        worker.task_queue.close()
+        self.respawns += 1
+        self.workers[index] = self._spawn()
+
+    def _requeue(
+        self, worker: _WorkerState, cause: str, is_timeout: bool
+    ) -> Iterator[dict[str, Any]]:
+        """Reschedule a dead worker's task: retry or poison the victim
+        job, re-enqueue the rest of its group unchanged."""
+        task = worker.task
+        assert task is not None
+        now = time.monotonic()
+        remaining = [
+            job for job in task.group if job.job_id not in worker.rowed
+        ]
+        if not remaining:
+            return  # every row landed; only the "done" marker was lost
+        victim = None
+        for job_id in reversed(worker.started):
+            if job_id not in worker.rowed:
+                victim = next(
+                    job for job in remaining if job.job_id == job_id
+                )
+                break
+        if victim is None:
+            # Died before any "start" (group preparation): blame the
+            # group's first remaining job so a crash-looping prepare
+            # phase still converges job by job.
+            victim = remaining[0]
+        attempt = task.attempts.get(victim.job_id, 1)
+        others = [
+            job for job in remaining if job.job_id != victim.job_id
+        ]
+        if others:
+            self.pending.insert(
+                0,
+                Task(
+                    group=tuple(others),
+                    attempts={
+                        job.job_id: task.attempts[job.job_id]
+                        for job in others
+                        if job.job_id in task.attempts
+                    },
+                ),
+            )
+        if attempt >= self.max_attempts:
+            exc: Exception = (
+                JobTimeout(cause) if is_timeout else WorkerDied(cause)
+            )
+            self.say(
+                f"POISON {victim.job_id} after {attempt} attempt(s): "
+                f"{cause}"
+            )
+            yield make_failed_row(
+                victim, exc, 0.0, attempt=attempt, status="poisoned"
+            )
+        else:
+            delay = self._backoff_delay(victim.job_id, attempt + 1)
+            self.say(
+                f"retry  {victim.job_id} in {delay:.2f}s "
+                f"(attempt {attempt + 1}/{self.max_attempts}): {cause}"
+            )
+            self.pending.append(
+                Task(
+                    group=(victim,),
+                    attempts={victim.job_id: attempt + 1},
+                    ready_at=now + delay,
+                )
+            )
+
+
+__all__ = [
+    "BACKOFF_CAP_S",
+    "BACKOFF_JITTER",
+    "DEFAULT_BACKOFF_BASE_S",
+    "DEFAULT_MAX_ATTEMPTS",
+    "POLL_INTERVAL_S",
+    "WATCHDOG_GRACE",
+    "WATCHDOG_MARGIN_S",
+    "Supervisor",
+    "Task",
+    "WorkerDied",
+]

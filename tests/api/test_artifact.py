@@ -78,6 +78,36 @@ def test_ok_artifact_without_report_cannot_serialize():
         _artifact(report=None).to_row()
 
 
+def test_attempt_round_trips_and_defaults_to_first():
+    row = _artifact(attempt=3).to_row()
+    assert row["attempt"] == 3
+    assert RunArtifact.from_row(row).attempt == 3
+    # Pre-schema-4 rows carry no attempt field: first attempt.
+    del row["attempt"]
+    row["schema"] = 3
+    assert RunArtifact.from_row(row).attempt == 1
+
+
+def test_poisoned_artifact_round_trips_like_a_failure():
+    from repro.api.artifact import STATUSES
+
+    assert STATUSES == ("ok", "failed", "poisoned")
+    try:
+        raise OSError("worker died")
+    except OSError as exc:
+        artifact = RunArtifact.from_failure(
+            "C432", "cvs", exc, attempt=3, status="poisoned"
+        )
+    row = artifact.to_row()
+    assert row["status"] == "poisoned"
+    assert row["attempt"] == 3
+    assert "OSError: worker died" in row["error"]
+    assert "report" not in row
+    back = RunArtifact.from_row(row)
+    assert not back.ok
+    assert (back.status, back.attempt) == ("poisoned", 3)
+
+
 def test_schema1_row_reads_as_classic_dual_vdd():
     row = _artifact().to_row()
     row["schema"] = 1

@@ -306,6 +306,63 @@ def test_slow_job_times_out_while_group_completes(tmp_path):
     }
 
 
+def test_job_deadline_off_main_thread_warns_once_and_runs():
+    """Where SIGALRM cannot arm (off the Unix main thread), the budget
+    is advisory: the block still runs, with one RuntimeWarning for the
+    whole process rather than one per job."""
+    import threading
+    import warnings
+
+    campaign_mod.reset_deadline_warning()
+    caught = []
+
+    def target():
+        with warnings.catch_warnings(record=True) as first:
+            warnings.simplefilter("always")
+            with campaign_mod.job_deadline(0.5):
+                caught.append("ran")
+        with warnings.catch_warnings(record=True) as second:
+            warnings.simplefilter("always")
+            with campaign_mod.job_deadline(0.5):
+                caught.append("ran again")
+        caught.append((list(first), list(second)))
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join()
+    first, second = caught[-1]
+    assert caught[:2] == ["ran", "ran again"]
+    assert len(first) == 1
+    assert issubclass(first[0].category, RuntimeWarning)
+    assert "cannot be enforced" in str(first[0].message)
+    assert second == []  # warned once per process, not per job
+
+
+def test_job_deadline_strict_errors_where_unenforceable():
+    import threading
+
+    from repro.flow.campaign import TimeoutUnsupportedError
+
+    failures = []
+
+    def target():
+        try:
+            with campaign_mod.job_deadline(0.5, strict=True):
+                pass
+        except TimeoutUnsupportedError as exc:
+            failures.append(str(exc))
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join()
+    assert len(failures) == 1
+    assert "cannot enforce" in failures[0]
+    assert "supervised" in failures[0]  # points at the escape hatch
+    # A zero/absent budget never needs enforcement, strict or not.
+    with campaign_mod.job_deadline(None, strict=True):
+        pass
+
+
 def test_generous_timeout_changes_nothing(tmp_path):
     with_budget = ResultStore(tmp_path / "budget.jsonl")
     run_campaign(build_jobs(["z4ml"]), with_budget, timeout_s=120.0)

@@ -1,0 +1,89 @@
+"""FaultPlan unit tests: spec parsing, seeded determinism, hook firing."""
+
+import pytest
+
+from repro.flow.faults import (
+    KINDS,
+    FaultPlan,
+    InjectedFault,
+)
+
+JOB_IDS = [f"c{i}:cvs:v4.3:s1.2" for i in range(10)]
+
+
+def test_from_spec_parses_counts_and_draws_victims():
+    plan = FaultPlan.from_spec(
+        "kill-before:2,raise:1,corrupt-row:1", JOB_IDS, seed=7
+    )
+    assert len(plan.kill_before) == 2
+    assert len(plan.raise_on) == 1
+    assert len(plan.corrupt_row) == 1
+    assert plan.kill_after == () and plan.hang_on == ()
+    # Victims are distinct jobs drawn from the campaign's id list.
+    assert len(plan.victims) == 4
+    assert plan.victims <= set(JOB_IDS)
+
+
+def test_from_spec_is_deterministic_in_the_seed():
+    a = FaultPlan.from_spec("kill-before:2,hang:1", JOB_IDS, seed=3)
+    b = FaultPlan.from_spec("kill-before:2,hang:1", JOB_IDS, seed=3)
+    c = FaultPlan.from_spec("kill-before:2,hang:1", JOB_IDS, seed=4)
+    assert a == b
+    assert a != c
+
+
+def test_from_spec_validation():
+    with pytest.raises(ValueError, match="kind:count"):
+        FaultPlan.from_spec("kill-before", JOB_IDS)
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultPlan.from_spec("segfault:1", JOB_IDS)
+    with pytest.raises(ValueError, match=">= 1"):
+        FaultPlan.from_spec("raise:0", JOB_IDS)
+    with pytest.raises(ValueError, match="only"):
+        FaultPlan.from_spec("raise:3", JOB_IDS[:2])
+
+
+def test_fires_respects_max_fires():
+    (victim,) = FaultPlan.from_spec("raise:1", JOB_IDS, seed=1).raise_on
+    plan = FaultPlan(raise_on=(victim,), max_fires=2)
+    assert plan.fires("raise", victim, attempt=1)
+    assert plan.fires("raise", victim, attempt=2)
+    assert not plan.fires("raise", victim, attempt=3)
+    assert not plan.fires("raise", "someone-else", attempt=1)
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        plan.fires("segfault", victim)
+
+
+def test_store_damage_for_maps_kinds():
+    plan = FaultPlan(torn_row=("a",), corrupt_row=("b",))
+    assert plan.store_damage_for("a") == "torn"
+    assert plan.store_damage_for("b") == "crc"
+    assert plan.store_damage_for("c") is None
+    assert plan.store_damage_for("a", attempt=2) is None  # retry is clean
+
+
+def test_needs_supervisor_only_for_process_level_faults():
+    assert not FaultPlan().needs_supervisor
+    assert not FaultPlan(raise_on=("a",), torn_row=("b",)).needs_supervisor
+    assert FaultPlan(kill_before=("a",)).needs_supervisor
+    assert FaultPlan(kill_after=("a",)).needs_supervisor
+    assert FaultPlan(hang_on=("a",)).needs_supervisor
+
+
+def test_check_raise_raises_only_for_armed_jobs():
+    plan = FaultPlan(raise_on=("a",))
+    plan.check_raise("b", attempt=1)  # no-op
+    plan.check_raise("a", attempt=2)  # beyond max_fires: no-op
+    with pytest.raises(InjectedFault, match="attempt 1"):
+        plan.check_raise("a", attempt=1)
+
+
+def test_describe_lists_armed_kinds():
+    plan = FaultPlan.from_spec("hang:1,torn-row:2", JOB_IDS, seed=0)
+    text = plan.describe()
+    assert "hang:1" in text and "torn-row:2" in text
+    assert "empty" in FaultPlan().describe()
+    assert set(KINDS) == {
+        "kill-before", "kill-after", "raise", "hang",
+        "torn-row", "corrupt-row",
+    }

@@ -107,7 +107,11 @@ def test_store_appends_compact_single_lines(tmp_path):
     text = path.read_text(encoding="utf-8")
     assert text.endswith("\n")
     assert text.count("\n") == 1
-    assert json.loads(text) == make_row()
+    on_disk = json.loads(text)
+    # The only on-disk addition over the logical row is the line CRC.
+    crc = on_disk.pop("crc")
+    assert on_disk == make_row()
+    assert isinstance(crc, str) and len(crc) == 8
 
 
 # -- compaction -------------------------------------------------------
@@ -310,3 +314,132 @@ def test_campaign_progress_zero_expectation_describes_safely(tmp_path):
         store.append(make_row(job_id="a"))
     progress = campaign_progress([store.path], expected_jobs=0)
     assert "%" not in progress.describe()  # no crash, no percentage
+
+
+# -- per-row CRC and integrity reporting ------------------------------
+
+def test_crc_mismatch_is_skipped_and_reported(tmp_path):
+    path = tmp_path / "s.jsonl"
+    store = ResultStore(path)
+    with store:
+        store.append(make_row(job_id="a"))
+        store.append(make_row(job_id="b"))
+        store.append(make_row(job_id="c"))
+    # Flip one byte inside the middle row's payload: still valid JSON,
+    # but the stored CRC no longer matches.
+    lines = path.read_text(encoding="utf-8").splitlines()
+    lines[1] = lines[1].replace('"vdd_low":4.3', '"vdd_low":4.0')
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    assert [r["job_id"] for r in store.load()] == ["a", "c"]
+    integrity = store.integrity
+    assert (integrity.rows, integrity.corrupt, integrity.torn) == (2, 1, 0)
+    assert integrity.crc_checked == 2
+    assert integrity.damaged == 1
+    assert "1 corrupt" in integrity.describe()
+    # The corrupted job re-runs on resume, exactly like a torn one.
+    assert store.completed_ids() == {"a", "c"}
+
+
+def test_unparseable_interior_line_counts_corrupt_not_torn(tmp_path):
+    path = tmp_path / "s.jsonl"
+    store = ResultStore(path)
+    with store:
+        store.append(make_row(job_id="a"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"job_id": "half\n')  # interior damage
+    with ResultStore(path) as resumed:
+        resumed.append(make_row(job_id="b"))
+    integrity = resumed.verify()
+    assert (integrity.rows, integrity.corrupt, integrity.torn) == (2, 1, 0)
+
+
+def test_pre_crc_rows_load_unchecked(tmp_path):
+    """v1-v3 lines carry no crc field; they load fine, just without
+    the checksum guarantee."""
+    path = tmp_path / "s.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(make_row(job_id="legacy")) + "\n")
+    store = ResultStore(path)
+    assert [r["job_id"] for r in store.load()] == ["legacy"]
+    assert store.integrity.crc_checked == 0
+    assert store.integrity.rows == 1
+
+
+def test_append_damaged_torn_and_crc_modes(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    with store:
+        store.append(make_row(job_id="a"))
+        store.append_damaged(make_row(job_id="torn-victim"), "torn")
+        store.append_damaged(make_row(job_id="crc-victim"), "crc")
+        store.append(make_row(job_id="b"))
+        with pytest.raises(ValueError, match="damage"):
+            store.append_damaged(make_row(job_id="x"), "gamma-ray")
+    assert [r["job_id"] for r in store.load()] == ["a", "b"]
+    assert store.integrity.corrupt == 2  # both interior lines
+
+
+def test_compact_restamps_crc_and_drops_damaged_lines(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    with store:
+        store.append(make_row(job_id="a"))
+        store.append_damaged(make_row(job_id="bad"), "crc")
+        store.append(make_row(job_id="a", runtime_s=7.0))
+    stats = store.compact()
+    assert (stats.kept_rows, stats.dropped_rows) == (1, 1)
+    integrity = store.verify()
+    assert (integrity.rows, integrity.corrupt) == (1, 0)
+    assert integrity.crc_checked == 1  # the rewrite re-stamped it
+
+
+def test_completed_ids_quarantines_poisoned_rows(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    with store:
+        store.append(make_row(job_id="good"))
+        store.append(make_row(job_id="sick", status="poisoned",
+                              error="WorkerDied: exit 86", attempt=3))
+        store.append(make_row(job_id="flaky", status="failed",
+                              error="boom"))
+    assert store.completed_ids() == {"good", "sick"}
+    assert store.completed_ids(include_poisoned=False) == {"good"}
+
+
+def test_store_progress_reports_retry_pressure(tmp_path):
+    from repro.flow.store import store_progress
+
+    path = tmp_path / "s.jsonl"
+    store = ResultStore(path)
+    with store:
+        store.append(make_row(job_id="a", attempt=2))
+        store.append(make_row(job_id="b", status="poisoned",
+                              error="WorkerDied: gone", attempt=3))
+        store.append_damaged(make_row(job_id="c"), "crc")
+    progress = store_progress(path)
+    assert (progress.ok, progress.poisoned) == (1, 1)
+    assert (progress.retried, progress.max_attempt) == (2, 3)
+    assert progress.corrupt == 1
+    text = progress.describe()
+    assert "1 poisoned" in text
+    assert "2 retried (max attempt 3)" in text
+    assert "1 corrupt" in text
+
+
+def test_campaign_progress_aggregates_retry_pressure(tmp_path):
+    from repro.flow.store import campaign_progress
+
+    shard1 = ResultStore(tmp_path / "shard1.jsonl")
+    shard2 = ResultStore(tmp_path / "shard2.jsonl")
+    with shard1:
+        shard1.append(make_row(job_id="a", attempt=2))
+        shard1.append_damaged(make_row(job_id="lost"), "torn")
+    with shard2:
+        shard2.append(make_row(job_id="b", status="poisoned",
+                               error="WorkerDied: gone", attempt=3))
+    progress = campaign_progress([shard1.path, shard2.path],
+                                 expected_jobs=3)
+    assert (progress.ok, progress.poisoned, progress.retried) == (1, 1, 2)
+    # shard1's truncated line is its *final* line: a torn tail.
+    assert (progress.corrupt, progress.torn) == (0, 1)
+    assert progress.completed == 2
+    text = progress.describe()
+    assert "1 poisoned" in text and "1 torn" in text

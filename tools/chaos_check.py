@@ -1,0 +1,138 @@
+"""Nightly chaos gate: a seeded fault plan must not cost a campaign
+anything.
+
+The script drives the real CLI end to end:
+
+1. runs a fault-free reference campaign;
+2. runs the same grid under an injected fault plan that kills two
+   workers mid-job (one before the job runs, one after it computed
+   but before it reported), hangs one job past the watchdog deadline,
+   and corrupts one stored row's checksum;
+3. re-runs ``--resume --retry-failed`` (fault-free) until the store
+   converges;
+4. asserts 100% completion with every freshest row ok and the row set
+   bit-identical to the reference (modulo volatile fields).
+
+Exit code 0 means the supervised execution layer absorbed all of it;
+anything else is a regression in crash recovery, the watchdog, the
+retry loop, or store integrity.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_check.py [--circuits z4ml,x2]
+        [--seed 9] [--timeout 60] [--max-rounds 3] [--keep DIR]
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+INJECT_SPEC = "kill-before:1,kill-after:1,hang:1,corrupt-row:1"
+
+
+def run_cli(arguments, expect=(0,)):
+    command = [sys.executable, "-m", "repro", *arguments]
+    print("+", " ".join(command), flush=True)
+    result = subprocess.run(command)
+    if result.returncode not in expect:
+        sys.exit(
+            f"chaos_check: `repro {' '.join(arguments)}` exited "
+            f"{result.returncode}, expected one of {expect}"
+        )
+    return result.returncode
+
+
+def freshest_rows(store_path):
+    from repro.flow.store import ResultStore
+
+    store = ResultStore(store_path)
+    fresh = {}
+    for row in store.load():
+        fresh[row["job_id"]] = row
+    return list(fresh.values()), store.integrity
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="supervised-campaign chaos convergence gate"
+    )
+    parser.add_argument("--circuits", default="z4ml,x2")
+    parser.add_argument("--seed", type=int, default=9)
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--max-rounds", type=int, default=3)
+    parser.add_argument(
+        "--keep", default=None,
+        help="directory for the stores (default: a temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.flow.store import rows_equal
+
+    workdir = args.keep or tempfile.mkdtemp(prefix="chaos_check_")
+    os.makedirs(workdir, exist_ok=True)
+    reference_path = os.path.join(workdir, "reference.jsonl")
+    chaos_path = os.path.join(workdir, "chaos.jsonl")
+    grid = ["--circuits", args.circuits, "--timeout", str(args.timeout)]
+
+    print(f"chaos_check: stores in {workdir}")
+    run_cli(["campaign", *grid, "--out", reference_path])
+    reference, _ = freshest_rows(reference_path)
+    if not reference or any(r["status"] != "ok" for r in reference):
+        sys.exit("chaos_check: the fault-free reference run failed")
+    expected = len(reference)
+
+    # The faulted run: exit 0 (everything retried clean), 3 (failed
+    # rows), and 4 (poisoned rows) are all legitimate here -- what
+    # matters is that the resume loop below converges.
+    run_cli(
+        [
+            "campaign", *grid, "--jobs", "2",
+            "--out", chaos_path,
+            "--inject", INJECT_SPEC,
+            "--inject-seed", str(args.seed),
+            "--inject-hang-s", "600",
+        ],
+        expect=(0, 3, 4),
+    )
+
+    converged = False
+    for round_number in range(1, args.max_rounds + 1):
+        rows, integrity = freshest_rows(chaos_path)
+        ok = sum(r["status"] == "ok" for r in rows)
+        print(
+            f"chaos_check: round {round_number - 1}: {ok}/{expected} ok"
+            f" ({integrity.describe()})"
+        )
+        if ok == expected and len(rows) == expected:
+            converged = True
+            break
+        run_cli(
+            ["campaign", *grid, "--out", chaos_path,
+             "--resume", "--retry-failed"]
+        )
+    if not converged:
+        rows, _ = freshest_rows(chaos_path)
+        bad = [r["job_id"] for r in rows if r["status"] != "ok"]
+        sys.exit(
+            f"chaos_check: no convergence after {args.max_rounds} "
+            f"resume round(s); non-ok jobs: {bad or 'missing rows'}"
+        )
+
+    rows, _ = freshest_rows(chaos_path)
+    if not rows_equal(reference, rows):
+        sys.exit(
+            "chaos_check: converged store differs from the fault-free "
+            "reference (beyond volatile fields)"
+        )
+    retried = sum(int(r.get("attempt", 1)) > 1 for r in rows)
+    print(
+        f"chaos_check: PASS -- {expected} jobs converged bit-identical "
+        f"to the reference ({retried} visibly retried)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

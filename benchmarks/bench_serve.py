@@ -1,0 +1,153 @@
+"""Headline serving benchmark: warm-cache daemon vs. cold batch.
+
+Measures the number the serving layer exists for -- per-job throughput
+once the libraries and prepared circuits are hot -- against the cold
+batch path that pays the whole pipeline prefix on every invocation:
+
+* **cold batch**: a fresh ``run_campaign`` over the grid (supervised
+  pool, evict-after-group caches), timed end to end;
+* **cold daemon**: the first submission to a freshly started daemon
+  (same cold caches, plus the HTTP hop) -- context, not the headline;
+* **warm daemon**: repeated ``fresh=True`` submissions of the same
+  grid.  ``fresh`` bypasses the daemon's *result* cache, so every job
+  re-runs its scaling method; only the library / prepared-circuit
+  caches are warm.  This isolates the cache the tentpole added from
+  trivial row replay.
+
+The report JSON (``--out``) carries both rates and their ratio;
+``--min-speedup`` turns the ratio into an exit-code gate (the
+acceptance bar is 3x).  The warm rows are also checked ``rows_equal``
+against the batch store -- a fast cache that changes answers would be
+worse than no cache.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        [--circuits z4ml,x2] [--workers 2] [--rounds 3] \
+        [--out bench_serve.json] [--min-speedup 3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.flow.campaign import build_jobs, run_campaign
+from repro.flow.store import ResultStore, rows_equal
+from repro.serve import run_remote_campaign
+from repro.serve.daemon import BackgroundDaemon, DaemonSettings
+
+DEFAULT_CIRCUITS = "z4ml,x2,pm1,mux"
+
+
+def measure(args) -> dict:
+    circuits = [c.strip() for c in args.circuits.split(",") if c.strip()]
+    jobs = build_jobs(circuits)
+    workdir = tempfile.mkdtemp(prefix="bench-serve-")
+    report: dict = {
+        "circuits": circuits,
+        "jobs": len(jobs),
+        "workers": args.workers,
+        "rounds": args.rounds,
+    }
+
+    print(f"grid: {len(jobs)} jobs over {len(circuits)} circuits, "
+          f"{args.workers} workers")
+
+    batch_store = ResultStore(os.path.join(workdir, "batch.jsonl"))
+    started = time.perf_counter()
+    summary = run_campaign(jobs, batch_store, n_jobs=args.workers)
+    batch_s = time.perf_counter() - started
+    if summary.failed or summary.poisoned:
+        raise SystemExit(
+            f"cold batch run failed: {summary.failed} failed, "
+            f"{summary.poisoned} poisoned"
+        )
+    report["cold_batch"] = {
+        "elapsed_s": batch_s,
+        "jobs_per_s": len(jobs) / batch_s,
+    }
+    print(f"cold batch : {batch_s:7.2f}s  "
+          f"{report['cold_batch']['jobs_per_s']:7.2f} jobs/s")
+
+    settings = DaemonSettings(
+        n_workers=args.workers,
+        store_path=os.path.join(workdir, "daemon.jsonl"),
+    )
+    with BackgroundDaemon(settings) as bg:
+        cold_store = ResultStore(os.path.join(workdir, "cold.jsonl"))
+        started = time.perf_counter()
+        run_remote_campaign(bg.url, jobs, cold_store, fresh=True)
+        cold_s = time.perf_counter() - started
+        report["cold_daemon"] = {
+            "elapsed_s": cold_s,
+            "jobs_per_s": len(jobs) / cold_s,
+        }
+        print(f"cold daemon: {cold_s:7.2f}s  "
+              f"{report['cold_daemon']['jobs_per_s']:7.2f} jobs/s")
+
+        warm_store = ResultStore(os.path.join(workdir, "warm.jsonl"))
+        started = time.perf_counter()
+        for _round in range(args.rounds):
+            run_remote_campaign(bg.url, jobs, warm_store, fresh=True)
+        warm_s = time.perf_counter() - started
+        warm_jobs = len(jobs) * args.rounds
+        report["warm_daemon"] = {
+            "elapsed_s": warm_s,
+            "jobs_per_s": warm_jobs / warm_s,
+            "requests_per_s": args.rounds / warm_s,
+        }
+        print(f"warm daemon: {warm_s:7.2f}s  "
+              f"{report['warm_daemon']['jobs_per_s']:7.2f} jobs/s  "
+              f"({report['warm_daemon']['requests_per_s']:.2f} req/s "
+              f"over {args.rounds} rounds)")
+
+    report["speedup"] = (
+        report["warm_daemon"]["jobs_per_s"]
+        / report["cold_batch"]["jobs_per_s"]
+    )
+    report["rows_equal"] = rows_equal(
+        batch_store.load(), warm_store.load()
+    )
+    print(f"warm/cold speedup: {report['speedup']:.1f}x  "
+          f"rows_equal: {report['rows_equal']}")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuits", default=DEFAULT_CIRCUITS,
+                        help="comma-separated benchmark grid")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for both paths")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="warm submissions to average over")
+    parser.add_argument("--out", default="",
+                        help="write the JSON report here")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless warm/cold >= this ratio "
+                             "(0 = report only; acceptance bar: 3)")
+    args = parser.parse_args(argv)
+
+    report = measure(args)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if not report["rows_equal"]:
+        print("bench_serve FAILED: daemon rows differ from batch rows")
+        return 1
+    if args.min_speedup and report["speedup"] < args.min_speedup:
+        print(f"bench_serve FAILED: speedup {report['speedup']:.1f}x "
+              f"< required {args.min_speedup:g}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ campaign [--subset | --circuits a,b,c] [--jobs N] [--resume]
          [--out STORE.jsonl] [--timeout S] [--shard K/N]
          [--sweep | --vlow V[,V...] --slack F[,F...]]
          [--rails V0,V1,...[;V0,V1,...]] [--plugin MODULE]
+         [--server URL] [--fresh]
     Shard the (circuit, method, rails-or-vdd_low, slack) sweep across
     supervised worker processes, streaming rows into a resumable JSONL
     result store.  ``--rails`` opens the N-rail MSV grid (highest
@@ -35,6 +36,20 @@ campaign [--subset | --circuits a,b,c] [--jobs N] [--resume]
     poisoned rows.  Exit status: 0 all ok, 3 failed rows present, 4
     the supervisor gave up on at least one job (poisoned).  See
     docs/robustness.md (including the hidden fault-injection flags).
+    ``--server URL`` submits the same grid to a running ``repro
+    serve`` daemon instead of forking locally: rows stream back into
+    ``--out`` with identical summary lines and exit codes, and the
+    daemon's work-stealing queue replaces ``--shard`` (see
+    docs/serving.md); ``--fresh`` forces recomputation of jobs the
+    daemon holds cached results for.
+serve [--host H] [--port P] [--jobs N] [--cache-mb M] [--timeout S]
+      [--out STORE.jsonl] [--plugin MODULE]
+    Run the long-lived optimization daemon: a persistent supervised
+    worker pool with hot cross-request library/prepared-circuit caches
+    (LRU, capped at ``--cache-mb`` per worker) behind an HTTP + NDJSON
+    job API (POST /v1/jobs, GET /v1/jobs/<id>, GET /v1/health,
+    POST /v1/shutdown).  ``--port 0`` picks an ephemeral port; the
+    bound URL is printed on startup.  See docs/serving.md.
 tables [--subset] [--jobs N] [--from-store STORE.jsonl]
        [--rails V0,V1,...|dual] [--out PATH]
     Regenerate the paper's Table 1 / Table 2 (through a campaign store)
@@ -368,6 +383,11 @@ def _cmd_campaign(args) -> int:
     if args.retry_failed and not args.resume:
         raise SystemExit("--retry-failed needs --resume (it re-attempts "
                          "rows already in the store)")
+    if args.server:
+        return _campaign_via_server(args, jobs, total)
+    if args.fresh:
+        raise SystemExit("--fresh only applies with --server (it skips "
+                         "the daemon's result cache)")
     faults = None
     if args.inject:
         from repro.flow.faults import FaultPlan
@@ -409,6 +429,11 @@ def _cmd_campaign(args) -> int:
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    return _campaign_exit(summary)
+
+
+def _campaign_exit(summary) -> int:
+    """Shared summary line + exit code for local and served campaigns."""
     retry_note = (f", {summary.retries} retr"
                   f"{'y' if summary.retries == 1 else 'ies'}"
                   if summary.retries else "")
@@ -421,6 +446,68 @@ def _cmd_campaign(args) -> int:
         return 4
     if summary.failed:
         return 3
+    return 0
+
+
+def _campaign_via_server(args, jobs, total: int) -> int:
+    """The --server branch: submit the grid to a running daemon."""
+    from repro.flow.store import ResultStore
+    from repro.serve import ServeError, run_remote_campaign
+
+    if args.shard:
+        raise SystemExit(
+            "--shard is a batch-mode partitioner; the daemon's "
+            "work-stealing queue already balances load across every "
+            "submission (see docs/sharding.md)")
+    if args.inject:
+        raise SystemExit("--inject drives the local fault-injection "
+                         "harness; the daemon owns its own workers")
+    if args.timeout:
+        raise SystemExit("--timeout is fixed daemon-side (repro serve "
+                         "--timeout); per-request budgets would break "
+                         "row determinism across clients")
+    store = ResultStore(args.out)
+    print(f"campaign: {len(jobs)}/{total} jobs -> {args.out}  "
+          f"[server={args.server}"
+          f"{', resume' if args.resume else ''}"
+          f"{', retry-failed' if args.retry_failed else ''}"
+          f"{', fresh' if args.fresh else ''}]")
+    try:
+        summary = run_remote_campaign(
+            args.server, jobs, store,
+            resume=args.resume,
+            retry_failed=args.retry_failed,
+            fresh=args.fresh,
+            progress=None if args.quiet else print,
+        )
+    except (ServeError, ConnectionError, OSError) as exc:
+        raise SystemExit(f"server campaign failed: {exc}") from None
+    return _campaign_exit(summary)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.daemon import Daemon, DaemonSettings
+
+    _load_plugins(args)
+    cache_bytes = (
+        None if args.cache_mb <= 0 else int(args.cache_mb * (1 << 20))
+    )
+    daemon = Daemon(DaemonSettings(
+        host=args.host,
+        port=args.port,
+        n_workers=args.jobs,
+        cache_bytes=cache_bytes,
+        store_path=args.out,
+        timeout_s=args.timeout,
+        plugins=tuple(args.plugin),
+    ))
+    daemon.log = lambda msg: print(msg, flush=True)
+    try:
+        asyncio.run(daemon.serve())
+    except KeyboardInterrupt:
+        print("interrupted; daemon exiting")
     return 0
 
 
@@ -671,7 +758,42 @@ def main(argv: list[str] | None = None) -> int:
                                  help="import this module first "
                                       "(repeatable); use it to register "
                                       "custom scaling methods")
+    campaign_parser.add_argument("--server", default="",
+                                 help="submit to a running 'repro serve' "
+                                      "daemon at this URL instead of "
+                                      "forking locally; rows stream back "
+                                      "into --out (replaces --shard)")
+    campaign_parser.add_argument("--fresh", action="store_true",
+                                 help="with --server: recompute jobs the "
+                                      "daemon holds cached results for "
+                                      "instead of replaying them")
     campaign_parser.set_defaults(handler=_cmd_campaign)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="long-lived optimization daemon with hot caches",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8765,
+                              help="bind port; 0 picks an ephemeral one "
+                                   "(printed on startup)")
+    serve_parser.add_argument("--jobs", type=int, default=2,
+                              help="persistent worker processes")
+    serve_parser.add_argument("--cache-mb", type=float, default=256,
+                              help="per-worker prepared-circuit cache "
+                                   "cap in MiB (0 = unbounded LRU)")
+    serve_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-job wall-clock budget in seconds")
+    serve_parser.add_argument("--out", default="serve_results.jsonl",
+                              help="the daemon's JSONL result store "
+                                   "(doubles as its result cache across "
+                                   "restarts)")
+    serve_parser.add_argument("--plugin", action="append", default=[],
+                              help="import this module first (repeatable); "
+                                   "use it to register custom scaling "
+                                   "methods in the daemon's workers")
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     tables_parser = commands.add_parser("tables",
                                         help="regenerate Tables 1 and 2")

@@ -35,10 +35,26 @@ from repro.api.artifact import (
     artifacts_to_results,
     flow_job_id,
 )
+from repro.api.cache import (
+    EVICTION_POLICIES,
+    CacheStats,
+    EvictionPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    PreparedCache,
+)
 from repro.api.config import (
     DEFAULT_SLACK_FACTOR,
     DEFAULT_VDD_LOW,
     FlowConfig,
+)
+from repro.api.jobs import (
+    EVENT_KINDS,
+    JOB_STATES,
+    JobRequest,
+    JobStatus,
+    ProgressEvent,
+    new_request_id,
 )
 from repro.api.flow import (
     STAGES,
@@ -73,15 +89,26 @@ __all__ = [
     "DEFAULT_COST_MODEL",
     "DEFAULT_SLACK_FACTOR",
     "DEFAULT_VDD_LOW",
+    "EVENT_KINDS",
+    "EVICTION_POLICIES",
+    "JOB_STATES",
     "SCHEMA_VERSION",
     "STAGES",
+    "CacheStats",
     "CostModel",
-    "MoveStats",
-    "CircuitResult",
+    "EvictionPolicy",
+    "FIFOPolicy",
     "Flow",
     "FlowConfig",
     "FlowContext",
+    "JobRequest",
+    "JobStatus",
+    "LRUPolicy",
+    "MoveStats",
+    "CircuitResult",
+    "PreparedCache",
     "PreparedCircuit",
+    "ProgressEvent",
     "RunArtifact",
     "ScalingMethod",
     "ScalingReport",

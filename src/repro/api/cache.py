@@ -1,0 +1,313 @@
+"""One keyed cache for the flow's expensive, reusable artifacts.
+
+Three things dominate a cold flow run and are pure functions of a few
+config fields, so they are worth keeping hot across runs:
+
+* the characterized **library** + its :class:`MatchTable` (keyed by the
+  rail set);
+* the **prepared circuit** -- the optimize / map / constrain prefix
+  (keyed by circuit, rail set, slack factor, and the preparation
+  options).
+
+Historically every consumer grew its own ad-hoc dict (the campaign
+workers' module-level caches, every script's locals).  They collapse
+into :class:`PreparedCache`: one keyed, eviction-pluggable,
+hit/miss-counted cache that :meth:`Flow.prepare()
+<repro.api.flow.Flow.prepare>` consults when constructed with
+``cache=``, the campaign workers share per process, and the serving
+daemon (:mod:`repro.serve`) keeps hot across requests behind a memory
+cap.
+
+Eviction applies to prepared circuits only (libraries are few and
+small; they stay pinned until :meth:`PreparedCache.clear`).  Entry
+sizes are estimated from the pickled representation, so the
+``max_bytes`` cap tracks what a worker would actually hold; the cap is
+advisory for a single entry (the newest entry always stays, otherwise a
+cache smaller than one circuit could never serve it).
+
+The batch campaign keeps its historical memory profile by constructing
+the cache with ``retain_prepared=False``: every group is dispatched
+once per campaign, so the runner evicts each prepared circuit as soon
+as its group is done.  The daemon flips retention on and lets the LRU
+policy decide instead.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:
+    from repro.api.config import FlowConfig
+    from repro.api.flow import PreparedCircuit
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`PreparedCache`.
+
+    ``hits`` / ``misses`` count prepared-circuit lookups, the cache's
+    expensive section; ``library_hits`` / ``library_misses`` count the
+    (library, match table) section.  ``bytes`` is the estimated size of
+    the retained prepared circuits.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    library_hits: int = 0
+    library_misses: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "library_hits": self.library_hits,
+            "library_misses": self.library_misses,
+            "entries": self.entries,
+            "bytes": self.bytes,
+        }
+
+    def add(self, other: dict[str, Any]) -> None:
+        """Fold another cache's ``as_dict`` into this one (aggregation
+        across the daemon's worker processes)."""
+        self.hits += int(other.get("hits", 0))
+        self.misses += int(other.get("misses", 0))
+        self.evictions += int(other.get("evictions", 0))
+        self.library_hits += int(other.get("library_hits", 0))
+        self.library_misses += int(other.get("library_misses", 0))
+        self.entries += int(other.get("entries", 0))
+        self.bytes += int(other.get("bytes", 0))
+
+
+class EvictionPolicy:
+    """Order-keeping strategy deciding which cached entry dies first.
+
+    The cache calls :meth:`record` on every insert *and* every hit,
+    :meth:`forget` when an entry leaves, and :meth:`victim` when it
+    must shed one.  Subclass and pass an instance (or register a name
+    in :data:`EVICTION_POLICIES`) to plug in a different strategy.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[Any, None] = OrderedDict()
+
+    def record(self, key: Any) -> None:
+        raise NotImplementedError
+
+    def forget(self, key: Any) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> Any:
+        """The key to evict next (the oldest under this policy)."""
+        return next(iter(self._order))
+
+
+class LRUPolicy(EvictionPolicy):
+    """Least-recently-used: a hit refreshes an entry's lease."""
+
+    name = "lru"
+
+    def record(self, key: Any) -> None:
+        self._order.pop(key, None)
+        self._order[key] = None
+
+
+class FIFOPolicy(EvictionPolicy):
+    """Insertion order only: hits do not refresh an entry's lease."""
+
+    name = "fifo"
+
+    def record(self, key: Any) -> None:
+        if key not in self._order:
+            self._order[key] = None
+
+
+EVICTION_POLICIES: dict[str, type[EvictionPolicy]] = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+}
+
+
+def _make_policy(policy: str | EvictionPolicy) -> EvictionPolicy:
+    if isinstance(policy, EvictionPolicy):
+        return policy
+    try:
+        return EVICTION_POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown eviction policy {policy!r}; registered policies: "
+            f"{sorted(EVICTION_POLICIES)}"
+        ) from None
+
+
+def _estimate_bytes(value: Any) -> int:
+    """A deterministic size estimate: the pickled representation.
+
+    Pickling is what a prepared circuit costs to hold or ship, and it
+    is stable across runs (unlike ``sys.getsizeof``, which ignores the
+    object graph entirely).
+    """
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 1 << 20  # unpicklable oddity: charge it 1 MiB
+
+
+@dataclass
+class _Entry:
+    value: Any
+    size: int = 0
+
+
+@dataclass
+class PreparedCache:
+    """Keyed cache of built libraries and prepared circuits.
+
+    ``max_bytes`` caps the estimated memory of *retained prepared
+    circuits* (``None`` = unbounded); ``policy`` picks the eviction
+    order (``"lru"`` default, ``"fifo"``, or an
+    :class:`EvictionPolicy` instance); ``retain_prepared=False``
+    disables cross-call retention of prepared circuits entirely -- the
+    consumer evicts explicitly (the batch campaign's one-shot groups).
+
+    Not thread-safe: each campaign worker process and the daemon's
+    workers hold their own instance.
+    """
+
+    max_bytes: int | None = None
+    policy: str | EvictionPolicy = "lru"
+    retain_prepared: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._policy = _make_policy(self.policy)
+        self._libraries: dict[tuple[float, ...], tuple[Any, Any]] = {}
+        self._prepared: dict[Any, _Entry] = {}
+
+    # -- libraries ---------------------------------------------------
+
+    def library(self, rail_key: tuple[float, ...]) -> tuple[Any, Any]:
+        """The (library, match table) pair for one rail set.
+
+        ``rail_key`` follows the campaign convention: the full ordered
+        rail set for an MSV run, ``(vdd_low,)`` for classic dual-Vdd.
+        Built on first use, pinned until :meth:`clear`.
+        """
+        rail_key = tuple(float(v) for v in rail_key)
+        pair = self._libraries.get(rail_key)
+        if pair is not None:
+            self.stats.library_hits += 1
+            return pair
+        self.stats.library_misses += 1
+        from repro.library.compass import build_compass_library
+        from repro.mapping.match import MatchTable
+
+        if len(rail_key) == 1:
+            library = build_compass_library(vdd_low=rail_key[0])
+        else:
+            library = build_compass_library(rails=rail_key)
+        pair = (library, MatchTable(library))
+        self._libraries[rail_key] = pair
+        return pair
+
+    # -- prepared circuits -------------------------------------------
+
+    @staticmethod
+    def prepared_key(config: FlowConfig) -> tuple:
+        """What a prepared circuit is keyed on: everything the
+        optimize/map/constrain prefix depends on (and nothing the
+        per-method suffix varies)."""
+        from dataclasses import asdict
+
+        return (
+            config.circuit,
+            config.rail_key,
+            config.slack_factor,
+            tuple(sorted(asdict(config.options).items())),
+        )
+
+    def prepared(
+        self,
+        config: FlowConfig,
+        build: Callable[[], PreparedCircuit],
+    ) -> PreparedCircuit:
+        """The prepared circuit for ``config``, building on a miss."""
+        key = self.prepared_key(config)
+        entry = self._prepared.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._policy.record(key)
+            return entry.value
+        self.stats.misses += 1
+        value = build()
+        entry = _Entry(value=value, size=_estimate_bytes(value))
+        self._prepared[key] = entry
+        self.stats.entries = len(self._prepared)
+        self.stats.bytes += entry.size
+        self._policy.record(key)
+        self._shed(protect=key)
+        return value
+
+    def evict_prepared(self, config: FlowConfig) -> bool:
+        """Explicitly drop one prepared circuit (the batch runner's
+        group-is-done hook).  Returns whether it was present."""
+        return self._pop(self.prepared_key(config), count_eviction=False)
+
+    def _pop(self, key: Any, count_eviction: bool) -> bool:
+        entry = self._prepared.pop(key, None)
+        if entry is None:
+            return False
+        self._policy.forget(key)
+        self.stats.bytes -= entry.size
+        self.stats.entries = len(self._prepared)
+        if count_eviction:
+            self.stats.evictions += 1
+        return True
+
+    def _shed(self, protect: Any) -> None:
+        """Evict under the byte cap; never evicts ``protect`` (the
+        entry just inserted -- the cap is advisory for a lone entry
+        bigger than the whole budget)."""
+        if self.max_bytes is None:
+            return
+        while self.stats.bytes > self.max_bytes and len(self._prepared) > 1:
+            key = self._policy.victim()
+            if key == protect:
+                # Re-record moves it behind the other candidates.
+                self._policy.record(key)
+                continue
+            self._pop(key, count_eviction=True)
+
+    # -- maintenance -------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop everything (libraries included); counters survive."""
+        for key in list(self._prepared):
+            self._pop(key, count_eviction=False)
+        self._libraries.clear()
+
+    def __len__(self) -> int:
+        return len(self._prepared)
+
+
+__all__ = [
+    "EVICTION_POLICIES",
+    "CacheStats",
+    "EvictionPolicy",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "PreparedCache",
+]

@@ -32,6 +32,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.api.artifact import RunArtifact, ScalingReport
+from repro.api.cache import PreparedCache
 from repro.api.config import FlowConfig
 from repro.api.registry import get_method
 from repro.core.restore import MaterializedDesign, materialize_converters
@@ -245,6 +246,15 @@ class Flow:
     with config changes, keeping the built library when the rail set is
     unchanged; ``with_stage()`` derives a sibling with one stage
     swapped.
+
+    ``cache`` plugs in a :class:`~repro.api.cache.PreparedCache`: the
+    library resolves through it (shared per rail set) and
+    :meth:`prepare` consults it before running the expensive prefix
+    stages -- this is how the campaign workers and the serving daemon
+    keep circuits hot.  The cache keys on the default prepare stages,
+    so :meth:`with_stage` siblings deliberately drop it (a custom
+    ``optimize``/``map``/``constrain`` stage would poison shared
+    entries); :meth:`replace` siblings keep it.
     """
 
     def __init__(
@@ -254,10 +264,12 @@ class Flow:
         library: Library | None = None,
         match_table: MatchTable | None = None,
         stages: dict[str, StageFn] | None = None,
+        cache: PreparedCache | None = None,
     ):
         self.config = config
         self._library = library
         self._match_table = match_table
+        self._cache = cache
         self.stages: dict[str, StageFn] = dict(DEFAULT_STAGES)
         if stages:
             unknown = sorted(set(stages) - set(DEFAULT_STAGES))
@@ -280,7 +292,12 @@ class Flow:
     @property
     def library(self) -> Library:
         if self._library is None:
-            self._library = self.config.build_library()
+            if self._cache is not None:
+                self._library, self._match_table = self._cache.library(
+                    self.config.rail_key
+                )
+            else:
+                self._library = self.config.build_library()
         return self._library
 
     @property
@@ -301,6 +318,7 @@ class Flow:
             library=self._library if same_rails else None,
             match_table=self._match_table if same_rails else None,
             stages=self.stages,
+            cache=self._cache,
         )
 
     def with_stage(self, name: str, fn: StageFn) -> Flow:
@@ -341,7 +359,29 @@ class Flow:
         return load_circuit(source)
 
     def prepare(self, source: str | Network | None = None) -> PreparedCircuit:
-        """Run optimize / map / constrain; the result serves every method."""
+        """Run optimize / map / constrain; the result serves every method.
+
+        With a ``cache``, a named-circuit preparation (``source`` is
+        ``None`` and ``config.circuit`` names the benchmark/BLIF path)
+        resolves through :meth:`PreparedCache.prepared
+        <repro.api.cache.PreparedCache.prepared>`; an in-memory source
+        network always prepares fresh (its identity is not a cache
+        key).
+        """
+        if (
+            self._cache is not None
+            and source is None
+            and self.config.circuit
+            and self.stages["optimize"] is optimize_stage
+            and self.stages["map"] is map_stage
+            and self.stages["constrain"] is constrain_stage
+        ):
+            return self._cache.prepared(self.config, self._prepare_fresh)
+        return self._prepare_fresh(source)
+
+    def _prepare_fresh(
+        self, source: str | Network | None = None
+    ) -> PreparedCircuit:
         ctx = self._context()
         ctx.network = self._load(source)
         ctx.name = ctx.network.name

@@ -1,0 +1,261 @@
+"""Versioned job wire schema: what the serving daemon speaks.
+
+The daemon (:mod:`repro.serve`) and its clients exchange exactly three
+shapes, all JSON-round-trippable and all versioned with the *store's*
+schema number -- the wire schema **is** the store schema
+(:data:`~repro.api.artifact.SCHEMA_VERSION`), because the payloads are
+the store's own building blocks:
+
+* :class:`JobRequest` -- a batch of :class:`~repro.api.config.FlowConfig`
+  objects (the same serialization a config file or a campaign job
+  holds) plus submission options;
+* :class:`ProgressEvent` -- one NDJSON stream line; its ``row`` payload
+  is a verbatim store row (``RunArtifact.to_row()``), so a client can
+  append what it streams straight into a local
+  :class:`~repro.flow.store.ResultStore` and get a store bit-identical
+  to a batch campaign's;
+* :class:`JobStatus` -- the completion picture of one submitted
+  request.
+
+Every ``from_wire`` rejects payloads from a *newer* schema than this
+reader, exactly as :meth:`RunArtifact.from_row
+<repro.api.artifact.RunArtifact.from_row>` does for store rows --
+a v4 client talking to a v5 daemon fails loudly instead of misreading.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api.artifact import SCHEMA_VERSION, RunArtifact, flow_job_id
+from repro.api.config import FlowConfig
+
+JOB_STATES = ("queued", "running", "done")
+"""Lifecycle of one submitted request inside the daemon."""
+
+
+def _check_schema(data: dict[str, Any], what: str) -> int:
+    schema = int(data.get("schema", 1))
+    if schema > SCHEMA_VERSION:
+        raise ValueError(
+            f"{what} wire schema {schema} is newer than this reader "
+            f"(schema {SCHEMA_VERSION}); upgrade repro to speak it"
+        )
+    return schema
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One submission: a batch of flow configs to run (or replay).
+
+    ``fresh=False`` (the default) lets the daemon replay a job id it
+    already holds an ok row for -- the cross-request *result* cache;
+    ``fresh=True`` forces recomputation (the benchmark's warm-cache
+    measurement uses it so only the prepared-circuit cache is warm,
+    never the result cache).  ``request_id`` is assigned by the daemon
+    when empty.
+    """
+
+    configs: tuple[FlowConfig, ...]
+    request_id: str = ""
+    fresh: bool = False
+    schema: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "configs", tuple(self.configs))
+        if not self.configs:
+            raise ValueError("a JobRequest needs at least one FlowConfig")
+
+    def job_ids(self) -> list[str]:
+        """The deterministic store job id of every config, in order."""
+        return [
+            flow_job_id(
+                c.circuit,
+                c.method,
+                c.vdd_low,
+                c.slack_factor,
+                c.rails,
+                c.cost_model,
+            )
+            for c in self.configs
+        ]
+
+    def with_request_id(self, request_id: str) -> JobRequest:
+        return JobRequest(
+            configs=self.configs,
+            request_id=request_id,
+            fresh=self.fresh,
+            schema=self.schema,
+        )
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "request_id": self.request_id,
+            "fresh": self.fresh,
+            "configs": [c.to_dict() for c in self.configs],
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict[str, Any]) -> JobRequest:
+        schema = _check_schema(data, "JobRequest")
+        configs = data.get("configs")
+        if not isinstance(configs, list) or not configs:
+            raise ValueError(
+                "a JobRequest needs a non-empty 'configs' list"
+            )
+        return cls(
+            configs=tuple(FlowConfig.from_dict(c) for c in configs),
+            request_id=str(data.get("request_id", "")),
+            fresh=bool(data.get("fresh", False)),
+            schema=schema,
+        )
+
+
+def new_request_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class JobStatus:
+    """Where one submitted request stands (the ``/v1/jobs/<id>`` body).
+
+    ``replayed`` counts jobs served from the daemon's result cache
+    without recomputation; they are included in ``ok`` / ``failed`` by
+    their replayed row's status.
+    """
+
+    request_id: str
+    state: str = "queued"
+    total: int = 0
+    ok: int = 0
+    failed: int = 0
+    poisoned: int = 0
+    replayed: int = 0
+    elapsed_s: float = 0.0
+    schema: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ValueError(
+                f"state must be one of {JOB_STATES}, got {self.state!r}"
+            )
+
+    @property
+    def completed(self) -> int:
+        return self.ok + self.failed + self.poisoned
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.completed)
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "request_id": self.request_id,
+            "state": self.state,
+            "total": self.total,
+            "ok": self.ok,
+            "failed": self.failed,
+            "poisoned": self.poisoned,
+            "replayed": self.replayed,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict[str, Any]) -> JobStatus:
+        schema = _check_schema(data, "JobStatus")
+        return cls(
+            request_id=str(data.get("request_id", "")),
+            state=str(data.get("state", "queued")),
+            total=int(data.get("total", 0)),
+            ok=int(data.get("ok", 0)),
+            failed=int(data.get("failed", 0)),
+            poisoned=int(data.get("poisoned", 0)),
+            replayed=int(data.get("replayed", 0)),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            schema=schema,
+        )
+
+
+EVENT_KINDS = ("accepted", "row", "done", "error")
+"""NDJSON stream vocabulary: ``accepted`` opens a stream (carrying the
+assigned request id and initial status), one ``row`` per finished or
+replayed job, ``done`` closes it with the final status, ``error``
+aborts it with a message."""
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One line of the daemon's NDJSON progress stream.
+
+    ``row`` events carry a verbatim store row; parsing one on the wire
+    runs it through :meth:`RunArtifact.from_row`, so a row written by a
+    newer daemon schema is rejected exactly like a newer store row.
+    ``replayed`` marks rows served from the daemon's result cache.
+    """
+
+    event: str
+    request_id: str = ""
+    row: dict[str, Any] | None = None
+    status: JobStatus | None = None
+    message: str = ""
+    replayed: bool = False
+    schema: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.event not in EVENT_KINDS:
+            raise ValueError(
+                f"event must be one of {EVENT_KINDS}, got {self.event!r}"
+            )
+        if self.event == "row" and self.row is None:
+            raise ValueError("a 'row' event needs its row payload")
+
+    def to_wire(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "event": self.event,
+            "request_id": self.request_id,
+        }
+        if self.row is not None:
+            out["row"] = self.row
+            if self.replayed:
+                out["replayed"] = True
+        if self.status is not None:
+            out["status"] = self.status.to_wire()
+        if self.message:
+            out["message"] = self.message
+        return out
+
+    @classmethod
+    def from_wire(cls, data: dict[str, Any]) -> ProgressEvent:
+        schema = _check_schema(data, "ProgressEvent")
+        row = data.get("row")
+        if row is not None:
+            RunArtifact.from_row(row)  # validates, rejects newer rows
+        status = data.get("status")
+        return cls(
+            event=str(data.get("event", "")),
+            request_id=str(data.get("request_id", "")),
+            row=row,
+            status=(
+                JobStatus.from_wire(status)
+                if isinstance(status, dict)
+                else None
+            ),
+            message=str(data.get("message", "")),
+            replayed=bool(data.get("replayed", False)),
+            schema=schema,
+        )
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "JOB_STATES",
+    "JobRequest",
+    "JobStatus",
+    "ProgressEvent",
+    "new_request_id",
+]

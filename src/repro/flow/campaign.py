@@ -18,8 +18,10 @@ turns the sweep into a fault-tolerant campaign:
 * jobs are grouped by (circuit, rail key, slack_factor) so the
   expensive optimize/map/constrain preparation runs once per group and
   is shared by all three methods (and cached per worker across groups);
-* each worker process lazily caches the COMPASS library / match table
-  per rail key and every :class:`PreparedCircuit` it builds;
+* each worker process shares one
+  :class:`~repro.api.cache.PreparedCache` holding the COMPASS library /
+  match table per rail key and every :class:`PreparedCircuit` it
+  builds (the serving daemon reuses the same cache with retention on);
 * finished rows stream into an append-only :class:`ResultStore`
   (JSONL), so an interrupted campaign **resumes** by skipping completed
   job ids, and a worker exception -- or a ``timeout_s`` wall-clock
@@ -61,6 +63,7 @@ from repro.api.config import (
     DEFAULT_VDD_LOW,
     FlowConfig,
 )
+from repro.api.cache import PreparedCache
 from repro.api.flow import Flow, PreparedCircuit
 from repro.api.registry import (
     BUILTIN_METHODS as METHODS,
@@ -200,6 +203,19 @@ class CampaignJob:
     @property
     def group_key(self) -> GroupKey:
         return (self.circuit, self.rail_key, self.slack_factor)
+
+    @classmethod
+    def from_config(cls, config: FlowConfig) -> CampaignJob:
+        """The scheduling identity of one :class:`FlowConfig` (the
+        daemon's submission path: wire configs become campaign jobs)."""
+        return cls(
+            circuit=config.circuit,
+            method=config.method,
+            vdd_low=config.vdd_low,
+            slack_factor=config.slack_factor,
+            rails=config.rails,
+            cost_model=config.cost_model,
+        )
 
     def config(
         self,
@@ -341,48 +357,78 @@ def shard_jobs(
 
 
 # ---------------------------------------------------------------------
-# Worker side.  Each worker process keeps module-level caches so a
-# library is characterized once per rail key and a circuit is prepared
-# once per (circuit, rail key, slack_factor) -- for the default sweep
-# that amortizes the whole pipeline prefix across all three methods.
+# Worker side.  Each worker process shares one
+# :class:`repro.api.cache.PreparedCache`, so a library is characterized
+# once per rail key and a circuit is prepared once per (circuit, rail
+# key, slack_factor) -- for the default sweep that amortizes the whole
+# pipeline prefix across all three methods.  The batch campaign runs
+# with ``retain_prepared=False`` (every group is dispatched once, so
+# cross-group retention is pure memory growth); the serving daemon
+# reconfigures the cache with retention on and a byte cap.
 # ---------------------------------------------------------------------
 
-_LIBRARY_CACHE: dict[RailSet, tuple[Any, Any]] = {}
-_PREPARED_CACHE: dict[GroupKey, PreparedCircuit] = {}
+_WORKER_CACHE = PreparedCache(retain_prepared=False)
+
+
+def worker_cache() -> PreparedCache:
+    """This process's shared flow cache (stats live on ``.stats``)."""
+    return _WORKER_CACHE
+
+
+def configure_worker_cache(
+    max_bytes: int | None = None,
+    retain_prepared: bool = False,
+    policy: str = "lru",
+) -> PreparedCache:
+    """Replace this process's shared cache with a reconfigured one.
+
+    The supervisor's worker bootstrap calls this so a daemon-owned
+    worker retains prepared circuits under a byte cap while a batch
+    worker keeps the evict-after-group profile.
+    """
+    global _WORKER_CACHE
+    _WORKER_CACHE = PreparedCache(
+        max_bytes=max_bytes,
+        policy=policy,
+        retain_prepared=retain_prepared,
+    )
+    return _WORKER_CACHE
+
+
+def _group_config(
+    circuit: str, rail_key: RailSet, slack_factor: float
+) -> FlowConfig:
+    """The canonical config of one preparation group.
+
+    Carries the full rail information (not just an injected library) so
+    the cache key distinguishes an MSV preparation from a dual-Vdd one.
+    """
+    if len(rail_key) > 1:
+        return FlowConfig(
+            circuit=circuit,
+            vdd_low=rail_key[1],
+            rails=rail_key,
+            slack_factor=slack_factor,
+        )
+    return FlowConfig(
+        circuit=circuit, vdd_low=rail_key[0], slack_factor=slack_factor
+    )
 
 
 def _get_library(rail_key: RailSet):
-    if rail_key not in _LIBRARY_CACHE:
-        from repro.library.compass import build_compass_library
-        from repro.mapping.match import MatchTable
-
-        if len(rail_key) == 1:
-            library = build_compass_library(vdd_low=rail_key[0])
-        else:
-            library = build_compass_library(rails=rail_key)
-        _LIBRARY_CACHE[rail_key] = (library, MatchTable(library))
-    return _LIBRARY_CACHE[rail_key]
+    return _WORKER_CACHE.library(rail_key)
 
 
 def _get_prepared(
     circuit: str, rail_key: RailSet, slack_factor: float
 ) -> PreparedCircuit:
-    key = (circuit, rail_key, slack_factor)
-    if key not in _PREPARED_CACHE:
-        library, match_table = _get_library(rail_key)
-        flow = Flow(
-            FlowConfig(circuit=circuit, slack_factor=slack_factor),
-            library=library,
-            match_table=match_table,
-        )
-        _PREPARED_CACHE[key] = flow.prepare()
-    return _PREPARED_CACHE[key]
+    config = _group_config(circuit, rail_key, slack_factor)
+    return Flow(config, cache=_WORKER_CACHE).prepare()
 
 
 def clear_worker_caches() -> None:
     """Drop the per-process library / prepared-circuit caches."""
-    _LIBRARY_CACHE.clear()
-    _PREPARED_CACHE.clear()
+    _WORKER_CACHE.clear()
 
 
 def make_row(
@@ -492,11 +538,15 @@ def iter_group_rows(
                 ),
             )
         return
-    # Each group is dispatched exactly once per campaign, so keeping the
-    # prepared circuit cached past this call is pure memory growth in a
-    # long-lived worker; evict it (the library cache, keyed by rail key,
-    # is the one with real cross-group reuse).
-    _PREPARED_CACHE.pop(first.group_key, None)
+    # A batch campaign dispatches each group exactly once, so keeping
+    # the prepared circuit cached past this call is pure memory growth
+    # in a long-lived worker; evict it (the library cache, keyed by
+    # rail key, is the one with real cross-group reuse).  A retaining
+    # cache (the daemon's) keeps it and lets its eviction policy decide.
+    if not _WORKER_CACHE.retain_prepared:
+        _WORKER_CACHE.evict_prepared(
+            _group_config(first.circuit, first.rail_key, first.slack_factor)
+        )
 
     base = Flow(
         first.config(max_iter=max_iter, area_budget=area_budget),
@@ -856,4 +906,6 @@ __all__ = [
     "sweep_points",
     "sweep_rail_sets",
     "clear_worker_caches",
+    "configure_worker_cache",
+    "worker_cache",
 ]

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import zlib
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
@@ -137,23 +138,33 @@ class StoreIntegrity:
 class ResultStore:
     """An append-only JSONL file of campaign result rows.
 
-    The store is single-writer (the campaign parent process appends;
-    workers hand rows back over the supervisor's result channel), so
-    plain line-buffered appends are atomic enough: a crash can only
-    tear the final line, and :meth:`load` tolerates exactly that.
-    Every written line carries a CRC-32 (schema 4), so corruption
-    beyond a torn tail is detected on read; ``integrity`` holds the
-    :class:`StoreIntegrity` of the most recent full read.
+    The store is single-writer *across processes* (the campaign parent
+    appends; workers hand rows back over the supervisor's result
+    channel), so a crash can only tear the final line, and :meth:`load`
+    tolerates exactly that.  *Within* a process every write path holds
+    an advisory lock, so the daemon's concurrent request streams (many
+    threads appending into one store) can never interleave torn rows --
+    each row lands as one whole, fsync'd line.  Every written line
+    carries a CRC-32 (schema 4), so corruption beyond a torn tail is
+    detected on read; ``integrity`` holds the :class:`StoreIntegrity`
+    of the most recent full read.
     """
 
     def __init__(self, path: str | os.PathLike[str]):
         self.path = os.fspath(path)
         self._handle = None
+        self._write_lock = threading.Lock()
         self.integrity = StoreIntegrity()
 
     # -- writing -----------------------------------------------------
 
     def open_append(self) -> None:
+        with self._write_lock:
+            self._open_append_locked()
+
+    def _open_append_locked(self) -> None:
+        if self._handle is not None:
+            return
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
         self._handle = open(self.path, "a", encoding="utf-8")
@@ -169,11 +180,11 @@ class ResultStore:
                 self._handle.flush()
 
     def append(self, row: dict[str, Any]) -> None:
-        if self._handle is None:
-            self.open_append()
-        self._handle.write(_store_line(row) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        with self._write_lock:
+            self._open_append_locked()
+            self._handle.write(_store_line(row) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def append_damaged(self, row: dict[str, Any], damage: str) -> None:
         """Deliberately mis-write ``row`` -- the fault-injection
@@ -185,27 +196,28 @@ class ResultStore:
         leaves).  Either way the row is lost and the read side must
         skip-and-report it.
         """
-        if self._handle is None:
-            self.open_append()
-        if damage == "torn":
-            line = _store_line(row)
-            self._handle.write(line[: max(1, len(line) // 2)] + "\n")
-        elif damage == "crc":
-            payload = {k: v for k, v in row.items() if k != "crc"}
-            good = _crc_of(payload)
-            payload["crc"] = (
-                "00000000" if good != "00000000" else "ffffffff"
-            )
-            self._handle.write(_canonical(payload) + "\n")
-        else:
-            raise ValueError(f"unknown damage mode {damage!r}")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        with self._write_lock:
+            self._open_append_locked()
+            if damage == "torn":
+                line = _store_line(row)
+                self._handle.write(line[: max(1, len(line) // 2)] + "\n")
+            elif damage == "crc":
+                payload = {k: v for k, v in row.items() if k != "crc"}
+                good = _crc_of(payload)
+                payload["crc"] = (
+                    "00000000" if good != "00000000" else "ffffffff"
+                )
+                self._handle.write(_canonical(payload) + "\n")
+            else:
+                raise ValueError(f"unknown damage mode {damage!r}")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._write_lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> ResultStore:
         self.open_append()

@@ -35,17 +35,21 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import random
+import threading
 import time
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.api.cache import CacheStats
 from repro.flow.campaign import (
     CampaignJob,
     JobTimeout,
     _import_plugins,
+    configure_worker_cache,
     iter_group_rows,
     make_failed_row,
+    worker_cache,
 )
 
 DEFAULT_MAX_ATTEMPTS = 3
@@ -94,10 +98,30 @@ def _worker_main(
     """Worker loop: run assigned groups until the ``None`` sentinel.
 
     Messages: ``("phase", id, label)``, ``("start", id, job_id)``,
-    ``("row", id, row)``, ``("done", id)``.
+    ``("row", id, row)``, ``("done", id, cache_stats)``.
+
+    ``retain_cache`` flips the worker's shared
+    :class:`~repro.api.cache.PreparedCache` into retention mode under
+    ``cache_bytes`` (the daemon's hot-cache workers); a batch worker
+    keeps the evict-after-group profile.  Every ``done`` message
+    carries the cache's cumulative counters so the parent can
+    aggregate hit rates across the pool.
     """
-    (max_iter, area_budget, timeout_s, plugins, strict, faults) = settings
+    (
+        max_iter,
+        area_budget,
+        timeout_s,
+        plugins,
+        strict,
+        faults,
+        cache_bytes,
+        retain_cache,
+    ) = settings
     _import_plugins(plugins)
+    if retain_cache or cache_bytes is not None:
+        configure_worker_cache(
+            max_bytes=cache_bytes, retain_prepared=retain_cache
+        )
     while True:
         task = task_queue.get()
         if task is None:
@@ -119,7 +143,9 @@ def _worker_main(
             ),
         ):
             result_queue.put(("row", worker_id, row))
-        result_queue.put(("done", worker_id))
+        result_queue.put(
+            ("done", worker_id, worker_cache().stats.as_dict())
+        )
 
 
 @dataclass
@@ -133,6 +159,7 @@ class _WorkerState:
     started: list[str] = field(default_factory=list)
     rowed: set[str] = field(default_factory=set)
     deadline: float | None = None
+    seen_groups: set = field(default_factory=set)
 
 
 class Supervisor:
@@ -140,6 +167,19 @@ class Supervisor:
 
     :meth:`run` is a generator of finished rows (ok, failed, and
     poisoned alike) in completion order; the caller owns the store.
+
+    Batch mode (the default) drains the constructor's ``groups`` and
+    returns.  ``keep_alive=True`` is the daemon's mode: the full pool
+    spawns immediately, :meth:`run` idles when the queue is empty, and
+    other threads feed it through :meth:`submit` until :meth:`stop` --
+    the pending deque is a single work-stealing queue (any free worker
+    takes the next ready task, with a preference for groups it has
+    prepared before), which is what makes static ``--shard K/N``
+    splits unnecessary under the daemon.  ``cache_bytes`` /
+    ``retain_cache`` configure the workers' shared
+    :class:`~repro.api.cache.PreparedCache`; :meth:`cache_stats`
+    aggregates the counters every worker reports on each completed
+    task.
     """
 
     def __init__(
@@ -156,6 +196,9 @@ class Supervisor:
         backoff_s: float = DEFAULT_BACKOFF_BASE_S,
         say: Callable[[str], None] | None = None,
         seed: int | None = None,
+        keep_alive: bool = False,
+        cache_bytes: int | None = None,
+        retain_cache: bool | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -165,6 +208,9 @@ class Supervisor:
             )
         self.pending = [Task(group=tuple(g)) for g in groups if g]
         self.n_workers = n_workers
+        self.keep_alive = keep_alive
+        if retain_cache is None:
+            retain_cache = keep_alive
         self.settings = (
             max_iter,
             area_budget,
@@ -172,6 +218,8 @@ class Supervisor:
             tuple(plugins),
             strict_timeouts,
             faults,
+            cache_bytes,
+            retain_cache,
         )
         self.timeout_s = timeout_s
         self.max_attempts = max_attempts
@@ -194,17 +242,76 @@ class Supervisor:
         self.by_id: dict[int, _WorkerState] = {}
         self._next_id = 0
         self.respawns = 0
+        # submit()/stop() may be called from other threads (the
+        # daemon's asyncio loop feeds the engine thread running run());
+        # the lock guards the pending queue and the stop flag.
+        self._lock = threading.Lock()
+        self._stopped = False
+        self._worker_stats: dict[int, dict[str, Any]] = {}
 
     # -- lifecycle ---------------------------------------------------
 
+    def submit(
+        self,
+        group: Sequence[CampaignJob],
+        attempts: dict[str, int] | None = None,
+    ) -> None:
+        """Enqueue one job group (thread-safe; keep-alive mode).
+
+        The group joins the shared work-stealing queue and any free
+        worker picks it up; rows come back through the (single)
+        :meth:`run` generator.
+        """
+        if not group:
+            return
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError(
+                    "supervisor is stopping; no new submissions"
+                )
+            self.pending.append(
+                Task(group=tuple(group), attempts=dict(attempts or {}))
+            )
+
+    def stop(self) -> None:
+        """Ask :meth:`run` to exit once the queue drains (thread-safe)."""
+        with self._lock:
+            self._stopped = True
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregate cache counters across the pool (latest snapshot
+        per worker; each worker reports on every completed task)."""
+        stats = CacheStats()
+        for snapshot in self._worker_stats.values():
+            stats.add(snapshot)
+        return stats
+
+    def _idle(self) -> bool:
+        with self._lock:
+            return not self.pending and not any(
+                w.task for w in self.workers
+            )
+
     def run(self) -> Iterator[dict[str, Any]]:
-        """Yield every finished row; returns when all work is done."""
-        if not self.pending:
+        """Yield every finished row; returns when all work is done.
+
+        In keep-alive mode "done" means :meth:`stop` was called and
+        the queue has drained; until then the loop idles, waiting for
+        :meth:`submit`.
+        """
+        if not self.pending and not self.keep_alive:
             return
         try:
-            for _ in range(min(self.n_workers, len(self.pending))):
+            n_spawn = (
+                self.n_workers
+                if self.keep_alive
+                else min(self.n_workers, len(self.pending))
+            )
+            for _ in range(n_spawn):
                 self.workers.append(self._spawn())
-            while self.pending or any(w.task for w in self.workers):
+            while True:
+                if self._idle() and (not self.keep_alive or self._stopped):
+                    break
                 self._assign()
                 yield from self._drain(POLL_INTERVAL_S)
                 yield from self._check_workers()
@@ -251,24 +358,46 @@ class Supervisor:
             return None
         return now + self.timeout_s * WATCHDOG_GRACE + WATCHDOG_MARGIN_S
 
-    def _pop_ready(self, now: float) -> Task | None:
+    def _pop_ready(
+        self, now: float, worker: _WorkerState | None = None
+    ) -> Task | None:
+        """Pop the next ready task, preferring cache affinity.
+
+        A task whose preparation group the worker has already executed
+        hits that worker's retained prepared-circuit cache, so among
+        the ready tasks one with a seen group key wins; otherwise it is
+        plain FIFO stealing.  (Batch workers never see a group twice,
+        so the preference is inert there.)  Caller holds the lock.
+        """
+        fallback = None
         for i, task in enumerate(self.pending):
-            if task.ready_at <= now:
+            if task.ready_at > now:
+                continue
+            if (
+                worker is not None
+                and task.group[0].group_key in worker.seen_groups
+            ):
                 return self.pending.pop(i)
-        return None
+            if fallback is None:
+                fallback = i
+        if fallback is None:
+            return None
+        return self.pending.pop(fallback)
 
     def _assign(self) -> None:
         now = time.monotonic()
         for worker in self.workers:
             if worker.task is not None or worker.proc.exitcode is not None:
                 continue
-            task = self._pop_ready(now)
+            with self._lock:
+                task = self._pop_ready(now, worker)
             if task is None:
                 return
             worker.task = task
             worker.started = []
             worker.rowed = set()
             worker.deadline = self._budget(now)
+            worker.seen_groups.add(task.group[0].group_key)
             worker.task_queue.put((task.group, task.attempts))
 
     def _backoff_delay(self, job_id: str, attempt: int) -> float:
@@ -324,6 +453,8 @@ class Supervisor:
         elif kind == "done":
             worker.task = None
             worker.deadline = None
+            if len(message) > 2 and isinstance(message[2], dict):
+                self._worker_stats[worker_id] = message[2]
 
     def _check_workers(self) -> Iterator[dict[str, Any]]:
         now = time.monotonic()
@@ -401,17 +532,18 @@ class Supervisor:
             job for job in remaining if job.job_id != victim.job_id
         ]
         if others:
-            self.pending.insert(
-                0,
-                Task(
-                    group=tuple(others),
-                    attempts={
-                        job.job_id: task.attempts[job.job_id]
-                        for job in others
-                        if job.job_id in task.attempts
-                    },
-                ),
-            )
+            with self._lock:
+                self.pending.insert(
+                    0,
+                    Task(
+                        group=tuple(others),
+                        attempts={
+                            job.job_id: task.attempts[job.job_id]
+                            for job in others
+                            if job.job_id in task.attempts
+                        },
+                    ),
+                )
         if attempt >= self.max_attempts:
             exc: Exception = (
                 JobTimeout(cause) if is_timeout else WorkerDied(cause)
@@ -429,13 +561,14 @@ class Supervisor:
                 f"retry  {victim.job_id} in {delay:.2f}s "
                 f"(attempt {attempt + 1}/{self.max_attempts}): {cause}"
             )
-            self.pending.append(
-                Task(
-                    group=(victim,),
-                    attempts={victim.job_id: attempt + 1},
-                    ready_at=now + delay,
+            with self._lock:
+                self.pending.append(
+                    Task(
+                        group=(victim,),
+                        attempts={victim.job_id: attempt + 1},
+                        ready_at=now + delay,
+                    )
                 )
-            )
 
 
 __all__ = [

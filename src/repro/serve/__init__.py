@@ -1,0 +1,48 @@
+"""repro.serve -- the long-lived optimization daemon and its client.
+
+Batch ``repro campaign`` pays the whole cold start on every
+invocation: fork a pool, characterize libraries, prepare circuits,
+exit.  The daemon keeps all of that hot:
+
+* :class:`~repro.serve.daemon.Daemon` -- an asyncio HTTP front end
+  (NDJSON streaming) over one persistent
+  :class:`~repro.flow.supervise.Supervisor` worker pool in keep-alive
+  mode; submissions join a shared work-stealing queue, and each
+  worker's :class:`~repro.api.cache.PreparedCache` retains libraries
+  and prepared circuits across requests behind an LRU byte cap;
+* :mod:`~repro.serve.client` -- the stdlib HTTP client:
+  :func:`~repro.serve.client.submit_stream` yields
+  :class:`~repro.api.jobs.ProgressEvent` lines, and
+  :func:`~repro.serve.client.run_remote_campaign` gives
+  ``repro campaign --server URL`` the exact summary/store semantics of
+  a local run;
+* :class:`~repro.serve.daemon.BackgroundDaemon` -- the in-process
+  harness (daemon on a background thread) the tests and benchmarks
+  drive.
+
+The wire schema lives in :mod:`repro.api.jobs`; rows on the wire are
+verbatim store rows, so a client's local store ends up ``rows_equal``
+to a batch campaign of the same grid.
+"""
+
+from repro.serve.client import (
+    ServeError,
+    get_health,
+    get_status,
+    run_remote_campaign,
+    shutdown_daemon,
+    submit_stream,
+)
+from repro.serve.daemon import BackgroundDaemon, Daemon, DaemonSettings
+
+__all__ = [
+    "BackgroundDaemon",
+    "Daemon",
+    "DaemonSettings",
+    "ServeError",
+    "get_health",
+    "get_status",
+    "run_remote_campaign",
+    "shutdown_daemon",
+    "submit_stream",
+]

@@ -1,0 +1,167 @@
+"""PreparedCache tests: keying, byte-capped eviction, policies,
+counters, library pinning."""
+
+import pytest
+
+from repro.api.cache import (
+    EVICTION_POLICIES,
+    CacheStats,
+    EvictionPolicy,
+    PreparedCache,
+    _estimate_bytes,
+)
+from repro.api.config import FlowConfig
+
+
+def make_config(circuit="z4ml", method="gscale", **kw):
+    return FlowConfig(circuit=circuit, method=method, **kw)
+
+
+def payload(n_bytes):
+    """A cacheable value whose estimated size tracks ``n_bytes``."""
+    return b"x" * n_bytes
+
+
+def test_miss_builds_once_then_hits():
+    cache = PreparedCache()
+    config = make_config()
+    builds = []
+
+    def build():
+        builds.append(1)
+        return payload(64)
+
+    first = cache.prepared(config, build)
+    second = cache.prepared(config, build)
+    assert first is second
+    assert builds == [1]
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.hit_rate == 0.5
+    assert len(cache) == 1
+
+
+def test_prepared_key_ignores_the_per_method_suffix():
+    key = PreparedCache.prepared_key
+    assert key(make_config(method="cvs")) == key(make_config(method="gscale"))
+    assert key(make_config(max_iter=5)) == key(make_config(max_iter=500))
+    assert key(make_config(circuit="x2")) != key(make_config(circuit="z4ml"))
+    assert key(make_config(slack_factor=1.2)) != key(
+        make_config(slack_factor=1.5)
+    )
+    assert key(make_config(rails=(5.0, 3.3))) != key(
+        make_config(vdd_low=3.3)
+    )
+
+
+def test_byte_cap_evicts_oldest_first():
+    size = _estimate_bytes(payload(1000))
+    cache = PreparedCache(max_bytes=2 * size)
+    configs = [make_config(circuit=c) for c in ("a", "b", "c")]
+    for config in configs:
+        cache.prepared(config, lambda: payload(1000))
+
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    assert cache.stats.bytes <= 2 * size
+    # "a" was shed; "b" and "c" still answer without a rebuild.
+    assert cache.prepared(configs[1], pytest.fail) == payload(1000)
+    assert cache.prepared(configs[2], pytest.fail) == payload(1000)
+    rebuilt = []
+    cache.prepared(configs[0], lambda: rebuilt.append(1) or payload(1000))
+    assert rebuilt == [1]
+
+
+def test_lru_hit_refreshes_but_fifo_does_not():
+    size = _estimate_bytes(payload(1000))
+    a, b, c = (make_config(circuit=x) for x in ("a", "b", "c"))
+
+    lru = PreparedCache(max_bytes=2 * size, policy="lru")
+    lru.prepared(a, lambda: payload(1000))
+    lru.prepared(b, lambda: payload(1000))
+    lru.prepared(a, pytest.fail)  # refresh a's lease
+    lru.prepared(c, lambda: payload(1000))  # overflows: b dies, a lives
+    assert lru.prepared(a, pytest.fail) == payload(1000)
+
+    fifo = PreparedCache(max_bytes=2 * size, policy="fifo")
+    fifo.prepared(a, lambda: payload(1000))
+    fifo.prepared(b, lambda: payload(1000))
+    fifo.prepared(a, pytest.fail)  # a hit does not refresh under FIFO
+    fifo.prepared(c, lambda: payload(1000))  # overflows: a dies anyway
+    assert fifo.prepared(b, pytest.fail) == payload(1000)
+    rebuilt = []
+    fifo.prepared(a, lambda: rebuilt.append(1) or payload(1000))
+    assert rebuilt == [1]
+
+
+def test_single_oversized_entry_survives_the_cap():
+    cache = PreparedCache(max_bytes=8)
+    config = make_config()
+    cache.prepared(config, lambda: payload(4096))
+    assert len(cache) == 1
+    assert cache.prepared(config, pytest.fail) == payload(4096)
+
+
+def test_explicit_evict_is_not_counted_as_pressure():
+    cache = PreparedCache()
+    config = make_config()
+    cache.prepared(config, lambda: payload(16))
+    assert cache.evict_prepared(config) is True
+    assert cache.evict_prepared(config) is False
+    assert cache.stats.evictions == 0
+    assert cache.stats.bytes == 0
+    assert len(cache) == 0
+
+
+def test_unknown_policy_is_rejected():
+    with pytest.raises(ValueError, match="unknown eviction policy"):
+        PreparedCache(policy="belady")
+
+
+def test_policy_instance_and_registry_round_trip():
+    class NoisyLRU(EVICTION_POLICIES["lru"]):
+        name = "noisy-lru"
+
+    cache = PreparedCache(policy=NoisyLRU())
+    assert isinstance(cache._policy, EvictionPolicy)
+    cache.prepared(make_config(), lambda: payload(8))
+    assert len(cache) == 1
+
+
+def test_library_is_built_once_and_pinned():
+    cache = PreparedCache(max_bytes=1)  # cap applies to prepared only
+    first = cache.library((4.3,))
+    second = cache.library((4.3,))
+    assert first is second
+    assert cache.stats.library_misses == 1
+    assert cache.stats.library_hits == 1
+    library, table = first
+    assert library is not None and table is not None
+    # A config-derived rail key resolves to the same pinned pair.
+    assert cache.library(make_config(vdd_low=4.3).rail_key) is first
+
+
+def test_clear_drops_entries_but_keeps_counters():
+    cache = PreparedCache()
+    cache.prepared(make_config(), lambda: payload(32))
+    cache.library((4.3,))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.bytes == 0
+    assert cache.stats.misses == 1
+    assert cache.stats.library_misses == 1
+    cache.library((4.3,))
+    assert cache.stats.library_misses == 2  # really gone
+
+
+def test_stats_fold_across_workers():
+    total = CacheStats()
+    total.add({"hits": 3, "misses": 1, "evictions": 2, "bytes": 100})
+    total.add({"hits": 1, "library_hits": 5, "entries": 2, "bytes": 50})
+    assert total.hits == 4
+    assert total.misses == 1
+    assert total.evictions == 2
+    assert total.library_hits == 5
+    assert total.entries == 2
+    assert total.bytes == 150
+    assert total.as_dict()["hits"] == 4

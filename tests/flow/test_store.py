@@ -443,3 +443,61 @@ def test_campaign_progress_aggregates_retry_pressure(tmp_path):
     assert progress.completed == 2
     text = progress.describe()
     assert "1 poisoned" in text and "1 torn" in text
+
+
+def test_concurrent_appends_produce_no_torn_rows(tmp_path):
+    """Many threads hammering one open store: every row lands whole.
+
+    This is the daemon's write pattern -- the engine callback and any
+    replay path share one ResultStore -- guarded by the store's
+    in-process advisory lock.
+    """
+    import threading
+
+    store = ResultStore(tmp_path / "s.jsonl")
+    n_threads, per_thread = 8, 50
+    barrier = threading.Barrier(n_threads)
+
+    def writer(thread_id):
+        barrier.wait()
+        for i in range(per_thread):
+            store.append(make_row(job_id=f"t{thread_id}:{i}"))
+
+    with store:
+        threads = [
+            threading.Thread(target=writer, args=(t,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    rows = store.load()
+    assert len(rows) == n_threads * per_thread
+    assert store.integrity.damaged == 0
+    assert store.integrity.crc_checked == len(rows)
+    assert {r["job_id"] for r in rows} == {
+        f"t{t}:{i}" for t in range(n_threads) for i in range(per_thread)
+    }
+
+
+def test_concurrent_open_append_is_idempotent(tmp_path):
+    """Racing open_append calls share one handle instead of clobbering."""
+    import threading
+
+    store = ResultStore(tmp_path / "s.jsonl")
+    barrier = threading.Barrier(4)
+
+    def opener():
+        barrier.wait()
+        store.open_append()
+        store.append(make_row(job_id=f"x{threading.get_ident()}"))
+
+    threads = [threading.Thread(target=opener) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    store.close()
+    assert len(store.load()) == 4

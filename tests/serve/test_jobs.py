@@ -1,0 +1,165 @@
+"""Wire-schema tests: JobRequest / JobStatus / ProgressEvent round
+trips, schema gating, payload validation."""
+
+import json
+
+import pytest
+
+from repro.api.artifact import SCHEMA_VERSION
+from repro.api.config import FlowConfig
+from repro.api.jobs import (
+    EVENT_KINDS,
+    JOB_STATES,
+    JobRequest,
+    JobStatus,
+    ProgressEvent,
+    new_request_id,
+)
+
+
+def make_request(**kw):
+    configs = kw.pop(
+        "configs",
+        (
+            FlowConfig(circuit="z4ml", method="cvs"),
+            FlowConfig(circuit="x2", method="gscale", rails=(5.0, 3.3)),
+        ),
+    )
+    return JobRequest(configs=configs, **kw)
+
+
+def make_row(job_id="z4ml:cvs:v4.3:s1.2", status="ok", **extra):
+    row = {
+        "schema": SCHEMA_VERSION,
+        "job_id": job_id,
+        "status": status,
+        "circuit": "z4ml",
+        "method": "cvs",
+        "vdd_low": 4.3,
+        "slack_factor": 1.2,
+        "runtime_s": 0.25,
+        "finished_at": "2026-08-07T00:00:00+00:00",
+        "worker_pid": 41,
+    }
+    row.update(extra)
+    return row
+
+
+# -- JobRequest ------------------------------------------------------
+
+
+def test_request_round_trips_through_json():
+    request = make_request(request_id="abc123", fresh=True)
+    wire = json.loads(json.dumps(request.to_wire()))
+    back = JobRequest.from_wire(wire)
+    assert back == request
+    assert back.configs[1].rails == (5.0, 3.3)
+
+
+def test_request_job_ids_match_store_ids():
+    request = make_request()
+    ids = request.job_ids()
+    assert len(ids) == 2
+    assert ids[0].startswith("z4ml:cvs:")
+    assert ids[1].startswith("x2:gscale:")
+    assert ids[1] != ids[0]
+
+
+def test_request_needs_configs():
+    with pytest.raises(ValueError, match="at least one FlowConfig"):
+        JobRequest(configs=())
+    with pytest.raises(ValueError, match="non-empty 'configs'"):
+        JobRequest.from_wire({"schema": SCHEMA_VERSION, "configs": []})
+
+
+def test_request_rejects_newer_schema():
+    wire = make_request().to_wire()
+    wire["schema"] = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="newer than this reader"):
+        JobRequest.from_wire(wire)
+
+
+def test_with_request_id_keeps_everything_else():
+    request = make_request(fresh=True)
+    assigned = request.with_request_id("deadbeef0123")
+    assert assigned.request_id == "deadbeef0123"
+    assert assigned.fresh is True
+    assert assigned.configs == request.configs
+
+
+def test_new_request_ids_are_short_and_distinct():
+    ids = {new_request_id() for _ in range(32)}
+    assert len(ids) == 32
+    assert all(len(i) == 12 for i in ids)
+
+
+# -- JobStatus -------------------------------------------------------
+
+
+def test_status_round_trip_and_arithmetic():
+    status = JobStatus(
+        request_id="r1", state="running", total=5, ok=2, failed=1,
+        poisoned=1, replayed=1, elapsed_s=1.5,
+    )
+    back = JobStatus.from_wire(json.loads(json.dumps(status.to_wire())))
+    assert back == status
+    assert back.completed == 4
+    assert back.remaining == 1
+
+
+def test_status_state_vocabulary_is_closed():
+    assert JOB_STATES == ("queued", "running", "done")
+    with pytest.raises(ValueError, match="state must be one of"):
+        JobStatus(request_id="r1", state="exploded")
+
+
+def test_status_rejects_newer_schema():
+    wire = JobStatus(request_id="r1").to_wire()
+    wire["schema"] = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="newer than this reader"):
+        JobStatus.from_wire(wire)
+
+
+# -- ProgressEvent ---------------------------------------------------
+
+
+def test_row_event_round_trips_verbatim():
+    row = make_row()
+    event = ProgressEvent(
+        event="row", request_id="r1", row=row, replayed=True
+    )
+    back = ProgressEvent.from_wire(json.loads(json.dumps(event.to_wire())))
+    assert back.event == "row"
+    assert back.row == row  # byte-for-byte the store row
+    assert back.replayed is True
+
+
+def test_done_event_carries_status():
+    status = JobStatus(request_id="r1", state="done", total=1, ok=1)
+    event = ProgressEvent(event="done", request_id="r1", status=status)
+    back = ProgressEvent.from_wire(json.loads(json.dumps(event.to_wire())))
+    assert back.status == status
+    assert back.row is None
+
+
+def test_event_vocabulary_is_closed():
+    assert EVENT_KINDS == ("accepted", "row", "done", "error")
+    with pytest.raises(ValueError, match="event must be one of"):
+        ProgressEvent(event="heartbeat")
+    with pytest.raises(ValueError, match="needs its row payload"):
+        ProgressEvent(event="row")
+
+
+def test_row_payload_from_newer_schema_is_rejected():
+    event = ProgressEvent(
+        event="row", row=make_row(schema=SCHEMA_VERSION + 1)
+    )
+    with pytest.raises(ValueError, match="newer than this reader"):
+        ProgressEvent.from_wire(event.to_wire())
+
+
+def test_envelope_from_newer_schema_is_rejected():
+    wire = ProgressEvent(event="row", row=make_row()).to_wire()
+    wire["schema"] = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="newer than this reader"):
+        ProgressEvent.from_wire(wire)

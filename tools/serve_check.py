@@ -1,0 +1,136 @@
+"""CI serve-smoke gate: daemon up, jobs in, identical rows out, clean exit.
+
+Drives the real CLI end to end, the way an operator would:
+
+1. starts ``repro serve`` as a subprocess on an ephemeral port and
+   parses the bound URL from its startup line;
+2. runs the quickstart circuit as a plain batch campaign;
+3. runs the same grid through ``repro campaign --server URL``;
+4. asserts the two stores are row-identical (modulo volatile fields);
+5. resubmits to check the daemon's result-replay path answers the
+   same rows without recomputing;
+6. POSTs ``/v1/shutdown`` and asserts the daemon exits 0.
+
+Exit code 0 means the serving path is equivalent to the batch path;
+anything else is a regression in the daemon, the wire schema, the
+client, or the shared caches.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_check.py [--circuits C432]
+        [--jobs 2] [--keep DIR]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import urllib.request
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.flow.store import ResultStore, rows_equal  # noqa: E402
+
+SERVE_BANNER = "serving on "
+
+
+def run_cli(arguments, expect=(0,)):
+    command = [sys.executable, "-m", "repro", *arguments]
+    print("+", " ".join(command), flush=True)
+    result = subprocess.run(command)
+    if result.returncode not in expect:
+        sys.exit(
+            f"serve_check FAILED: {' '.join(command)} exited "
+            f"{result.returncode}, expected one of {expect}"
+        )
+    return result.returncode
+
+
+def start_daemon(workdir, jobs):
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0", "--jobs", str(jobs),
+        "--out", os.path.join(workdir, "daemon.jsonl"),
+    ]
+    print("+", " ".join(command), flush=True)
+    proc = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    for line in proc.stdout:
+        print(f"  [daemon] {line.rstrip()}", flush=True)
+        if line.startswith(SERVE_BANNER):
+            url = line[len(SERVE_BANNER):].split()[0]
+            return proc, url
+    proc.wait()
+    sys.exit(
+        f"serve_check FAILED: daemon exited {proc.returncode} before "
+        f"printing its URL"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuits", default="C432",
+                        help="comma-separated grid (quickstart circuit)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="daemon worker processes")
+    parser.add_argument("--keep", default="",
+                        help="run inside this directory and keep it")
+    args = parser.parse_args(argv)
+
+    workdir = args.keep or tempfile.mkdtemp(prefix="serve-check-")
+    os.makedirs(workdir, exist_ok=True)
+    batch = os.path.join(workdir, "batch.jsonl")
+    served = os.path.join(workdir, "served.jsonl")
+    replayed = os.path.join(workdir, "replayed.jsonl")
+
+    proc, url = start_daemon(workdir, args.jobs)
+    try:
+        run_cli(["campaign", "--circuits", args.circuits,
+                 "--jobs", str(args.jobs), "--out", batch])
+        run_cli(["campaign", "--circuits", args.circuits,
+                 "--server", url, "--out", served])
+        if not rows_equal(ResultStore(batch).load(),
+                          ResultStore(served).load()):
+            sys.exit("serve_check FAILED: daemon rows differ from the "
+                     "batch campaign's")
+        print("served rows identical to batch rows", flush=True)
+
+        run_cli(["campaign", "--circuits", args.circuits,
+                 "--server", url, "--out", replayed])
+        if not rows_equal(ResultStore(batch).load(),
+                          ResultStore(replayed).load()):
+            sys.exit("serve_check FAILED: replayed rows differ from the "
+                     "batch campaign's")
+        print("replayed rows identical to batch rows", flush=True)
+
+        with urllib.request.urlopen(
+            urllib.request.Request(f"{url}/v1/shutdown", method="POST"),
+            timeout=30,
+        ) as response:
+            body = json.loads(response.read())
+        if not body.get("ok"):
+            sys.exit(f"serve_check FAILED: shutdown answered {body}")
+        proc.wait(timeout=60)
+        if proc.returncode != 0:
+            sys.exit(f"serve_check FAILED: daemon exited "
+                     f"{proc.returncode} on shutdown")
+        print("daemon shut down cleanly", flush=True)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    print("serve_check passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,11 @@ the suite):
 * ``dscale`` / ``gscale``: end-to-end wall clock of the full scaling
   runs with ``ScalingOptions(incremental=False)`` (the seed's
   rebuild-per-move behaviour) vs the incremental engine, asserting both
-  modes produce identical results.
+  modes produce identical results;
+* ``pricing``: throughput of one Dscale candidate sweep (feasibility
+  check + gain pricing over the slack set) through the serial
+  per-candidate calls vs the batched ``MoveEngine.check_moves`` /
+  ``price_moves`` kernels, asserting the results are bit-identical.
 
 Run::
 
@@ -30,12 +34,14 @@ import sys
 import time
 
 from repro.core.cvs import run_cvs
-from repro.core.dscale import run_dscale
+from repro.core.dscale import check_demotion, run_dscale
 from repro.core.gscale import run_gscale
+from repro.core.moves import DemoteMove, MoveEngine
 from repro.core.state import ScalingOptions, ScalingState
 from repro.api import Flow, FlowConfig
 from repro.library.compass import build_compass_library
 from repro.mapping.match import MatchTable
+from repro.timing import batch
 from repro.timing.sta import TimingAnalysis
 
 DEFAULT_CIRCUIT = "C7552"
@@ -83,6 +89,57 @@ def bench_sta_updates(prepared, library, n_moves):
         "incremental_ms_per_move": 1000.0 * incr_total / moves,
         # None (JSON null), not inf: the report must stay strict JSON.
         "speedup": full_total / incr_total if incr_total > 0 else None,
+    }
+
+
+def bench_pricing(prepared, library, repeat=5):
+    """Serial vs batched pricing of one Dscale candidate sweep.
+
+    The workload is the pre-CVS slack set -- every gate with positive
+    slack that can still move down a rail, i.e. the candidate list the
+    first (and largest) Dscale round prices.  Both paths must return
+    bit-identical feasibility flags and gains; the batched path runs
+    vectorized when NumPy is importable (``numpy`` in the report says
+    which path was measured).
+    """
+    state = ScalingState(prepared.fresh_copy(), library,
+                         tspec=prepared.tspec, activity=prepared.activity)
+    engine = MoveEngine(state)
+    analysis = state.timing()
+    lowest = state.n_rails - 1
+    candidates = [(gate, None) for gate in state.network.gates()
+                  if analysis.slack(gate) > 0
+                  and state.rail_of(gate) < lowest]
+    moves = [DemoteMove(gate, target=target) for gate, target in candidates]
+    model = engine.cost_model
+
+    def serial():
+        feasible = [check_demotion(state, analysis, gate, target)
+                    for gate, target in candidates]
+        gains = [model.demotion_gain(state, gate, target=target)
+                 for (gate, target), ok in zip(candidates, feasible) if ok]
+        return feasible, gains
+
+    def batched():
+        feasible = engine.check_moves(moves, analysis)
+        picked = [move for move, ok in zip(moves, feasible) if ok]
+        return feasible, engine.price_moves(picked)
+
+    serial_s, serial_result = time_call(serial, repeat)
+    batch_s, batch_result = time_call(batched, repeat)
+    if serial_result != batch_result:
+        raise AssertionError(
+            "pricing: batched results differ from the serial loop")
+    n = len(candidates)
+    return {
+        "numpy": batch.numpy_active(),
+        "candidates": n,
+        "feasible": sum(serial_result[0]),
+        "serial_s": serial_s,
+        "batch_s": batch_s,
+        "serial_moves_per_s": n / serial_s if serial_s > 0 else None,
+        "batch_moves_per_s": n / batch_s if batch_s > 0 else None,
+        "speedup": serial_s / batch_s if batch_s > 0 else None,
     }
 
 
@@ -157,6 +214,7 @@ def main(argv=None):
         "gates": gates,
         "tspec_ns": prepared.tspec,
         "sta": bench_sta_updates(prepared, library, moves),
+        "pricing": bench_pricing(prepared, library),
         "dscale": bench_end_to_end(prepared, library, run_dscale, "dscale"),
         "gscale": bench_end_to_end(prepared, library, run_gscale, "gscale"),
     }

@@ -12,8 +12,11 @@ incremental engine's advantage.
 
 Gated:
 
-* ``sta.speedup``    -- per-move STA update (full rebuild / refresh);
-* ``gscale.speedup`` -- end-to-end Gscale (full / incremental).
+* ``sta.speedup``     -- per-move STA update (full rebuild / refresh);
+* ``gscale.speedup``  -- end-to-end Gscale (full / incremental);
+* ``pricing.speedup`` -- batched vs serial move pricing.  On a
+  NumPy-enabled ``C7552`` report the vectorized kernel must also clear
+  an absolute 3.0x floor, independent of the baseline.
 
 Run::
 
@@ -44,7 +47,14 @@ DEFAULT_MAX_REGRESSION = 0.25
 GATED_METRICS = (
     ("sta", "speedup", "per-move STA speedup"),
     ("gscale", "speedup", "end-to-end Gscale speedup"),
+    ("pricing", "speedup", "batched move-pricing speedup"),
 )
+
+# The vectorized pricing kernel must beat the serial loop by at least
+# this factor on the big default circuit -- an absolute acceptance
+# floor, not a relative regression bound.
+PRICING_FLOOR = 3.0
+PRICING_FLOOR_CIRCUIT = "C7552"
 
 
 def load_report(path: str) -> dict:
@@ -92,6 +102,24 @@ def check(
                 f"{label} regressed {regression:.1%} "
                 f"(baseline {base:.2f}x -> current {cur:.2f}x, "
                 f"limit {max_regression:.0%})"
+            )
+
+    pricing = current.get("pricing") or {}
+    if (
+        pricing.get("numpy")
+        and current.get("circuit") == PRICING_FLOOR_CIRCUIT
+    ):
+        speedup = pricing.get("speedup")
+        if not isinstance(speedup, (int, float)) or speedup < PRICING_FLOOR:
+            failures.append(
+                f"batched pricing speedup {speedup!r} is below the "
+                f"absolute {PRICING_FLOOR:.1f}x floor on "
+                f"{PRICING_FLOOR_CIRCUIT} with NumPy active"
+            )
+        else:
+            print(
+                f"  ok  batched pricing floor: {speedup:.2f}x >= "
+                f"{PRICING_FLOOR:.1f}x on {PRICING_FLOOR_CIRCUIT}"
             )
     return failures
 

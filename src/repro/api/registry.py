@@ -50,7 +50,12 @@ class ScalingMethod:
     that the method consults ``config.cost_model`` to weigh candidate
     moves; the flow rejects a non-default cost model on methods that do
     not (their results could not depend on it, so labeling rows with it
-    would fabricate a comparison).
+    would fabricate a comparison).  ``batch_pricing`` declares that the
+    method prices candidates through the move engine's batched sweeps
+    (``check_moves`` / ``price_moves`` / ``profile_resizes``), which
+    vectorize when NumPy is importable -- results are bit-identical
+    either way, the flag only advertises where the optional dependency
+    buys throughput.
     """
 
     name: str
@@ -58,6 +63,7 @@ class ScalingMethod:
     multi_rail: bool = True
     resizes_gates: bool = False
     prices_moves: bool = False
+    batch_pricing: bool = False
     description: str = ""
 
 
@@ -151,6 +157,7 @@ register_method(
         "dscale",
         _run_dscale,
         prices_moves=True,
+        batch_pricing=True,
         description="MWIS-based demotion of all positive-slack gates "
         "with interior level converters",
     )
@@ -160,6 +167,7 @@ register_method(
         "gscale",
         _run_gscale,
         resizes_gates=True,
+        batch_pricing=True,
         description="separator-guided gate resizing to open slack, "
         "then CVS-style demotion under an area budget",
     )

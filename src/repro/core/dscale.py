@@ -60,6 +60,23 @@ _WEIGHT_SCALE = 10_000
 """Power gains (uW) are scaled to integers for exact flow arithmetic."""
 
 
+class _RetargetOnly:
+    """Type of the :data:`RETARGET_ONLY` sentinel (see there)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "RETARGET_ONLY"
+
+
+RETARGET_ONLY = _RetargetOnly()
+"""Sentinel: every demotion depth of a candidate would re-target a
+fanin shifter, so the candidate must route to the transactional
+retarget path.  A unique object compared with ``is`` -- the historical
+``"retarget"`` string collided with the ``tuple | None`` contract and
+would have misrouted a gate literally named ``retarget``."""
+
+
 @dataclass
 class DscaleResult:
     """Outcome of a Dscale run."""
@@ -184,18 +201,28 @@ def candidate_order_pairs(
 ) -> list[tuple[str, str]]:
     """Transitive-reduction pairs of the candidates' reachability order.
 
-    Reachability runs through the *whole* network (two candidates on one
-    path are comparable even when every node between them is not a
-    candidate).  Bitset propagation in reverse topological order keeps
-    this near-linear; the reduction keeps the flow network sparse while
-    chains through intermediate candidates preserve comparability.
+    Reachability runs through intermediate non-candidate nodes (two
+    candidates on one path are comparable even when every node between
+    them is not a candidate), but only the candidates' combined fan-out
+    cone can ever carry a candidate bit: a node outside
+    ``transitive_fanout(candidates)`` reaches no candidate, so its mask
+    is provably zero and propagating it is wasted work.  Bitset
+    propagation therefore walks just the cone in reverse topological
+    order (sorted by cached position) -- identical pairs to a
+    whole-network sweep, near-linear in the cone instead of the
+    network; the reduction keeps the flow network sparse while chains
+    through intermediate candidates preserve comparability.
     """
     network = state.network
     index = {name: k for k, name in enumerate(candidates)}
+    position = network.topo_index()
+    cone = network.transitive_fanout(candidates)
     reach: dict[str, int] = {}
-    for name in reversed(network.topological()):
+    for name in sorted(cone, key=position.__getitem__, reverse=True):
         mask = 0
         for reader in network.fanouts(name):
+            # Every reader of a cone node is itself in the cone, so its
+            # mask is already final.
             mask |= reach[reader]
             bit = index.get(reader)
             if bit is not None:
@@ -255,15 +282,15 @@ def _best_demotion(
     engine: MoveEngine,
     name: str,
     deepest: int,
-) -> tuple[float, int] | None | str:
+) -> tuple[float, int] | _RetargetOnly | None:
     """The best (gain, target) over every feasible demotion depth.
 
-    ``deepest == rail + 1`` is the classic adjacent-only policy and
-    performs exactly one check and one pricing -- the seed sequence.
-    Targets that would re-target a fanin shifter are outside the
-    closed-form check's model; when every depth is excluded for that
-    reason the sentinel ``"retarget"`` is returned so the caller can
-    route the candidate to the transactional path.
+    The serial reference the batched round is tested bit-identical
+    against: one check and one pricing per depth, ascending targets,
+    strict improvement.  Targets that would re-target a fanin shifter
+    are outside the closed-form check's model; when every depth is
+    excluded for that reason :data:`RETARGET_ONLY` is returned so the
+    caller can route the candidate to the transactional path.
     """
     rail = state.rail_of(name)
     best: tuple[float, int] | None = None
@@ -278,7 +305,7 @@ def _best_demotion(
         if best is None or gain > best[0]:
             best = (gain, target)
     if best is None and saw_retarget:
-        return "retarget"
+        return RETARGET_ONLY
     return best
 
 
@@ -314,16 +341,62 @@ def run_dscale(
         targets: dict[str, int] = {}
         candidates: list[str] = []
         deferred: list[str] = []
+
+        # Collect every closed-form (name, target) pair, then price the
+        # whole round in two batched sweeps (feasibility + gain) through
+        # the move engine's kernel -- bit-identical to running the
+        # serial _best_demotion per name, N times cheaper per round.
+        regrouping: set[str] = set()
+        saw_retarget: set[str] = set()
+        depths_of: dict[str, list[int]] = {}
         for name in slack_set:
             if _has_regrouping_edge(state, name):
+                regrouping.add(name)
+                continue
+            rail = state.rail_of(name)
+            deepest = lowest if allow_deep else rail + 1
+            depths: list[int] = []
+            for target in range(rail + 1, deepest + 1):
+                if _retargets_fanin_shifter(state, name, target):
+                    saw_retarget.add(name)
+                    continue
+                depths.append(target)
+            depths_of[name] = depths
+
+        flat = [
+            (name, target)
+            for name, depths in depths_of.items()
+            for target in depths
+        ]
+        flat_moves = [
+            DemoteMove(name, target=target) for name, target in flat
+        ]
+        feasible = engine.check_moves(flat_moves, analysis)
+        priced_pairs = [
+            pair for pair, ok in zip(flat, feasible) if ok
+        ]
+        priced_moves = [
+            move for move, ok in zip(flat_moves, feasible) if ok
+        ]
+        gain_of = dict(zip(priced_pairs, engine.price_moves(priced_moves)))
+
+        for name in slack_set:
+            if name in regrouping:
                 deferred.append(name)
                 continue
-            deepest = lowest if allow_deep else state.rail_of(name) + 1
-            best = _best_demotion(state, analysis, engine, name, deepest)
-            if best == "retarget":
-                deferred.append(name)
-                continue
+            # The serial selection, verbatim: ascending targets, strict
+            # improvement, retarget-only names routed to the deferred
+            # path (RETARGET_ONLY in the serial reference).
+            best: tuple[float, int] | None = None
+            for target in depths_of[name]:
+                gain = gain_of.get((name, target))
+                if gain is None:
+                    continue
+                if best is None or gain > best[0]:
+                    best = (gain, target)
             if best is None:
+                if name in saw_retarget:
+                    deferred.append(name)
                 continue
             gain, target = best
             if gain <= 0:
@@ -357,7 +430,10 @@ def run_dscale(
                     require_power_gain=True,
                     power_before=power_now,
                 ):
-                    power_now = state.power().total
+                    # The power-gain verification inside try_move
+                    # already measured the committed total; reuse it
+                    # instead of a second O(network) estimation.
+                    power_now = engine.last_power
                     result.demoted.append(name)
                     retargeted += 1
         result.retargeted += retargeted
@@ -373,6 +449,7 @@ def run_dscale(
 
 __all__ = [
     "DscaleResult",
+    "RETARGET_ONLY",
     "check_demotion",
     "candidate_order_pairs",
     "cleanup_converters",

@@ -189,8 +189,10 @@ def run_gscale(
 
         weights: dict[str, int] = {}
         profiles: dict[str, tuple[float, float, float]] = {}
-        for name in nodes:
-            profile = resize_profile(state, analysis, name)
+        # One batched pricing sweep over the whole CPN (bit-identical
+        # to the serial resize_profile per name, vectorized when NumPy
+        # is importable).
+        for name, profile in zip(nodes, engine.profile_resizes(nodes)):
             if profile is None or profile[1] <= 0:
                 weights[name] = _UNRESIZABLE
                 continue

@@ -45,6 +45,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.power.estimate import demotion_gain
+from repro.timing import batch
 from repro.timing.delay import OUTPUT
 
 MOVE_KINDS = ("demote", "promote", "resize", "retarget", "drop_converter")
@@ -244,6 +245,21 @@ class CostModel:
         """Power saved by dropping ``name`` to ``target`` (uW)."""
         raise NotImplementedError
 
+    def demotion_gains(
+        self, state, candidates: list[tuple[str, int | None]]
+    ) -> list[float]:
+        """Batched :meth:`demotion_gain` over ``(name, target)`` pairs.
+
+        The default loops over :meth:`demotion_gain`, so custom models
+        are batch-correct without writing any batch code; models whose
+        arithmetic vectorizes override this (``paper`` delegates to the
+        :mod:`repro.timing.batch` kernel).
+        """
+        return [
+            self.demotion_gain(state, name, target=target)
+            for name, target in candidates
+        ]
+
 
 class PaperCostModel(CostModel):
     """The seed paper's cost arithmetic, verbatim.
@@ -271,6 +287,12 @@ class PaperCostModel(CostModel):
             lc_at_outputs=state.options.lc_at_outputs,
             target=target,
         )
+
+    def demotion_gains(
+        self, state, candidates: list[tuple[str, int | None]]
+    ) -> list[float]:
+        """One vectorized sweep; bit-identical to the serial loop."""
+        return batch.demotion_gains(state, candidates)
 
 
 class PlacementAwareCostModel(PaperCostModel):
@@ -319,6 +341,41 @@ class PlacementAwareCostModel(PaperCostModel):
             vdd = rails[rail]
             gain -= a01 * clock_mhz * wire_cap * vdd * vdd * 1e-3
         return gain
+
+    def demotion_gains(
+        self, state, candidates: list[tuple[str, int | None]]
+    ) -> list[float]:
+        """Batched paper gains plus the per-candidate wire surcharge.
+
+        The surcharge replicates :meth:`demotion_gain`'s serial loop
+        exactly (same rail order, same float association), applied on
+        top of the vectorized paper arithmetic.
+        """
+        gains = batch.demotion_gains(state, candidates)
+        calc = state.calc
+        clock_mhz = state.options.clock_mhz
+        wire = state.library.wire_model
+        rails = state.rails
+        for k, (name, target) in enumerate(candidates):
+            change = calc.demotion_net_change(
+                name, state.options.lc_at_outputs, target=target
+            )
+            if not change.new_edges:
+                continue
+            readers_per_rail: dict[int, int] = {}
+            for _driver, reader in change.new_edges:
+                rail = 0 if reader == OUTPUT else state.rail_of(reader)
+                readers_per_rail[rail] = readers_per_rail.get(rail, 0) + 1
+            a01 = state.activity.rate01(name)
+            gain = gains[k]
+            for rail in sorted(readers_per_rail):
+                wire_cap = self.wire_factor * wire.cap(
+                    readers_per_rail[rail]
+                )
+                vdd = rails[rail]
+                gain -= a01 * clock_mhz * wire_cap * vdd * vdd * 1e-3
+            gains[k] = gain
+        return gains
 
 
 BUILTIN_COST_MODELS = ("paper", "placement")
@@ -401,10 +458,75 @@ class MoveEngine:
         #: Saves committed-move callers a redundant full STA rebuild in
         #: non-incremental mode (the transaction already computed it).
         self.last_worst_delay: float | None = None
+        #: Measured post-commit total power of the last :meth:`try_move`
+        #: that committed under ``require_power_gain`` (the verification
+        #: already paid for the measurement); ``None`` after any other
+        #: attempt.  Callers chaining power-gated moves read this
+        #: instead of re-estimating the whole network per commit.
+        self.last_power: float | None = None
 
     def price(self, move: Move) -> float:
         """The move's power gain (uW) under the engine's cost model."""
         return move.price(self.state, self.cost_model)
+
+    def price_moves(self, moves: list[Move]) -> list[float]:
+        """Power gain (uW) of each move, batching the demotions.
+
+        Demotions route through the cost model's
+        :meth:`CostModel.demotion_gains` sweep (vectorized for the
+        built-in models when NumPy is importable, bit-identical to the
+        serial loop either way); every other kind is priced through its
+        own :meth:`Move.price` hook, so mixed batches are fine.
+        """
+        gains: list[float] = [0.0] * len(moves)
+        demote_at: list[int] = []
+        candidates: list[tuple[str, int | None]] = []
+        for i, move in enumerate(moves):
+            if move.kind == "demote":
+                demote_at.append(i)
+                candidates.append((move.name, move.target))
+            else:
+                gains[i] = self.price(move)
+        if candidates:
+            batched = self.cost_model.demotion_gains(self.state, candidates)
+            for i, gain in zip(demote_at, batched):
+                gains[i] = gain
+        return gains
+
+    def check_moves(self, moves: list[Move], analysis=None) -> list[bool]:
+        """Closed-form feasibility of a batch of plain demotions.
+
+        One sweep of the :mod:`repro.timing.batch` kernel over the
+        analysis' levelized arrays, bit-identical to running the serial
+        ``check_demotion`` per move.  The closed form is exact for
+        antichain application of plain :class:`DemoteMove` only; any
+        other kind (including :class:`RetargetShifterMove`, which is
+        outside the closed form's model) raises ``ValueError`` --
+        verify those transactionally with :meth:`try_move` instead.
+        """
+        candidates: list[tuple[str, int | None]] = []
+        for move in moves:
+            if move.kind != "demote":
+                raise ValueError(
+                    f"check_moves covers plain demotions only; verify "
+                    f"{move.kind!r} moves transactionally via try_move"
+                )
+            candidates.append((move.name, move.target))
+        if not candidates:
+            return []
+        if analysis is None:
+            analysis = self.state.timing()
+        return batch.check_demotions(self.state, analysis, candidates)
+
+    def profile_resizes(
+        self, names: list[str]
+    ) -> list[tuple[float, float, float] | None]:
+        """Batched one-step upsize profiles (Gscale's pricing sweep).
+
+        Bit-identical to ``repro.core.gscale.resize_profile`` per name;
+        ``None`` where no larger variant exists.
+        """
+        return batch.resize_profiles(self.state, names)
 
     def apply(self, move: Move) -> None:
         """Apply unconditionally (the caller already verified it)."""
@@ -433,6 +555,7 @@ class MoveEngine:
         committed.
         """
         state = self.state
+        self.last_power = None
         if require_power_gain and power_before is None:
             power_before = state.power().total
         state.begin_move()
@@ -444,7 +567,10 @@ class MoveEngine:
             if ok and worst_delay_cap is not None:
                 ok = self.last_worst_delay <= worst_delay_cap
             if ok and require_power_gain:
-                ok = state.power().total < power_before
+                measured = state.power().total
+                ok = measured < power_before
+                if ok:
+                    self.last_power = measured
         except BaseException:
             # A raising move (a custom Move, a bad target) must not
             # leave the timing transaction open and the state half

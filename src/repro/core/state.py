@@ -278,6 +278,10 @@ class ScalingState:
         self.initial_area = self.calc.total_area()
         self.resized: dict[str, tuple[str, str]] = {}
         self._sizing_delta_cache: float | None = 0.0
+        # Bumped on every cell swap; the batched pricing kernel keys
+        # its static per-cell array cache on it (rails and converter
+        # edges are overlaid per sweep, so only resizes invalidate).
+        self.cells_version = 0
         # Per-move-kind counters every MoveEngine over this state
         # accumulates into (one table per run, shared across the
         # optimizers so CVS inside Gscale reports alongside the
@@ -537,6 +541,7 @@ class ScalingState:
         self.resized.setdefault(name, (node.cell.name, cell.name))
         self.resized[name] = (self.resized[name][0], cell.name)
         self._sizing_delta_cache = None
+        self.cells_version += 1
         node.cell = cell
         # The gate's own stage delay changed, and its new input pin
         # capacitances changed every fanin driver's net load.

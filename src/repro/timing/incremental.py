@@ -368,6 +368,39 @@ class IncrementalTiming:
         self._ensure_forward()
         return dict(zip(self._order, self._arrival))
 
+    def levelized_snapshot(
+        self,
+    ) -> tuple[dict[str, float], dict[str, float], dict[str, float]]:
+        """``(arrival, required, load)`` plain-dict copies, repaired.
+
+        One O(V) materialization of the flat levelized arrays for the
+        batched pricing kernel (:mod:`repro.timing.batch`): plain-dict
+        lookups skip the per-access staleness check of the live
+        :class:`_ArrayView` mappings, and the copies are frozen against
+        later moves.  Values are bit-identical to reading the views.
+        """
+        self.refresh()
+        order = self._order
+        return (
+            dict(zip(order, self._arrival)),
+            dict(zip(order, self._required)),
+            dict(zip(order, self._load)),
+        )
+
+    def levelized_arrays(
+        self,
+    ) -> tuple[list[str], list[float], list[float], list[float]]:
+        """``(order, arrival, required, load)`` -- the live flat arrays.
+
+        The topological order plus the engine's levelized value arrays
+        aligned with it, repaired first.  These are the *live* internal
+        lists (zero-copy), handed out for the batched pricing kernel's
+        vectorized gathers; callers must treat them as read-only and
+        must not hold them across moves.
+        """
+        self.refresh()
+        return self._order, self._arrival, self._required, self._load
+
     def required_snapshot(self) -> dict[str, float]:
         """Plain-dict copy of all required times."""
         self.refresh()

@@ -1,10 +1,15 @@
 """Dscale tests: MWIS selection, converter legality, monotone power."""
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.bench.generators import mixed_datapath
 from repro.core.cvs import run_cvs
 from repro.core.dscale import (
+    RETARGET_ONLY,
     candidate_order_pairs,
     check_demotion,
     run_dscale,
@@ -112,6 +117,52 @@ def test_candidate_order_pairs_capture_paths(prepared, library):
         expected = {v for v in candidates if v != u and
                     v in fanout_closure[u]}
         assert reachable(u) == expected
+
+
+def _order_pairs_oracle(state, candidates):
+    """Whole-network reachability + set-based transitive reduction."""
+    network = state.network
+    below = {}
+    for name in candidates:
+        cone = network.transitive_fanout([name])
+        below[name] = {v for v in candidates if v != name and v in cone}
+    pairs = []
+    for name in candidates:
+        via = set()
+        for mid in below[name]:
+            via |= below[mid]
+        for v in below[name] - via:
+            pairs.append((name, v))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def order_state(prepared, library):
+    """A read-only state for the order-pair property tests."""
+    return fresh_state(prepared, library)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_candidate_order_pairs_match_whole_network_oracle(
+        order_state, seed):
+    """The cone-bounded bitset propagation emits exactly the pairs a
+    whole-network reachability sweep would, for random candidate sets."""
+    rng = random.Random(seed)
+    gates = order_state.network.gates()
+    count = rng.randrange(1, min(len(gates), 24) + 1)
+    candidates = rng.sample(gates, count)
+    pairs = candidate_order_pairs(order_state, candidates)
+    assert sorted(pairs) == sorted(_order_pairs_oracle(
+        order_state, candidates))
+
+
+def test_retarget_only_is_a_unique_sentinel():
+    """The retarget marker is an identity-compared singleton -- the
+    historical "retarget" string collided with gate names."""
+    assert repr(RETARGET_ONLY) == "RETARGET_ONLY"
+    assert RETARGET_ONLY != "retarget"
+    assert not isinstance(RETARGET_ONLY, (str, tuple))
 
 
 def test_each_round_selection_is_antichain(library, monkeypatch):

@@ -11,6 +11,7 @@ end-to-end tests pin the capabilities' value on real MCNC circuits.
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -18,7 +19,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.bench.generators import mixed_datapath
-from repro.core.dscale import run_dscale
+from repro.core.dscale import check_demotion, run_dscale
+from repro.core.gscale import resize_profile
 from repro.core.moves import (
     BUILTIN_COST_MODELS,
     CostModel,
@@ -41,6 +43,7 @@ from repro.flow.experiment import prepare_circuit
 from repro.library.compass import build_compass_library
 from repro.mapping.match import MatchTable
 from repro.power.estimate import demotion_gain
+from repro.timing import batch as timing_batch
 from repro.timing.incremental import IncrementalTiming
 
 MULTI_RAILS = {
@@ -342,6 +345,171 @@ def test_transactional_moves_match_oracle(multirail_state, seed, kinds):
         cap = state.tspec if rng.random() < 0.3 else None
         engine.try_move(move, worst_delay_cap=cap)
         assert_equivalent(state)
+
+
+# -- batched pricing: bit-identical to the serial loops ----------------
+
+
+def _pricing_candidates(rng, state):
+    """A random demotion batch: half the demotable gates, mixed targets."""
+    lowest = state.n_rails - 1
+    candidates = []
+    for name in state.network.gates():
+        rail = state.rail_of(name)
+        if rail >= lowest or rng.random() < 0.5:
+            continue
+        target = (None if rng.random() < 0.5
+                  else rng.randrange(rail + 1, lowest + 1))
+        candidates.append((name, target))
+    return candidates
+
+
+def _serial_pricing(state, analysis, candidates):
+    feasible = [check_demotion(state, analysis, name, target=target)
+                for name, target in candidates]
+    gains = [demotion_gain(state.calc, state.activity, name,
+                           clock_mhz=state.options.clock_mhz,
+                           lc_at_outputs=state.options.lc_at_outputs,
+                           target=target)
+             for name, target in candidates]
+    return feasible, gains
+
+
+def _batched_pricing(state, analysis, candidates):
+    feasible = timing_batch.check_demotions(state, analysis, candidates)
+    gains = timing_batch.demotion_gains(state, candidates)
+    return feasible, gains
+
+
+class _pure_python_forced:
+    """Force (or release) the REPRO_PURE_PYTHON kill switch."""
+
+    def __init__(self, on):
+        self.on = on
+
+    def __enter__(self):
+        self.had = os.environ.get(timing_batch.PURE_PYTHON_ENV)
+        if self.on:
+            os.environ[timing_batch.PURE_PYTHON_ENV] = "1"
+        else:
+            os.environ.pop(timing_batch.PURE_PYTHON_ENV, None)
+
+    def __exit__(self, *exc):
+        if self.had is None:
+            os.environ.pop(timing_batch.PURE_PYTHON_ENV, None)
+        else:
+            os.environ[timing_batch.PURE_PYTHON_ENV] = self.had
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**32 - 1),
+       kinds=st.lists(st.sampled_from(_KINDS), min_size=0, max_size=5))
+def test_batched_pricing_bit_identical_to_serial(
+        multirail_state, seed, kinds):
+    """The batch kernels equal the serial check/gain loops *bitwise* on
+    randomly perturbed 3- and 4-rail states -- through both the
+    vectorized (NumPy) path and the pure-Python sweep."""
+    state = multirail_state
+    rng = random.Random(seed)
+    applied = []
+    try:
+        for kind in kinds:
+            move = _random_move(rng, state, kind)
+            if move is not None:
+                move.apply(state)
+                applied.append(move)
+        analysis = state.timing()
+        candidates = _pricing_candidates(rng, state)
+        serial = _serial_pricing(state, analysis, candidates)
+        with _pure_python_forced(False):
+            assert timing_batch.numpy_active() == timing_batch.HAVE_NUMPY
+            assert _batched_pricing(state, analysis, candidates) == serial
+        with _pure_python_forced(True):
+            assert not timing_batch.numpy_active()
+            assert _batched_pricing(state, analysis, candidates) == serial
+    finally:
+        for move in reversed(applied):
+            move.undo(state)
+
+
+@pytest.mark.parametrize("pure", [False, True])
+def test_batched_pricing_validation_matches_serial(multirail_state, pure):
+    """Both batch paths raise the serial loops' ValueErrors verbatim."""
+    state = multirail_state
+    analysis = state.timing()
+    name = state.network.gates()[0]
+    with _pure_python_forced(pure):
+        with pytest.raises(ValueError, match="already at the lowest rail"):
+            timing_batch.check_demotions(
+                state, analysis, [(name, state.n_rails)])
+        with pytest.raises(ValueError, match="must sit below"):
+            timing_batch.check_demotions(
+                state, analysis, [(name, state.rail_of(name))])
+        with pytest.raises(ValueError, match="already at the lowest rail"):
+            timing_batch.demotion_gains(state, [(name, state.n_rails)])
+        primary_input = next(
+            n for n, node in state.network.nodes.items() if node.is_input)
+        with pytest.raises(ValueError, match="primary inputs"):
+            timing_batch.demotion_gains(state, [(primary_input, None)])
+
+
+def test_price_moves_mixed_kinds_match_price(multirail_state):
+    """price_moves batches the demotions and passes other kinds through
+    Move.price -- a mixed batch prices exactly like the scalar calls."""
+    state = multirail_state
+    engine = MoveEngine(state)
+    lowest = state.n_rails - 1
+    moves = [DemoteMove(name) for name in state.network.gates()[:8]
+             if state.rail_of(name) < lowest]
+    name = state.network.gates()[0]
+    cell = state.network.nodes[name].cell
+    moves.append(ResizeMove(name, state.library.variants(cell.base)[0]))
+    assert len(moves) > 1
+    assert engine.price_moves(moves) == [engine.price(m) for m in moves]
+
+
+def test_check_moves_rejects_non_demote(multirail_state):
+    engine = MoveEngine(multirail_state)
+    name = multirail_state.network.gates()[0]
+    with pytest.raises(ValueError, match="transactionally"):
+        engine.check_moves([PromoteMove(name)])
+
+
+@pytest.mark.parametrize("pure", [False, True])
+def test_profile_resizes_match_serial(multirail_state, pure):
+    state = multirail_state
+    engine = MoveEngine(state)
+    analysis = state.timing()
+    names = state.network.gates()
+    with _pure_python_forced(pure):
+        profiles = engine.profile_resizes(names)
+    for name, profile in zip(names, profiles):
+        assert profile == resize_profile(state, analysis, name), name
+
+
+def test_last_power_tracks_power_gated_commits(multirail_state):
+    """last_power is the measured post-commit power after a
+    require_power_gain commit, and None after any other attempt."""
+    state = multirail_state
+    engine = MoveEngine(state)
+    lowest = state.n_rails - 1
+    name = next(g for g in state.network.gates()
+                if state.rail_of(g) < lowest)
+    move = DemoteMove(name)
+    committed = engine.try_move(move, require_power_gain=True)
+    if committed:
+        assert engine.last_power == state.power().total
+        move.undo(state)
+    else:
+        assert engine.last_power is None
+    # A plain (non-power-gated) attempt always clears the field.
+    other = next(g for g in state.network.gates()
+                 if state.rail_of(g) < lowest)
+    plain = DemoteMove(other)
+    if engine.try_move(plain):
+        assert engine.last_power is None
+        plain.undo(state)
 
 
 # -- end-to-end: the capabilities pay off on real circuits -------------

@@ -1,0 +1,355 @@
+"""Full-STA build throughput at scale, emitting JSON.
+
+Measures, across generated ``gen:layered:...`` circuits of increasing
+size (1k / 10k / 100k gates by default), the cost of the *from-scratch*
+timing build -- the operation the flat-core refactor vectorizes:
+
+* ``serial``: the engine's kept per-node oracle build
+  (``IncrementalTiming(..., build_mode="serial")``, the pre-flat-core
+  behaviour);
+* ``flat``: constructing the shared CSR :class:`FlatNetwork` snapshot
+  itself (paid once per prepared circuit, amortized over every build,
+  power measurement, and batched pricing sweep that follows);
+* ``pure``: the level-by-level vectorized build on plain Python lists
+  (the no-NumPy twin);
+* ``numpy``: the same sweep on NumPy arrays (skipped when NumPy is not
+  importable);
+
+plus the flat power measurement vs the serial per-node walk, and a
+sampled batched-vs-serial Dscale pricing sweep.  Every vectorized
+result is asserted bit-identical to its serial oracle in the same run,
+so the benchmark doubles as an equivalence check; any mismatch exits
+non-zero.
+
+Gates are mapped by direct truth-table lookup (every generator function
+has an exact library cell), not the covering DP: the subject of this
+benchmark is the timing core, and direct mapping keeps the setup linear
+so 100k-gate circuits stay cheap to stage.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py [--sizes 1k,10k,100k]
+        [--out bench_scale.json] [--min-speedup 5] [--quick]
+
+``--quick`` trims the size list for CI smoke checks.  ``--min-speedup``
+gates the run: the vectorized build must beat the serial build by at
+least that factor on the largest measured circuit of >= 50k gates (or
+the largest overall when none reaches 50k).
+
+Peak RSS is sampled after each size via ``resource.getrusage``, so the
+reported numbers are cumulative high-water marks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import resource
+import sys
+import time
+
+from repro.bench.mcnc import load_circuit
+from repro.core.dscale import check_demotion
+from repro.core.moves import DemoteMove, MoveEngine
+from repro.core.state import ScalingState
+from repro.library.compass import build_compass_library
+from repro.mapping.match import MatchTable
+from repro.netlist.flat import HAVE_NUMPY, build_flat, numpy_active
+from repro.power.activity import probabilistic_activities
+from repro.power.estimate import estimate_power_calc
+from repro.timing.incremental import IncrementalTiming
+
+SIZES: dict[str, str] = {
+    "1k": "gen:layered:width=50:depth=20:seed=11",
+    "10k": "gen:layered:width=100:depth=100:seed=12",
+    "100k": "gen:layered:width=500:depth=200:seed=13",
+}
+QUICK_SIZES = ("1k",)
+MIN_SPEEDUP_FLOOR_GATES = 50_000
+
+
+def time_call(fn, repeat=1):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def direct_map(network, match_table):
+    """Assign library cells by exact truth-table match, in place.
+
+    Every generator family emits functions the library implements
+    directly (INV/BUF/AND2/OR2/XOR2/XOR3/MAJ3/MUX), so an identity-pin
+    match always exists; anything else is a hard error rather than a
+    silent approximation.
+    """
+    for node in network.nodes.values():
+        if node.is_input:
+            continue
+        cell = None
+        for candidate, perm in match_table.matches(node.function):
+            if perm == tuple(range(candidate.n_inputs)):
+                cell = candidate
+                break
+        if cell is None:
+            raise SystemExit(
+                f"no identity-pin library match for node {node.name!r}; "
+                f"direct mapping only supports the generator families"
+            )
+        node.cell = cell
+    return network
+
+
+def peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def bench_pricing_sample(state, sample=512, repeat=1):
+    """Batched vs serial Dscale candidate pricing on a gate sample."""
+    engine = MoveEngine(state)
+    analysis = state.timing()
+    lowest = state.n_rails - 1
+    candidates = [
+        gate for gate in state.network.gates()
+        if analysis.slack(gate) > 0 and state.rail_of(gate) < lowest
+    ][:sample]
+    moves = [DemoteMove(gate) for gate in candidates]
+    model = engine.cost_model
+
+    def serial():
+        feasible = [
+            check_demotion(state, analysis, gate, None) for gate in candidates
+        ]
+        gains = [
+            model.demotion_gain(state, gate)
+            for gate, ok in zip(candidates, feasible)
+            if ok
+        ]
+        return feasible, gains
+
+    def batched():
+        feasible = engine.check_moves(moves, analysis)
+        picked = [move for move, ok in zip(moves, feasible) if ok]
+        return feasible, engine.price_moves(picked)
+
+    serial_s, serial_result = time_call(serial, repeat)
+    batch_s, batch_result = time_call(batched, repeat)
+    if serial_result != batch_result:
+        raise AssertionError(
+            "pricing: batched results differ from the serial loop"
+        )
+    return {
+        "candidates": len(candidates),
+        "serial_s": serial_s,
+        "batch_s": batch_s,
+        "speedup": serial_s / batch_s if batch_s > 0 else None,
+    }
+
+
+def bench_size(label, spec, library, match_table, slack=1.2):
+    gen_s, network = time_call(lambda: load_circuit(spec))
+    direct_map(network, match_table)
+    gates = sum(1 for n in network.nodes.values() if not n.is_input)
+    # Best-of-N damps allocator/page-fault noise on the first call of
+    # each kernel; large circuits keep N small to bound wall clock.
+    repeat = 3 if gates < 20_000 else 2
+
+    activity = probabilistic_activities(network)
+    state = ScalingState(network, library, tspec=0.0, activity=activity)
+    network.warm_caches()
+
+    # Anchor the timing budget on the measured minimum so the required
+    # sweep works with a realistic (finite, non-degenerate) tspec.
+    probe = IncrementalTiming(state.calc, 0.0, build_mode="serial")
+    tspec = slack * probe.worst_delay
+    state.tspec = tspec
+    state.flat().arrays()
+
+    # Freeze the setup graph (network, state, snapshot: the bulk of the
+    # heap) out of the cyclic collector's reach: every discarded timing
+    # engine is a reference cycle, and without the freeze the resulting
+    # gen-2 sweeps traverse ~10 objects per gate inside timed kernels.
+    gc.collect()
+    gc.freeze()
+
+    serial_s, engine_serial = time_call(
+        lambda: IncrementalTiming(state.calc, tspec, build_mode="serial"),
+        repeat,
+    )
+    def build_snapshot():
+        flat = build_flat(network, state.calc, activity=activity)
+        flat.arrays()  # include the one-time array-plane materialization
+        return flat
+
+    flat_s, _ = time_call(build_snapshot, repeat)
+    pure_s, engine_pure = time_call(
+        lambda: IncrementalTiming(
+            state.calc, tspec, flat_source=state.flat, build_mode="pure"
+        ),
+        repeat,
+    )
+    builds = {
+        "serial": {"seconds": serial_s, "gates_per_s": gates / serial_s},
+        "flat_snapshot": {"seconds": flat_s},
+        "pure": {
+            "seconds": pure_s,
+            "gates_per_s": gates / pure_s,
+            "speedup": serial_s / pure_s,
+        },
+    }
+    oracle = engine_serial.levelized_arrays()
+    if engine_pure.levelized_arrays() != oracle:
+        raise AssertionError(f"{label}: pure build != serial oracle")
+    vectorized_s = pure_s
+    if HAVE_NUMPY:
+        numpy_s, engine_numpy = time_call(
+            lambda: IncrementalTiming(
+                state.calc, tspec, flat_source=state.flat, build_mode="numpy"
+            ),
+            repeat,
+        )
+        if engine_numpy.levelized_arrays() != oracle:
+            raise AssertionError(f"{label}: numpy build != serial oracle")
+        builds["numpy"] = {
+            "seconds": numpy_s,
+            "gates_per_s": gates / numpy_s,
+            "speedup": serial_s / numpy_s,
+        }
+        vectorized_s = numpy_s
+
+    power_serial_s, p_serial = time_call(
+        lambda: estimate_power_calc(state.calc, activity), repeat
+    )
+    power_flat_s, p_flat = time_call(
+        lambda: estimate_power_calc(state.calc, activity, flat=state.flat()),
+        repeat,
+    )
+    if (p_serial.total, dict(p_serial.per_node)) != (
+        p_flat.total,
+        dict(p_flat.per_node),
+    ):
+        raise AssertionError(f"{label}: flat power != serial power")
+
+    return {
+        "spec": spec,
+        "gates": gates,
+        "nodes": len(network.nodes),
+        "tspec_ns": tspec,
+        "generate_s": gen_s,
+        "builds": builds,
+        "build_speedup": serial_s / vectorized_s,
+        "power": {
+            "serial_s": power_serial_s,
+            "flat_s": power_flat_s,
+            "speedup": (
+                power_serial_s / power_flat_s if power_flat_s > 0 else None
+            ),
+            "total_uw": p_flat.total,
+        },
+        "pricing": bench_pricing_sample(state),
+        "peak_rss_mb": peak_rss_mb(),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated size labels to run "
+        f"(default: {','.join(SIZES)})",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the JSON report here (default: stdout)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the vectorized build beats serial "
+        "by this factor on the largest >=50k circuit",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smallest size only (CI smoke check)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.sizes:
+        labels = [s.strip() for s in args.sizes.split(",") if s.strip()]
+        unknown = [s for s in labels if s not in SIZES]
+        if unknown:
+            raise SystemExit(
+                f"unknown size(s): {', '.join(unknown)}; "
+                f"choose from {', '.join(SIZES)}"
+            )
+    elif args.quick:
+        labels = list(QUICK_SIZES)
+    else:
+        labels = list(SIZES)
+
+    library = build_compass_library()
+    match_table = MatchTable(library)
+
+    report = {
+        "numpy": numpy_active(),
+        "sizes": {},
+    }
+    for label in labels:
+        report["sizes"][label] = bench_size(
+            label, SIZES[label], library, match_table
+        )
+        # Thaw and drop the previous size's frozen setup graph before
+        # the next one allocates its own.
+        gc.unfreeze()
+        gc.collect()
+        entry = report["sizes"][label]
+        print(
+            f"  {label}: {entry['gates']} gates, serial "
+            f"{entry['builds']['serial']['seconds']:.3f}s, vectorized "
+            f"speedup {entry['build_speedup']:.2f}x, "
+            f"rss {entry['peak_rss_mb']:.0f} MB",
+            file=sys.stderr,
+        )
+
+    status = 0
+    if args.min_speedup is not None:
+        eligible = [
+            (entry["gates"], entry["build_speedup"])
+            for entry in report["sizes"].values()
+            if entry["gates"] >= MIN_SPEEDUP_FLOOR_GATES
+        ] or [
+            (entry["gates"], entry["build_speedup"])
+            for entry in report["sizes"].values()
+        ]
+        gates, speedup = max(eligible)
+        report["gate"] = {
+            "min_speedup": args.min_speedup,
+            "measured_at_gates": gates,
+            "measured_speedup": speedup,
+        }
+        if speedup < args.min_speedup:
+            print(
+                f"FAIL: vectorized build speedup {speedup:.2f}x at "
+                f"{gates} gates is below the {args.min_speedup:.2f}x floor",
+                file=sys.stderr,
+            )
+            status = 1
+
+    payload = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

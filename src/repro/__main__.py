@@ -324,11 +324,19 @@ def _cmd_run(args) -> int:
 
 
 def _select_circuits(args) -> list[str]:
-    from repro.bench.mcnc import MCNC_NAMES
+    from repro.bench.mcnc import GEN_PREFIX, MCNC_NAMES, parse_gen_spec
 
     if getattr(args, "circuits", ""):
         names = [n.strip() for n in args.circuits.split(",") if n.strip()]
-        unknown = [n for n in names if n not in MCNC_NAMES]
+        unknown = []
+        for n in names:
+            if n.startswith(GEN_PREFIX):
+                try:
+                    parse_gen_spec(n)
+                except ValueError as exc:
+                    raise SystemExit(f"bad generator spec: {exc}") from None
+            elif n not in MCNC_NAMES:
+                unknown.append(n)
         if unknown:
             raise SystemExit(f"unknown circuit(s): {', '.join(unknown)}")
         return names

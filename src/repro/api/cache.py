@@ -20,7 +20,9 @@ cap.
 
 Eviction applies to prepared circuits only (libraries are few and
 small; they stay pinned until :meth:`PreparedCache.clear`).  Entry
-sizes are estimated from the pickled representation, so the
+sizes are estimated from the pickled representation -- measured once
+per insert, cached on the entry, and only when a byte cap is actually
+active (an unbounded cache never pays the pickle) -- so the
 ``max_bytes`` cap tracks what a worker would actually hold; the cap is
 advisory for a single entry (the newest entry always stays, otherwise a
 cache smaller than one circuit could never serve it).
@@ -243,8 +245,18 @@ class PreparedCache:
         self,
         config: FlowConfig,
         build: Callable[[], PreparedCircuit],
+        size: int | None = None,
     ) -> PreparedCircuit:
-        """The prepared circuit for ``config``, building on a miss."""
+        """The prepared circuit for ``config``, building on a miss.
+
+        Sizing is lazy: an unbounded cache (``max_bytes=None``, the
+        campaign workers and plain flows) never pickles the value, so
+        large generated circuits skip the serialize-per-insert tax
+        entirely.  A byte-capped cache (the daemon) measures the entry
+        once on insert and keeps the number on the entry -- or reuses
+        ``size`` when the caller already has the pickled byte count in
+        hand (e.g. a daemon that just shipped the same object).
+        """
         key = self.prepared_key(config)
         entry = self._prepared.get(key)
         if entry is not None:
@@ -253,7 +265,9 @@ class PreparedCache:
             return entry.value
         self.stats.misses += 1
         value = build()
-        entry = _Entry(value=value, size=_estimate_bytes(value))
+        if size is None:
+            size = _estimate_bytes(value) if self.max_bytes is not None else 0
+        entry = _Entry(value=value, size=size)
         self._prepared[key] = entry
         self.stats.entries = len(self._prepared)
         self.stats.bytes += entry.size

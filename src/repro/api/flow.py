@@ -387,6 +387,10 @@ class Flow:
         ctx.name = ctx.network.name
         for stage in _PREPARE_STAGES:
             self.stages[stage](ctx)
+        # The prepared network's adjacency/topological caches are hit by
+        # every downstream method; build them once here so they are
+        # shared (and so cache hits hand out a pre-warmed network).
+        ctx.network.warm_caches()
         return PreparedCircuit(
             name=ctx.name,
             network=ctx.network,

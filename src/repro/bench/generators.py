@@ -422,6 +422,69 @@ def pla_control(n_inputs: int, n_outputs: int, n_products: int,
 
 
 # ----------------------------------------------------------------------
+# Scale families
+# ----------------------------------------------------------------------
+
+def layered_network(width: int = 32, depth: int = 8, fanout: float = 2.5,
+                    reconvergence: float = 0.15, seed: int = 1,
+                    n_outputs: int | None = None,
+                    name: str = "layered") -> Network:
+    """Seeded layered random DAG: the parametric scale family.
+
+    ``width`` gates per layer across ``depth`` layers (~``width * depth``
+    gates total, so a 100k-gate circuit is one ``(500, 200)`` call away).
+    Each gate draws its first fanin from the immediately preceding layer
+    -- so every layer is populated and the logic depth really is
+    ``depth`` -- and its remaining fanins from the preceding layer or,
+    with probability ``reconvergence``, from a uniformly random earlier
+    layer (primary inputs included), which creates the reconvergent
+    fanout real netlists have.  ``fanout`` sets the average fanin count
+    per gate (clamped to [2, 3]; fractional values mix 2- and 3-input
+    gates), which by conservation is also the average fanout per driver.
+
+    Acyclic by construction (layer ``k`` only ever reads layers
+    ``< k``), outputs driven by the last layer, and deterministic across
+    processes: the only randomness is ``random.Random(seed)`` and no set
+    or dict iteration order leaks into the structure.
+    """
+    if width < 1 or depth < 1:
+        raise ValueError("width and depth must be >= 1")
+    count = width if n_outputs is None else n_outputs
+    if not 1 <= count <= width:
+        raise ValueError(f"n_outputs must be in [1, {width}], got {count}")
+    rng = random.Random(seed)
+    chip = _Chip(name)
+    layers: list[list[str]] = [chip.inputs("d", width)]
+    extra = min(max(fanout - 2.0, 0.0), 1.0)
+    two = (_AND2, _OR2, _XOR2)
+    three = (_XOR3, _MAJ3, _MUX)
+    for _ in range(depth):
+        prev = layers[-1]
+        layer: list[str] = []
+        for _ in range(width):
+            arity = 3 if rng.random() < extra else 2
+            fanins = [prev[rng.randrange(width)]]
+            while len(fanins) < arity:
+                if rng.random() < reconvergence and len(layers) > 1:
+                    source = layers[rng.randrange(len(layers))]
+                else:
+                    source = prev
+                # Prefer distinct fanins; give up after a few redraws so
+                # a width-1 circuit (everything identical) still builds.
+                for _ in range(8):
+                    candidate = source[rng.randrange(len(source))]
+                    if candidate not in fanins:
+                        break
+                fanins.append(candidate)
+            table = rng.choice(three if arity == 3 else two)
+            layer.append(chip.new("g", fanins, table))
+        layers.append(layer)
+    for k in range(count):
+        chip.output(f"y{k}", layers[-1][k])
+    return chip.net
+
+
+# ----------------------------------------------------------------------
 # DES round (the ``des`` benchmark family)
 # ----------------------------------------------------------------------
 
@@ -532,6 +595,7 @@ __all__ = [
     "decoder",
     "wide_and_or",
     "pla_control",
+    "layered_network",
     "des_round",
     "mixed_datapath",
 ]

@@ -22,6 +22,7 @@ Notes on specific substitutions:
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from collections.abc import Callable
 
@@ -126,13 +127,101 @@ MCNC_NAMES = tuple(CIRCUITS)
 """All 39 benchmark names, in the registry's deterministic order."""
 
 
+GEN_PREFIX = "gen:"
+"""Circuit-name prefix that selects a parametric generator spec."""
+
+GEN_FAMILIES: dict[str, tuple[Callable[..., Network], dict[str, str]]] = {
+    "layered": (g.layered_network, {"reconv": "reconvergence",
+                                    "outputs": "n_outputs"}),
+    "alu": (g.alu_unit, {}),
+    "adder": (g.ripple_adder, {}),
+    "csel": (g.carry_select_adder, {}),
+    "mult": (g.multiplier, {}),
+    "rot": (g.barrel_rotator, {}),
+    "mux": (g.mux_select_tree, {"select": "select_bits"}),
+    "pla": (g.pla_control, {"inputs": "n_inputs", "outputs": "n_outputs",
+                            "products": "n_products", "cube": "cube_width",
+                            "per_output": "products_per_output"}),
+    "wide": (g.wide_and_or, {"inputs": "n_inputs", "cube": "cube_width",
+                             "cubes": "n_cubes"}),
+    "mixed": (g.mixed_datapath, {"control": "n_control",
+                                 "products": "n_products"}),
+}
+"""Generator-spec families: alias -> (generator, short-parameter map)."""
+
+
+def parse_gen_spec(spec: str) -> CircuitSpec:
+    """Parse a ``gen:family:key=value:...`` circuit spec.
+
+    The spec string doubles as the circuit name everywhere downstream
+    (flow configs, campaign rows, the result store), so two runs of the
+    same spec are the same circuit by key.  Short parameter aliases
+    (``inputs``, ``products``, ``cube``, ...) map onto the generator's
+    keyword names; values parse as int first, then float.  Raises
+    :class:`ValueError` on an unknown family, unknown or duplicate
+    parameter, or a malformed/non-numeric segment.
+    """
+    if not spec.startswith(GEN_PREFIX):
+        raise ValueError(f"not a generator spec (no {GEN_PREFIX!r} prefix): "
+                         f"{spec!r}")
+    parts = spec.split(":")
+    family = parts[1] if len(parts) > 1 else ""
+    if family not in GEN_FAMILIES:
+        raise ValueError(
+            f"unknown generator family {family!r} in {spec!r}; "
+            f"choose from {sorted(GEN_FAMILIES)}"
+        )
+    generator, aliases = GEN_FAMILIES[family]
+    valid = set(inspect.signature(generator).parameters) - {"name"}
+    kwargs: dict[str, int | float] = {}
+    for item in parts[2:]:
+        key, sep, raw = item.partition("=")
+        if not sep or not key or not raw:
+            raise ValueError(
+                f"malformed parameter {item!r} in {spec!r}; "
+                f"expected key=value"
+            )
+        param = aliases.get(key, key)
+        if param not in valid:
+            raise ValueError(
+                f"unknown parameter {key!r} for family {family!r}; "
+                f"valid: {sorted(valid | set(aliases))}"
+            )
+        if param in kwargs:
+            raise ValueError(f"duplicate parameter {key!r} in {spec!r}")
+        try:
+            value: int | float = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"parameter {key!r} in {spec!r} needs a numeric "
+                    f"value, got {raw!r}"
+                ) from None
+        kwargs[param] = value
+    return CircuitSpec(name=spec, family=f"generated:{family}",
+                       generator=generator, kwargs=kwargs)
+
+
 def load_circuit(name: str) -> Network:
-    """Build the synthetic equivalent of one MCNC circuit by name."""
+    """Build one circuit by MCNC name or ``gen:`` generator spec."""
+    if name.startswith(GEN_PREFIX):
+        return parse_gen_spec(name).build()
     if name not in CIRCUITS:
         raise KeyError(
-            f"unknown benchmark {name!r}; choose from {sorted(CIRCUITS)}"
+            f"unknown benchmark {name!r}; choose from {sorted(CIRCUITS)} "
+            f"or a {GEN_PREFIX!r} generator spec"
         )
     return CIRCUITS[name].build()
 
 
-__all__ = ["CircuitSpec", "CIRCUITS", "MCNC_NAMES", "load_circuit"]
+__all__ = [
+    "CircuitSpec",
+    "CIRCUITS",
+    "GEN_FAMILIES",
+    "GEN_PREFIX",
+    "MCNC_NAMES",
+    "load_circuit",
+    "parse_gen_spec",
+]

@@ -52,9 +52,15 @@ from repro.core.moves import (
 )
 from repro.core.state import ScalingState
 from repro.graphalg.antichain import max_weight_antichain
+from repro.netlist.flat import numpy_active
 from repro.timing.delay import OUTPUT
 from repro.timing.incremental import IncrementalTiming
 from repro.timing.sta import TimingAnalysis
+
+try:  # NumPy is optional; the list path below is the fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - the no-numpy CI job covers this
+    _np = None
 
 _WEIGHT_SCALE = 10_000
 """Power gains (uW) are scaled to integers for exact flow arithmetic."""
@@ -276,6 +282,57 @@ def cleanup_converters(
     return removed
 
 
+def _slack_set(
+    state: ScalingState,
+    analysis: TimingAnalysis | IncrementalTiming,
+    lowest: int,
+) -> list[str]:
+    """``getSlkSet``: sub-``lowest`` gates with positive slack.
+
+    With the incremental engine this reads the levelized arrays plus
+    the shared flat planes -- one subtraction and two comparisons per
+    node, vectorized under NumPy -- instead of a per-name ``slack()``
+    call through the method surface.  Emitted order (topological,
+    inputs excluded) and every float comparison are identical to
+    filtering ``network.gates()`` serially, which remains the path for
+    a full :class:`TimingAnalysis`.
+    """
+    tolerance = state.options.timing_tolerance
+    arrays = getattr(analysis, "levelized_arrays", None)
+    flat = state.flat() if arrays is not None else None
+    if flat is None or len(flat.order) != len(state.network.nodes):
+        return [
+            name
+            for name in state.network.gates()
+            if state.rail_of(name) < lowest
+            and analysis.slack(name) > tolerance
+        ]
+    order, arrival, required, _ = arrays()
+    is_input = flat.is_input
+    if numpy_active():
+        np = _np
+        a = flat.arrays()
+        rails = np.zeros(a.n, dtype=np.intp)
+        pos = a.pos
+        for name, level in state.levels.items():
+            if level:
+                rails[pos[name]] = int(level)
+        mask = (
+            (np.asarray(required) - np.asarray(arrival) > tolerance)
+            & (rails < lowest)
+            & ~np.asarray(is_input)
+        )
+        return [order[i] for i in np.flatnonzero(mask).tolist()]
+    rail_of = state.rail_of
+    return [
+        name
+        for i, name in enumerate(order)
+        if not is_input[i]
+        and rail_of(name) < lowest
+        and required[i] - arrival[i] > tolerance
+    ]
+
+
 def _best_demotion(
     state: ScalingState,
     analysis: TimingAnalysis | IncrementalTiming,
@@ -331,12 +388,7 @@ def run_dscale(
 
     while result.rounds < max_rounds:
         analysis = state.timing()
-        slack_set = [
-            name
-            for name in state.network.gates()
-            if state.rail_of(name) < lowest
-            and analysis.slack(name) > state.options.timing_tolerance
-        ]
+        slack_set = _slack_set(state, analysis, lowest)
         weights: dict[str, int] = {}
         targets: dict[str, int] = {}
         candidates: list[str] = []

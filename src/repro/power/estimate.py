@@ -28,9 +28,15 @@ from dataclasses import dataclass, field
 from collections.abc import Collection, Mapping
 
 from repro.library.cells import Library
+from repro.netlist.flat import numpy_active
 from repro.netlist.network import Network
 from repro.power.activity import Activity
 from repro.timing.delay import DEFAULT_PO_LOAD, DelayCalculator
+
+try:  # NumPy is optional; the pure flat path below is the fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - the no-numpy CI job covers this
+    _np = None
 
 _UW = 1e-3
 """fF * V^2 * MHz to uW."""
@@ -74,8 +80,24 @@ def estimate_power(network: Network, library: Library, activity: Activity,
 
 def estimate_power_calc(calculator: DelayCalculator, activity: Activity,
                         clock_mhz: float = DEFAULT_CLOCK_MHZ,
-                        include_input_nets: bool = False) -> PowerBreakdown:
-    """Estimate power from an existing calculator (live state)."""
+                        include_input_nets: bool = False,
+                        flat=None, loads=None) -> PowerBreakdown:
+    """Estimate power from an existing calculator (live state).
+
+    ``flat`` is an optional shared
+    :class:`~repro.netlist.flat.FlatNetwork` snapshot of the
+    calculator's network: the per-node switching/internal terms are
+    then computed over its planes instead of walking ``network.nodes``
+    through the calculator's method surface, bit-identically (same
+    float associations, same sequential topological accumulation
+    order).  ``loads`` optionally supplies the net loads aligned with
+    ``flat.order`` (e.g. the incremental engine's levelized load
+    array); otherwise the calculator is queried per net.
+    """
+    if flat is not None:
+        return _estimate_power_flat(
+            calculator, activity, clock_mhz, include_input_nets, flat, loads
+        )
     network = calculator.network
     library = calculator.library
     rails = library.rails
@@ -113,6 +135,90 @@ def estimate_power_calc(calculator: DelayCalculator, activity: Activity,
             for rail in calculator.converter_groups(name):
                 lc_cell = calculator.lc_cell_for(rail)
                 lc_vdd = rails[rail]
+                lc_out_load = calculator.lc_load(name, rail)
+                lc_power += a01 * clock_mhz * (
+                    lc_cell.internal_energy + lc_out_load * lc_vdd * lc_vdd
+                ) * _UW
+        converter += lc_power
+        per_node[name] = node_switch + node_internal + lc_power
+
+    total = switching + internal + converter
+    return PowerBreakdown(
+        switching=switching,
+        internal=internal,
+        converter=converter,
+        total=total,
+        per_node=per_node,
+    )
+
+
+def _estimate_power_flat(calculator, activity, clock_mhz,
+                         include_input_nets, flat, loads) -> PowerBreakdown:
+    """The eq. (1) sweep over the shared flat snapshot.
+
+    Per-node terms replicate the serial association exactly
+    (``a01 * f * load * vdd * vdd * uW`` evaluated left to right), the
+    accumulators run in the same sequential topological order, and the
+    sparse converter terms go through the serial calculator methods
+    verbatim -- so the result is bit-identical to the per-node walk in
+    :func:`estimate_power_calc`.
+    """
+    order = flat.order
+    n = flat.n
+    pos = flat.pos
+    rails_lib = calculator.library.rails
+    rates = [activity.rate01(name) for name in order]
+    if loads is None or len(loads) != n:
+        loads = [calculator.load(name) for name in order]
+
+    if numpy_active():
+        np = _np
+        a = flat.arrays()
+        rails = np.zeros(n, dtype=np.intp)
+        for name, level in calculator.levels.items():
+            if level:
+                rails[pos[name]] = int(level)
+        rate_vec = np.asarray(rates)
+        load_vec = np.asarray(loads)
+        vdd = a.rails_v[rails]
+        energy = a.energy[rails, a.node_idx]
+        sw_terms = (rate_vec * clock_mhz * load_vec * vdd * vdd * _UW).tolist()
+        in_terms = (rate_vec * clock_mhz * energy * _UW).tolist()
+    else:
+        rail_rows = [0] * n
+        for name, level in calculator.levels.items():
+            if level:
+                rail_rows[pos[name]] = int(level)
+        energy_plane = flat.energy
+        sw_terms = [0.0] * n
+        in_terms = [0.0] * n
+        for i in range(n):
+            rail = rail_rows[i]
+            vdd = rails_lib[rail]
+            sw_terms[i] = rates[i] * clock_mhz * loads[i] * vdd * vdd * _UW
+            in_terms[i] = rates[i] * clock_mhz * energy_plane[rail][i] * _UW
+
+    switching = 0.0
+    internal = 0.0
+    converter = 0.0
+    per_node: dict[str, float] = {}
+    is_input = flat.is_input
+    converted = calculator.converted_readers
+    for i, name in enumerate(order):
+        if is_input[i] and not include_input_nets:
+            per_node[name] = 0.0
+            continue
+        node_switch = sw_terms[i]
+        node_internal = in_terms[i]
+        switching += node_switch
+        internal += node_internal
+
+        lc_power = 0.0
+        if converted(name):
+            a01 = rates[i]
+            for rail in calculator.converter_groups(name):
+                lc_cell = calculator.lc_cell_for(rail)
+                lc_vdd = rails_lib[rail]
                 lc_out_load = calculator.lc_load(name, rail)
                 lc_power += a01 * clock_mhz * (
                     lc_cell.internal_energy + lc_out_load * lc_vdd * lc_vdd

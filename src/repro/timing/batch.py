@@ -9,12 +9,17 @@ them one gate at a time through the method-call surface of
 pin capacitances and rail assignments per query; this module answers
 them for a whole batch at once.
 
-Two layers make that fast.  A :class:`_Static` table -- cached on the
-state and invalidated only by cell resizes -- freezes everything that
-does not change between moves into flat CSR-style arrays: fanin pin
-rows, reader pin rows, fanout edge rows with pre-summed pin
-capacitances, and the per-rail twin constants (intrinsics, drive
-resistance, internal energy) of every gate.  Each sweep then overlays
+Two layers make that fast.  The shared
+:class:`~repro.netlist.flat.FlatNetwork` snapshot -- cached on the
+state and invalidated only by cell resizes or topology revisions --
+freezes everything that does not change between moves into flat
+CSR-style arrays: fanin pin rows, reader pin rows, fanout edge rows
+with pre-summed pin capacitances, and the per-rail twin constants
+(intrinsics, drive resistance, internal energy) of every gate.  (The
+snapshot used to be private to this module; it now also powers the
+vectorized full builds in :mod:`repro.timing.incremental` and the
+flat power/candidate paths in :mod:`repro.core` -- one CSR build per
+state instead of one per layer.)  Each sweep then overlays
 the things that do change (rail assignments, the timing arrays) and
 the per-candidate arithmetic becomes elementwise array math plus
 segmented reductions over the flat levelized arrays of
@@ -54,9 +59,16 @@ import cycle.
 
 from __future__ import annotations
 
-import os
 from collections.abc import Sequence
 
+from repro.netlist.flat import (
+    HAVE_NUMPY,
+    PURE_PYTHON_ENV,
+    FlatArrays,
+    csr_take as _csr_take,
+    flat_of,
+    numpy_active,
+)
 from repro.timing.delay import OUTPUT
 
 try:  # NumPy is optional; the pure-Python sweep below is the fallback
@@ -64,20 +76,8 @@ try:  # NumPy is optional; the pure-Python sweep below is the fallback
 except ImportError:  # pragma: no cover - the no-numpy CI job covers this
     _np = None
 
-HAVE_NUMPY = _np is not None
-"""Whether NumPy imported (the vectorized path's prerequisite)."""
-
-PURE_PYTHON_ENV = "REPRO_PURE_PYTHON"
-"""Set (to any non-empty value) to force the pure-Python sweep even
-with NumPy installed -- the equivalence tests toggle this."""
-
 _UW = 1e-3
 """fF * V^2 * MHz to uW -- the same conversion as repro.power.estimate."""
-
-
-def numpy_active() -> bool:
-    """True when the vectorized path will actually run."""
-    return HAVE_NUMPY and not os.environ.get(PURE_PYTHON_ENV, "")
 
 
 def _timing_maps(analysis):
@@ -97,171 +97,22 @@ def _timing_maps(analysis):
 
 
 # ---------------------------------------------------------------------
-# Static per-network arrays (cached across sweeps)
+# The shared static snapshot (owned by repro.netlist.flat)
 # ---------------------------------------------------------------------
 
 
-class _Static:
-    """Flat arrays over everything that only a resize can change.
+def _static_of(state) -> FlatArrays:
+    """The NumPy view of the state's shared flat snapshot.
 
-    Node axis: topological position (``pos[name]``).  Row axes: fanin
-    *pin* rows (``fi_*``), fanout reader *pin* rows (``rp_*``), and
-    fanout *edge* rows (``e_*``, one per (driver, reader) pair with the
-    reader's pin caps pre-summed in ascending-pin order -- the same
-    sum :meth:`DelayCalculator.reader_pin_cap` computes).  Edge rows
-    per driver follow the driver's ``network.fanouts`` set iteration
-    order, which is stable for the lifetime of the set object, so
-    sequential accumulation over the rows carries the serial bits.
-    Per-rail planes (``fi_intr`` / ``rp_intr`` / ``drive`` /
-    ``energy``) hold each gate's library-twin constants at every rail,
-    so a sweep selects a candidate's destination twin or a reader's
-    current variant with one fancy index.
+    :func:`repro.netlist.flat.flat_of` caches the snapshot on the
+    state and rebuilds it when the network identity, its topological
+    revision, or ``cells_version`` changes; the pricing kernels here
+    index the NumPy view.
     """
-
-    __slots__ = (
-        "network", "version", "order", "pos", "n", "n_rails",
-        "is_input", "is_po", "a01", "rails_v",
-        "fi_ptr", "fi_src", "fi_intr",
-        "rp_ptr", "rp_reader", "rp_intr",
-        "e_ptr", "e_reader", "e_cap",
-        "drive", "energy",
-        "lc_intr", "lc_res", "lc_icap", "lc_ie",
-        "po_load", "wire_base", "wire_per",
-    )
+    return flat_of(state).arrays()
 
 
-def _build_static(state) -> _Static:
-    np = _np
-    calc = state.calc
-    network = state.network
-    nodes = network.nodes
-    order = list(network.topological())
-    pos = {name: i for i, name in enumerate(order)}
-    n = len(order)
-    n_rails = calc.n_rails
-    twin = calc.rail_variant_of
-    activity = state.activity
-    outputs = network.outputs
-
-    variants: list[tuple | None] = [None] * n
-    drive = [[0.0] * n for _ in range(n_rails)]
-    energy = [[0.0] * n for _ in range(n_rails)]
-    a01 = [0.0] * n
-    is_input = [False] * n
-    is_po = [False] * n
-    fi_ptr = [0]
-    fi_src: list[int] = []
-    fi_intr: list[list[float]] = [[] for _ in range(n_rails)]
-    for i, name in enumerate(order):
-        node = nodes[name]
-        a01[i] = activity.rate01(name)
-        is_input[i] = node.is_input
-        is_po[i] = name in outputs
-        cell = node.cell
-        if cell is not None:
-            cells = tuple(
-                cell if r == 0 else twin(cell, r) for r in range(n_rails)
-            )
-            variants[i] = cells
-            for r in range(n_rails):
-                drive[r][i] = cells[r].drive_res
-                energy[r][i] = cells[r].internal_energy
-            for pin, fanin in enumerate(node.fanins):
-                fi_src.append(pos[fanin])
-                for r in range(n_rails):
-                    fi_intr[r].append(cells[r].intrinsics[pin])
-        fi_ptr.append(len(fi_src))
-
-    rp_ptr = [0]
-    rp_reader: list[int] = []
-    rp_intr: list[list[float]] = [[] for _ in range(n_rails)]
-    e_ptr = [0]
-    e_reader: list[int] = []
-    e_cap: list[float] = []
-    for name in order:
-        # The same fanouts set object the serial loops iterate -- its
-        # in-process order is frozen into the edge rows here.
-        for reader in network.fanouts(name):
-            rpos = pos[reader]
-            rnode = nodes[reader]
-            rcells = variants[rpos]
-            caps = rnode.cell.input_caps
-            cap = 0
-            for pin, fanin in enumerate(rnode.fanins):
-                if fanin != name:
-                    continue
-                cap = cap + caps[pin]
-                rp_reader.append(rpos)
-                for r in range(n_rails):
-                    rp_intr[r].append(rcells[r].intrinsics[pin])
-            e_reader.append(rpos)
-            e_cap.append(cap)
-        rp_ptr.append(len(rp_reader))
-        e_ptr.append(len(e_reader))
-
-    static = _Static()
-    static.network = network
-    static.version = getattr(state, "cells_version", 0)
-    static.order = order
-    static.pos = pos
-    static.n = n
-    static.n_rails = n_rails
-    static.is_input = is_input
-    static.is_po = np.asarray(is_po)
-    static.a01 = np.asarray(a01)
-    static.rails_v = np.asarray(state.rails)
-    static.fi_ptr = np.asarray(fi_ptr, dtype=np.intp)
-    static.fi_src = np.asarray(fi_src, dtype=np.intp)
-    static.fi_intr = np.asarray(fi_intr)
-    static.rp_ptr = np.asarray(rp_ptr, dtype=np.intp)
-    static.rp_reader = np.asarray(rp_reader, dtype=np.intp)
-    static.rp_intr = np.asarray(rp_intr)
-    static.e_ptr = np.asarray(e_ptr, dtype=np.intp)
-    static.e_reader = np.asarray(e_reader, dtype=np.intp)
-    static.e_cap = np.asarray(e_cap)
-    static.drive = np.asarray(drive)
-    static.energy = np.asarray(energy)
-    # Shifter constants per destination rail; the lowest rail never
-    # receives an up-shift, so its slot is a zero pad (full-rail fancy
-    # indexing may touch it, but masks discard the value).
-    lc_intr = [0.0] * n_rails
-    lc_res = [0.0] * n_rails
-    lc_icap = [0.0] * n_rails
-    lc_ie = [0.0] * n_rails
-    for rail in range(max(1, n_rails - 1)):
-        cell = calc.lc_cell_for(rail)
-        lc_intr[rail] = cell.intrinsics[0]
-        lc_res[rail] = cell.drive_res
-        lc_icap[rail] = cell.input_caps[0]
-        lc_ie[rail] = cell.internal_energy
-    static.lc_intr = np.asarray(lc_intr)
-    static.lc_res = np.asarray(lc_res)
-    static.lc_icap = np.asarray(lc_icap)
-    static.lc_ie = np.asarray(lc_ie)
-    static.po_load = calc.po_load
-    static.wire_base = state.library.wire_model.base
-    static.wire_per = state.library.wire_model.per_fanout
-    return static
-
-
-def _static_of(state) -> _Static:
-    cached = getattr(state, "_batch_static", None)
-    version = getattr(state, "cells_version", 0)
-    if (
-        cached is not None
-        and cached.network is state.network
-        and cached.version == version
-    ):
-        return cached
-    static = _build_static(state)
-    try:
-        state._batch_static = static
-    except AttributeError:  # pragma: no cover - read-only duck states
-        pass
-    return static
-
-
-def _rails_overlay(static: _Static, state):
+def _rails_overlay(static: FlatArrays, state):
     """Per-position rail indices for this sweep (0 = high supply)."""
     np = _np
     rails = np.zeros(static.n, dtype=np.intp)
@@ -272,7 +123,7 @@ def _rails_overlay(static: _Static, state):
     return rails
 
 
-def _flat_timing(static: _Static, analysis):
+def _flat_timing(static: FlatArrays, analysis):
     """``(arrival, required, load)`` as position-aligned float arrays."""
     np = _np
     arrays = getattr(analysis, "levelized_arrays", None)
@@ -289,25 +140,6 @@ def _flat_timing(static: _Static, analysis):
         np.asarray([required[name] for name in order]),
         np.asarray([load[name] for name in order]),
     )
-
-
-def _csr_take(ptr, sel):
-    """Concatenated row window of ``sel``'s CSR segments.
-
-    Returns ``(rows, owner, counts)``: the flat row indices of every
-    selected segment in order, the position *within sel* owning each
-    row, and the per-segment row counts.
-    """
-    np = _np
-    starts = ptr[sel]
-    counts = ptr[sel + 1] - starts
-    total = int(counts.sum())
-    owner = np.repeat(np.arange(len(sel), dtype=np.intp), counts)
-    offsets = np.arange(total, dtype=np.intp) - np.repeat(
-        np.cumsum(counts) - counts, counts
-    )
-    rows = np.repeat(starts, counts) + offsets
-    return rows, owner, counts
 
 
 class _NetVectors:

@@ -64,9 +64,21 @@ import heapq
 import math
 from collections.abc import Iterator, Mapping
 
+from repro.netlist.flat import (
+    HAVE_NUMPY,
+    FlatNetwork,
+    build_flat,
+    csr_take,
+    numpy_active,
+)
 from repro.netlist.network import Network
 from repro.timing.delay import DelayCalculator, OUTPUT
 from repro.timing.sta import trace_critical_path
+
+try:  # NumPy is optional; the pure sweep below is the fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - the no-numpy CI job covers this
+    _np = None
 
 
 class _ArrayView(Mapping):
@@ -113,13 +125,295 @@ class _Journal:
         self.load: dict[int, float] = {}
 
 
+# ---------------------------------------------------------------------
+# Full-sweep kernels over the shared flat snapshot
+# ---------------------------------------------------------------------
+#
+# The initial build (and every post-topology rebuild) used to run the
+# per-node serial kernels over every gate through the method-call
+# surface of DelayCalculator.  The sweeps below compute the same three
+# arrays from the FlatNetwork planes: a pure-Python twin (the no-NumPy
+# path and the readable restatement of the arithmetic) and a levelized
+# NumPy path (segmented reductions per depth level).  Both are
+# bit-identical to the serial kernels:
+#
+# * loads accumulate the pre-summed edge caps in the same
+#   ``network.fanouts`` row order the serial ``calc.load`` iterates,
+#   then the PO load, then the wire cap -- the exact serial sequence;
+# * arrivals/requireds replicate the serial associations
+#   (``arr + (intr + drive*load)`` and ``req - (intr + drive*load)``),
+#   and the cross-pin max / cross-reader min reductions are order-free
+#   over IEEE doubles;
+# * nodes the flat planes do not model exactly -- drivers or readers of
+#   level-shifter edges -- fall back to the per-node kernels below,
+#   which *are* the serial arithmetic restated over the flat arrays.
+
+
+def _lc_fallback_sets(flat, lc_edges):
+    """Positions needing the serial kernels: ``(loads+required, arrival)``.
+
+    A shifter on a driver's output edge changes its net load and its
+    required equation; a shifter on a node's fanin edge changes its
+    arrival equation.
+    """
+    pos = flat.pos
+    drivers: set[int] = set()
+    readers: set[int] = set()
+    for driver, reader in lc_edges:
+        drivers.add(pos[driver])
+        if reader != OUTPUT:
+            readers.add(pos[reader])
+    return drivers, readers
+
+
+def _rails_plane(flat, calc, zeros):
+    """Per-position rail indices for this sweep (0 = high supply)."""
+    pos = flat.pos
+    for name, level in calc.levels.items():
+        if level:
+            zeros[pos[name]] = int(level)
+    return zeros
+
+
+def _serial_arrival_flat(flat, calc, rails, arrivals, loads, i):
+    """The serial arrival kernel restated over the flat planes."""
+    order = flat.order
+    name = order[i]
+    lc_edges = calc.lc_edges
+    rail = rails[i]
+    intr = flat.fi_intr[rail]
+    stage = flat.drive[rail][i] * loads[i]
+    fi_ptr = flat.fi_ptr
+    fi_src = flat.fi_src
+    worst = 0.0
+    for r in range(fi_ptr[i], fi_ptr[i + 1]):
+        fp = fi_src[r]
+        at_pin = arrivals[fp]
+        fanin = order[fp]
+        if (fanin, name) in lc_edges:
+            at_pin += calc.lc_delay(fanin, name)
+        at_pin += intr[r] + stage
+        if at_pin > worst:
+            worst = at_pin
+    return worst
+
+
+def _serial_required_flat(flat, calc, rails, reqs, loads, i, tspec):
+    """The serial required kernel restated over the flat planes."""
+    order = flat.order
+    name = order[i]
+    lc_edges = calc.lc_edges
+    rp_ptr = flat.rp_ptr
+    rp_reader = flat.rp_reader
+    rp_intr = flat.rp_intr
+    drive = flat.drive
+    required = math.inf
+    if flat.is_po[i]:
+        required = tspec - calc.edge_extra_delay(name, OUTPUT)
+    for r in range(rp_ptr[i], rp_ptr[i + 1]):
+        j = rp_reader[r]
+        jr = rails[j]
+        term = reqs[j] - (rp_intr[jr][r] + drive[jr][j] * loads[j])
+        if (name, order[j]) in lc_edges:
+            term -= calc.lc_delay(name, order[j])
+        if term < required:
+            required = term
+    return required
+
+
+def _sweep_pure(flat: FlatNetwork, calc, tspec: float):
+    """Full build over the flat planes, standard library only."""
+    order = flat.order
+    n = flat.n
+    lc_edges = calc.lc_edges
+    rails = _rails_plane(flat, calc, [0] * n)
+    lc_drivers, lc_readers = _lc_fallback_sets(flat, lc_edges)
+
+    e_ptr = flat.e_ptr
+    e_cap = flat.e_cap
+    is_po = flat.is_po
+    no_wire = flat.no_wire
+    po_load = flat.po_load
+    wire_base = flat.wire_base
+    wire_per = flat.wire_per
+    loads = [0.0] * n
+    for i in range(n):
+        if i in lc_drivers:
+            loads[i] = calc.load(order[i])
+            continue
+        total = 0.0
+        start = e_ptr[i]
+        end = e_ptr[i + 1]
+        for r in range(start, end):
+            total += e_cap[r]
+        connections = end - start
+        if is_po[i]:
+            connections += 1
+            total += po_load
+        if connections > 0 and not no_wire[i]:
+            total += wire_base + wire_per * connections
+        loads[i] = total
+
+    is_input = flat.is_input
+    fi_ptr = flat.fi_ptr
+    fi_src = flat.fi_src
+    fi_intr = flat.fi_intr
+    drive = flat.drive
+    arrivals = [0.0] * n
+    for i in range(n):
+        if is_input[i]:
+            continue
+        if i in lc_readers:
+            arrivals[i] = _serial_arrival_flat(
+                flat, calc, rails, arrivals, loads, i
+            )
+            continue
+        rail = rails[i]
+        intr = fi_intr[rail]
+        stage = drive[rail][i] * loads[i]
+        worst = 0.0
+        for r in range(fi_ptr[i], fi_ptr[i + 1]):
+            at_pin = arrivals[fi_src[r]] + (intr[r] + stage)
+            if at_pin > worst:
+                worst = at_pin
+        arrivals[i] = worst
+
+    rp_ptr = flat.rp_ptr
+    rp_reader = flat.rp_reader
+    rp_intr = flat.rp_intr
+    stage_of = [drive[rails[j]][j] * loads[j] for j in range(n)]
+    reqs = [math.inf] * n
+    for i in range(n - 1, -1, -1):
+        if i in lc_drivers:
+            reqs[i] = _serial_required_flat(
+                flat, calc, rails, reqs, loads, i, tspec
+            )
+            continue
+        required = tspec if is_po[i] else math.inf
+        intr = rp_intr
+        for r in range(rp_ptr[i], rp_ptr[i + 1]):
+            j = rp_reader[r]
+            term = reqs[j] - (intr[rails[j]][r] + stage_of[j])
+            if term < required:
+                required = term
+        reqs[i] = required
+
+    return loads, arrivals, reqs
+
+
+def _sweep_numpy(flat: FlatNetwork, calc, tspec: float):
+    """Levelized vectorized full build (requires NumPy)."""
+    np = _np
+    a = flat.arrays()
+    n = a.n
+    order = a.order
+    lc_edges = calc.lc_edges
+    rails = _rails_plane(a, calc, np.zeros(n, dtype=np.intp))
+    lc_drivers, lc_readers = _lc_fallback_sets(a, lc_edges)
+
+    # Loads: np.add.at applies strictly in row order == fanouts order,
+    # then the PO load, then the wire cap -- the serial sequence.
+    loads = np.zeros(n)
+    np.add.at(loads, a.e_owner, a.e_cap)
+    loads[a.is_po] += a.po_load
+    connections = a.e_counts + a.is_po
+    wired = (connections > 0) & ~a.no_wire
+    loads[wired] += a.wire_base + a.wire_per * connections[wired]
+    for i in lc_drivers:
+        loads[i] = calc.load(order[i])
+
+    stage = a.drive[rails, a.node_idx] * loads
+    fi_rows = np.arange(len(a.fi_src), dtype=np.intp)
+    pin_term = a.fi_intr[rails[a.fi_owner], fi_rows] + stage[a.fi_owner]
+    arrivals = np.zeros(n)
+    for members in a.by_depth[1:]:
+        clean = members
+        defer = ()
+        if lc_readers:
+            hit = [i for i in members.tolist() if i in lc_readers]
+            if hit:
+                defer = hit
+                keep = np.isin(members, hit, invert=True)
+                clean = members[keep]
+        if len(clean):
+            rows, _, counts = csr_take(a.fi_ptr, clean)
+            vals = arrivals[a.fi_src[rows]] + pin_term[rows]
+            worst = np.zeros(len(clean))
+            nz = counts > 0
+            if nz.any():
+                cnz = counts[nz]
+                offs = np.zeros(len(cnz), dtype=np.intp)
+                np.cumsum(cnz[:-1], out=offs[1:])
+                worst[nz] = np.maximum(np.maximum.reduceat(vals, offs), 0.0)
+            arrivals[clean] = worst
+        for i in defer:
+            arrivals[i] = _serial_arrival_flat(
+                a, calc, rails, arrivals, loads, i
+            )
+
+    rp_rows = np.arange(len(a.rp_reader), dtype=np.intp)
+    reader_term = (
+        a.rp_intr[rails[a.rp_reader], rp_rows] + stage[a.rp_reader]
+    )
+    seeds = np.where(a.is_po, tspec, math.inf)
+    reqs = np.full(n, math.inf)
+    for members in reversed(a.by_depth):
+        clean = members
+        defer = ()
+        if lc_drivers:
+            hit = [i for i in members.tolist() if i in lc_drivers]
+            if hit:
+                defer = hit
+                keep = np.isin(members, hit, invert=True)
+                clean = members[keep]
+        if len(clean):
+            rows, _, counts = csr_take(a.rp_ptr, clean)
+            vals = reqs[a.rp_reader[rows]] - reader_term[rows]
+            res = seeds[clean].copy()
+            nz = counts > 0
+            if nz.any():
+                cnz = counts[nz]
+                offs = np.zeros(len(cnz), dtype=np.intp)
+                np.cumsum(cnz[:-1], out=offs[1:])
+                res[nz] = np.minimum(
+                    np.minimum.reduceat(vals, offs), res[nz]
+                )
+            reqs[clean] = res
+        for i in defer:
+            reqs[i] = _serial_required_flat(
+                a, calc, rails, reqs, loads, i, tspec
+            )
+
+    return loads.tolist(), arrivals.tolist(), reqs.tolist()
+
+
 class IncrementalTiming:
     """Incrementally-maintained arrival/required/slack over one network."""
 
-    def __init__(self, calculator: DelayCalculator, tspec: float):
+    def __init__(self, calculator: DelayCalculator, tspec: float,
+                 flat_source=None, build_mode: str | None = None):
+        """Build the engine and run one full sweep.
+
+        ``flat_source`` is an optional zero-argument callable returning
+        the owner's cached :class:`~repro.netlist.flat.FlatNetwork`
+        (:meth:`repro.core.state.ScalingState.flat`); without it the
+        engine builds its own snapshot per full sweep.  ``build_mode``
+        pins the full-sweep kernel -- ``"serial"`` (the per-node oracle
+        loops), ``"pure"`` (flat-plane sweep, standard library only) or
+        ``"numpy"`` -- instead of the default auto pick (NumPy when
+        available and not disabled by ``REPRO_PURE_PYTHON``, else
+        pure).  All modes are bit-identical; the serial mode is the
+        equivalence oracle the others are tested against.
+        """
+        if build_mode not in (None, "serial", "pure", "numpy"):
+            raise ValueError(f"unknown build mode {build_mode!r}")
+        if build_mode == "numpy" and not HAVE_NUMPY:
+            raise RuntimeError("build_mode='numpy' requires NumPy")
         self.calculator = calculator
         self.network: Network = calculator.network
         self.tspec = tspec
+        self._flat_source = flat_source
+        self._build_mode = build_mode
         self._journal: _Journal | None = None
         self._build()
 
@@ -130,11 +424,15 @@ class IncrementalTiming:
     def _build(self) -> None:
         """Cache the topology and run one full sweep."""
         network = self.network
-        self._order: list[str] = list(network.topological())
+        # The cached list object itself (not a copy): the engine's
+        # topology snapshot must match the shared flat snapshot's
+        # ``order`` *by identity*, which makes staleness detection in
+        # _acquire_flat O(1).  A topology edit invalidates the
+        # network-level cache, so a later full_invalidate() picks up a
+        # new list while this reference keeps the old snapshot intact.
+        self._order: list[str] = network.topological()
         self._pos: dict[str, int] = network.topo_index()
-        self._fanouts: list[tuple[str, ...]] = [
-            tuple(network.fanouts(name)) for name in self._order
-        ]
+        self._fanouts_cache: list[tuple[str, ...]] | None = None
         self._reader_pins = network.reader_pins()
         self._is_output = frozenset(network.outputs)
         n = len(self._order)
@@ -153,13 +451,50 @@ class IncrementalTiming:
         self._clean = True
         self._fwd_clean = True
 
-        calc = self.calculator
-        for i, name in enumerate(self._order):
-            self._load[i] = calc.load(name)
-        for i, name in enumerate(self._order):
-            self._arrival[i] = self._compute_arrival(name)
-        for i in range(n - 1, -1, -1):
-            self._required[i] = self._compute_required(self._order[i])
+        mode = self._build_mode
+        if mode is None:
+            mode = "numpy" if numpy_active() else "pure"
+        flat = self._acquire_flat() if mode != "serial" else None
+        if flat is None:
+            calc = self.calculator
+            for i, name in enumerate(self._order):
+                self._load[i] = calc.load(name)
+            for i, name in enumerate(self._order):
+                self._arrival[i] = self._compute_arrival(name)
+            for i in range(n - 1, -1, -1):
+                self._required[i] = self._compute_required(self._order[i])
+            return
+        sweep = _sweep_numpy if mode == "numpy" else _sweep_pure
+        loads, arrivals, reqs = sweep(flat, self.calculator, self.tspec)
+        self._load[:] = loads
+        self._arrival[:] = arrivals
+        self._required[:] = reqs
+
+    @property
+    def _fanouts(self) -> list[tuple[str, ...]]:
+        """Per-position reader tuples, built on first incremental use.
+
+        The full vectorized build never touches fanout tuples, so
+        constructing them eagerly would charge every from-scratch build
+        an O(edges) tax that only refresh() traffic needs.
+        """
+        cache = self._fanouts_cache
+        if cache is None:
+            network = self.network
+            cache = [tuple(network.fanouts(name)) for name in self._order]
+            self._fanouts_cache = cache
+        return cache
+
+    def _acquire_flat(self) -> FlatNetwork | None:
+        """The shared snapshot for a full sweep, or ``None`` to go serial."""
+        source = self._flat_source
+        if source is not None:
+            flat = source()
+        else:
+            flat = build_flat(self.network, self.calculator)
+        if flat.order is not self._order and flat.order != self._order:
+            return None  # pragma: no cover - stale source
+        return flat
 
     def full_invalidate(self) -> None:
         """Rebuild everything (only needed if the topology itself changed)."""

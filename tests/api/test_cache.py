@@ -165,3 +165,31 @@ def test_stats_fold_across_workers():
     assert total.entries == 2
     assert total.bytes == 150
     assert total.as_dict()["hits"] == 4
+
+
+def test_unbounded_cache_never_sizes_entries(monkeypatch):
+    # With no byte cap there is nothing to evict, so the (pickle-based)
+    # size estimate must never run -- it is the dominant insert cost for
+    # large prepared circuits.
+    import repro.api.cache as cache_mod
+
+    def boom(value):
+        raise AssertionError("unbounded cache must not pickle entries")
+
+    monkeypatch.setattr(cache_mod, "_estimate_bytes", boom)
+    cache = PreparedCache(max_bytes=None)
+    cache.prepared(make_config(), lambda: payload(4096))
+    assert cache.stats.bytes == 0
+    assert len(cache) == 1
+
+
+def test_caller_supplied_size_skips_estimation(monkeypatch):
+    import repro.api.cache as cache_mod
+
+    monkeypatch.setattr(
+        cache_mod, "_estimate_bytes",
+        lambda value: (_ for _ in ()).throw(AssertionError("estimated")),
+    )
+    cache = PreparedCache(max_bytes=10_000)
+    cache.prepared(make_config(), lambda: payload(64), size=123)
+    assert cache.stats.bytes == 123
